@@ -1,0 +1,53 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every harness prints two kinds of rows:
+//   [measured] — real wall-clock numbers from this machine's CPU build
+//                (small matrix sizes; absolute values are CPU-bound and not
+//                comparable to the paper's A100),
+//   [modeled]  — paper-scale predictions: exact GEMM shape streams from
+//                src/perfmodel/shape_trace priced by the A100 throughput
+//                model calibrated on the paper's own Table 1.
+// The reproduction claim is about the *shape* of each curve (who wins,
+// where the crossover sits), not absolute seconds; see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/timer.hpp"
+
+namespace tcevd::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) { std::printf("\n--- %s ---\n", name.c_str()); }
+
+/// Median-of-three wall time of a callable, in seconds.
+template <typename F>
+double time_s(F&& f) {
+  double best[3];
+  for (double& t : best) {
+    Timer timer;
+    f();
+    t = timer.seconds();
+  }
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  if (best[1] > best[2]) std::swap(best[1], best[2]);
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  return best[1];
+}
+
+/// Single-shot wall time (for expensive cases).
+template <typename F>
+double time_once_s(F&& f) {
+  Timer timer;
+  f();
+  return timer.seconds();
+}
+
+}  // namespace tcevd::bench

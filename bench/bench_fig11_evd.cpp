@@ -1,0 +1,106 @@
+// Paper Figure 11: total two-stage EVD time (eigenvalues only) — Tensor-Core
+// WY-SBR first stage + bulge chasing + divide & conquer — vs the MAGMA
+// baseline. The paper reports ~2x end-to-end speedup, SBR being the
+// dominant stage.
+//
+// Modeled rows: stage 1 from the shape traces + panel model (plus the
+// device->host transfer the paper includes at 12 GB/s); stage 2 and the
+// D&C solver are the same on both sides (the paper uses MAGMA's CPU code
+// for both), modeled as flop counts over a calibrated CPU rate.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/rng.hpp"
+#include "src/evd/evd.hpp"
+#include "src/perfmodel/a100_model.hpp"
+#include "src/perfmodel/shape_trace.hpp"
+
+using namespace tcevd;
+
+namespace {
+
+double panels_s(index_t n, index_t b, bool tsqr) {
+  double t = 0.0;
+  for (const auto& p : perf::trace_panels(n, b)) t += perf::panel_time_s(p.m, b, tsqr);
+  return t;
+}
+
+double modeled_magma_sbr_s(index_t n, index_t b) {
+  double t = 0.0;
+  auto shapes = perf::trace_sbr_zy(n, b);
+  for (std::size_t i = 0; i < shapes.size(); i += 5) {
+    for (int j = 0; j < 3; ++j)
+      t += perf::gemm_time_s(perf::Device::Sgemm, shapes[i + j].m, shapes[i + j].n,
+                             shapes[i + j].k);
+    t += 0.5 * (perf::gemm_time_s(perf::Device::Sgemm, shapes[i + 3].m, shapes[i + 3].n,
+                                  shapes[i + 3].k) +
+                perf::gemm_time_s(perf::Device::Sgemm, shapes[i + 4].m, shapes[i + 4].n,
+                                  shapes[i + 4].k));
+  }
+  return t + panels_s(n, b, false);
+}
+
+/// Shared second stage: bulge chasing O(n^2 b) + D&C O(n^2) on the host,
+/// at an effective multicore-CPU rate, plus the 12 GB/s band download.
+double second_stage_s(index_t n, index_t b) {
+  // Effective rate of MAGMA's cache-blocked bulge chasing + D&C on the
+  // paper's 16-thread MKL host. Calibrated so the n = 32768 stage-2 lands
+  // near ~2 s, which is what the paper's ~2x end-to-end speedup implies
+  // given its SBR times (see EXPERIMENTS.md).
+  const double cpu_rate = 4e11;
+  const double bulge = 6.0 * double(n) * double(n) * double(b) / cpu_rate;
+  const double dc = 8.0 * double(n) * double(n) / cpu_rate;
+  const double transfer = 4.0 * double(n) * double(b + 1) / 12e9;
+  return bulge + dc + transfer;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 11 — two-stage EVD (eigenvalues only): ours vs MAGMA",
+                "paper Fig. 11 (b = 128, nb = 1024, D&C final stage)");
+
+  const index_t b = 128, nb = 1024;
+  bench::section("[modeled] paper scale, seconds");
+  std::printf("%8s | %9s %9s %9s | %9s %9s | %8s\n", "n", "sbr-TC", "stage2", "ours",
+              "sbr-MAGMA", "magma", "speedup");
+  for (index_t n : {4096, 8192, 16384, 24576, 32768}) {
+    const double s1 = perf::total_time_s(perf::Device::TensorCore,
+                                         perf::trace_sbr_wy(n, b, nb, /*cache_oa=*/true)) +
+                      panels_s(n, b, true);
+    const double s2 = second_stage_s(n, b);
+    const double m1 = modeled_magma_sbr_s(n, b);
+    const double ours = s1 + s2;
+    const double magma = m1 + s2;
+    std::printf("%8lld | %9.2f %9.2f %9.2f | %9.2f %9.2f | %8.2f\n",
+                static_cast<long long>(n), s1, s2, ours, m1, magma, magma / ours);
+  }
+  std::printf("\nexpected shape: speedup grows with n toward ~2x (paper: \"around 2x\",\n"
+              "up to 2.3x), limited by the shared second stage (Amdahl).\n");
+
+  bench::section("[measured] this machine: full pipelines (n = 192, b = 16)");
+  {
+    Rng rng(13);
+    const index_t n = 192;
+    Matrix<float> a(n, n);
+    fill_normal(rng, a.view());
+    make_symmetric(a.view());
+
+    auto run = [&](evd::Reduction red, const char* name) {
+      tc::Fp32Engine eng;
+      evd::EvdOptions opt;
+      opt.reduction = red;
+      opt.bandwidth = 16;
+      opt.big_block = 64;
+      evd::EvdResult res;
+      const double t = bench::time_once_s([&] { res = evd::solve(a.view(), eng, opt); });
+      std::printf("%-22s total %7.1f ms (reduce %6.1f, bulge %6.1f, solver %6.1f)\n", name,
+                  t * 1e3, res.timings.reduction_s * 1e3, res.timings.bulge_s * 1e3,
+                  res.timings.solver_s * 1e3);
+    };
+    run(evd::Reduction::TwoStageWy, "two-stage WY + D&C");
+    run(evd::Reduction::TwoStageZy, "two-stage ZY + D&C");
+    run(evd::Reduction::OneStage, "one-stage sytrd + D&C");
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Paper Table 3: backward error E_b = ||A - Q B Q^T||_F / (N ||A||_F) and
+// orthogonality E_o = ||I - Q^T Q||_F / N of the Tensor-Core SBR across the
+// MAGMA matrix classes. These are *real numerics* — the software Tensor Core
+// applies bit-exact fp16 operand rounding with fp32 accumulation, which is
+// the entire error source the paper measures.
+//
+// Paper values: E_b ~ 4.7e-4..9.5e-4, E_o ~ 3.7e-4..7.4e-4 at n = 32768
+// (bounded by the TC machine eps ~ 1e-3 before the 1/N normalization pulls
+// them down). At our n the normalization differs, so compare against the
+// eps16 bound, not the absolute paper numbers.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/blas/blas.hpp"
+#include "src/common/norms.hpp"
+#include "src/matgen/matgen.hpp"
+#include "src/sbr/band.hpp"
+#include "src/sbr/sbr.hpp"
+
+using namespace tcevd;
+
+namespace {
+
+// E_b with the paper's 1/N normalization, computed in double.
+double backward_error_normalized(ConstMatrixView<float> a, ConstMatrixView<float> q,
+                                 ConstMatrixView<float> b) {
+  const index_t n = a.rows();
+  Matrix<double> ad(n, n), qd(n, n), bd(n, n);
+  convert_matrix<float, double>(a, ad.view());
+  convert_matrix<float, double>(q, qd.view());
+  convert_matrix<float, double>(b, bd.view());
+  Matrix<double> t(n, n), qbqt(n, n);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, qd.view(), bd.view(), 0.0, t.view());
+  blas::gemm(blas::Trans::No, blas::Trans::Yes, 1.0, t.view(), qd.view(), 0.0, qbqt.view());
+  return frobenius_diff<double>(qbqt.view(), ad.view()) /
+         (static_cast<double>(n) * frobenius_norm<double>(ad.view()));
+}
+
+}  // namespace
+
+int main() {
+  const index_t n = 256, b = 16, nb = 64;
+  bench::header("Table 3 — Tensor-Core SBR backward error and orthogonality",
+                "paper Table 3 (matrix classes from magma_generate)");
+  std::printf("[measured] n = %lld, b = %lld, nb = %lld, engine tc-fp16\n",
+              static_cast<long long>(n), static_cast<long long>(b),
+              static_cast<long long>(nb));
+  std::printf("%-20s %14s %14s\n", "Matrix type", "E_b", "E_o");
+
+  Rng rng(2023);
+  for (const auto& row : matgen::paper_accuracy_rows()) {
+    auto a = matgen::generate_f(row.type, n, row.cond, rng);
+    tc::TcEngine eng(tc::TcPrecision::Fp16);
+    sbr::SbrOptions opt;
+    opt.bandwidth = b;
+    opt.big_block = nb;
+    opt.accumulate_q = true;
+    auto res = sbr::sbr_wy(a.view(), eng, opt);
+    const double eb = backward_error_normalized(a.view(), res.q.view(), res.band.view());
+    const double eo = orthogonality_error<float>(res.q.view());
+    std::printf("%-20s %14.2e %14.2e\n", matgen::matrix_type_name(row.type, row.cond).c_str(),
+                eb, eo);
+  }
+  std::printf("\npaper (n = 32768): E_b ~ 4.7e-4..9.5e-4, E_o ~ 3.7e-4..7.4e-4 —\n"
+              "both bounded by the Tensor Core machine eps (~1e-3); ours must be\n"
+              "bounded the same way after the 1/N normalization.\n");
+  return 0;
+}

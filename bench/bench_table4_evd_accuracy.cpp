@@ -1,0 +1,55 @@
+// Paper Table 4: eigenvalue accuracy E_s = ||d_ref - d||_2 / (N ||d_ref||_2)
+// of the Tensor-Core two-stage EVD vs the plain fp32 pipeline (the paper's
+// MAGMA ssyevdx column), across the matrix classes, with the fp64 one-stage
+// pipeline as ground truth.
+//
+// Real numerics. Paper magnitudes: TC column ~3.6e-5..1.4e-4, MAGMA column
+// ~1.6e-7..1.7e-5 (n = 32768; the 1/N normalization differs at our n, so
+// what must reproduce is the gap of ~1-2 orders between the columns and the
+// TC column respecting the TC machine-eps bound).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/common/norms.hpp"
+#include "src/evd/evd.hpp"
+#include "src/matgen/matgen.hpp"
+
+using namespace tcevd;
+
+int main() {
+  const index_t n = 256;
+  bench::header("Table 4 — eigenvalue accuracy: Tensor Core vs fp32 pipeline",
+                "paper Table 4 (E_s per matrix class)");
+  std::printf("[measured] n = %lld, b = 16, nb = 64, D&C solver\n",
+              static_cast<long long>(n));
+  std::printf("%-20s %14s %14s %8s\n", "Matrix type", "TensorCore", "fp32(MAGMA)", "ratio");
+
+  Rng rng(4096);
+  for (const auto& row : matgen::paper_accuracy_rows()) {
+    auto ad = matgen::generate(row.type, n, row.cond, rng);
+    Matrix<float> a(n, n);
+    convert_matrix<double, float>(ad.view(), a.view());
+    auto ref = evd::reference_eigenvalues(ad.view());
+
+    evd::EvdOptions opt;
+    opt.bandwidth = 16;
+    opt.big_block = 64;
+
+    tc::TcEngine tc_eng(tc::TcPrecision::Fp16);
+    tc::Fp32Engine fp_eng;
+    auto r_tc = evd::solve(a.view(), tc_eng, opt);
+    auto r_fp = evd::solve(a.view(), fp_eng, opt);
+
+    std::vector<double> g_tc(r_tc.eigenvalues.begin(), r_tc.eigenvalues.end());
+    std::vector<double> g_fp(r_fp.eigenvalues.begin(), r_fp.eigenvalues.end());
+    const double e_tc = eigenvalue_error(ref.data(), g_tc.data(), n);
+    const double e_fp = eigenvalue_error(ref.data(), g_fp.data(), n);
+    std::printf("%-20s %14.2e %14.2e %8.1f\n",
+                matgen::matrix_type_name(row.type, row.cond).c_str(), e_tc, e_fp,
+                e_tc / e_fp);
+  }
+  std::printf("\npaper (n = 32768): TC ~3.6e-5..1.4e-4 vs MAGMA ~1.6e-7..1.7e-5; the\n"
+              "reproduced invariant is the 1-2 order gap and the TC-eps bound.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Mixed-precision tour: the same band reduction under every numerics the
+// library offers — fp32, Tensor-Core fp16, Tensor-Core TF32, and
+// error-corrected TC — measuring the paper's E_b / E_o metrics for each.
+// This is paper Section 5.3 + Table 3 condensed into one runnable program.
+//
+//   build/examples/mixed_precision_tour
+#include <cstdio>
+
+#include "src/blas/blas.hpp"
+#include "src/common/norms.hpp"
+#include "src/matgen/matgen.hpp"
+#include "src/sbr/band.hpp"
+#include "src/sbr/sbr.hpp"
+
+using namespace tcevd;
+
+namespace {
+
+double backward_err(ConstMatrixView<float> a, ConstMatrixView<float> q,
+                    ConstMatrixView<float> b) {
+  const index_t n = a.rows();
+  Matrix<double> ad(n, n), qd(n, n), bd(n, n);
+  convert_matrix<float, double>(a, ad.view());
+  convert_matrix<float, double>(q, qd.view());
+  convert_matrix<float, double>(b, bd.view());
+  Matrix<double> t(n, n), qbqt(n, n);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, qd.view(), bd.view(), 0.0, t.view());
+  blas::gemm(blas::Trans::No, blas::Trans::Yes, 1.0, t.view(), qd.view(), 0.0, qbqt.view());
+  return frobenius_diff<double>(qbqt.view(), ad.view()) / frobenius_norm<double>(ad.view());
+}
+
+}  // namespace
+
+int main() {
+  const index_t n = 192;
+  Rng rng(123);
+  auto a = matgen::generate_f(matgen::MatrixType::Arith, n, 1e3, rng);
+
+  sbr::SbrOptions opt;
+  opt.bandwidth = 16;
+  opt.big_block = 64;
+  opt.accumulate_q = true;
+
+  tc::Fp32Engine fp32;
+  tc::TcEngine tc16(tc::TcPrecision::Fp16);
+  tc::TcEngine tc32(tc::TcPrecision::Tf32);
+  tc::EcTcEngine ec16(tc::TcPrecision::Fp16);
+  tc::GemmEngine* engines[] = {&fp32, &tc16, &tc32, &ec16};
+
+  std::printf("WY-based SBR of an SVD_Arith(1e3) matrix, n = %lld, b = 16, nb = 64\n\n",
+              static_cast<long long>(n));
+  std::printf("%-12s %16s %16s\n", "engine", "E_b = |A-QBQ'|/|A|", "E_o = |I-Q'Q|/N");
+  for (auto* eng : engines) {
+    auto res = sbr::sbr_wy(a.view(), *eng, opt);
+    std::printf("%-12s %16.2e %16.2e\n", eng->name().c_str(),
+                backward_err(a.view(), res.q.view(), res.band.view()),
+                orthogonality_error<float>(res.q.view()));
+  }
+  std::printf(
+      "\nreading: tc-fp16 sits at the Tensor Core machine eps (~1e-3-1e-4);\n"
+      "tc-tf32 matches it (same 10-bit mantissa) but would not underflow on\n"
+      "tiny data; ectc-fp16 recovers fp32-level accuracy at ~3x the TC GEMM\n"
+      "work (paper Sec. 5.3) — on real hardware still faster than fp32 SGEMM.\n");
+  return 0;
+}

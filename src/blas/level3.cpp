@@ -1,0 +1,422 @@
+#include <memory>
+
+#include "src/blas/blas.hpp"
+
+namespace tcevd::blas {
+
+namespace {
+
+// Packed, register-blocked C = alpha * A * B + beta * C (BLIS-style).
+//
+// A is packed into MR-row panels and B into NR-column panels so the
+// micro-kernel streams contiguous memory and keeps an MR x NR accumulator
+// in registers; MC/KC/NC blocking keeps the packed panels cache-resident.
+inline constexpr index_t kMR = 8;
+inline constexpr index_t kNR = 4;
+inline constexpr index_t kMC = 128;
+inline constexpr index_t kKC = 256;
+inline constexpr index_t kNC = 1024;
+
+/// A(i0:i0+mc, k0:k0+kc) -> MR-row panels, k-major within each panel.
+template <typename T>
+void pack_a_block(ConstMatrixView<T> a, index_t i0, index_t k0, index_t mc, index_t kc,
+                  T* buf) {
+  for (index_t p = 0; p < mc; p += kMR) {
+    const index_t mr = std::min(kMR, mc - p);
+    for (index_t k = 0; k < kc; ++k) {
+      const T* col = &a(i0 + p, k0 + k);
+      index_t r = 0;
+      for (; r < mr; ++r) buf[r] = col[r];
+      for (; r < kMR; ++r) buf[r] = T{};
+      buf += kMR;
+    }
+  }
+}
+
+/// B(k0:k0+kc, j0:j0+nc) -> NR-column panels, k-major within each panel.
+template <typename T>
+void pack_b_block(ConstMatrixView<T> b, index_t k0, index_t j0, index_t kc, index_t nc,
+                  T* buf) {
+  for (index_t q = 0; q < nc; q += kNR) {
+    const index_t nr = std::min(kNR, nc - q);
+    for (index_t k = 0; k < kc; ++k) {
+      index_t cidx = 0;
+      for (; cidx < nr; ++cidx) buf[cidx] = b(k0 + k, j0 + q + cidx);
+      for (; cidx < kNR; ++cidx) buf[cidx] = T{};
+      buf += kNR;
+    }
+  }
+}
+
+/// acc(MR x NR) += sum_k apanel(:, k) bpanel(k, :); then C += alpha * acc.
+template <typename T>
+void micro_kernel(index_t kc, const T* ap, const T* bp, T alpha, T* c0, index_t ldc,
+                  index_t mr, index_t nr) {
+  T acc[kNR][kMR] = {};
+  for (index_t k = 0; k < kc; ++k) {
+    const T* arow = ap + k * kMR;
+    const T* brow = bp + k * kNR;
+    for (index_t jj = 0; jj < kNR; ++jj) {
+      const T bv = brow[jj];
+      for (index_t ii = 0; ii < kMR; ++ii) acc[jj][ii] += arow[ii] * bv;
+    }
+  }
+  for (index_t jj = 0; jj < nr; ++jj) {
+    T* cc = c0 + jj * ldc;
+    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += alpha * acc[jj][ii];
+  }
+}
+
+template <typename T>
+void gemm_nn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = a.cols();
+
+  // Pre-scale C once; all panel updates then accumulate.
+  for (index_t j = 0; j < n; ++j) {
+    T* cj = &c(0, j);
+    if (beta == T{}) {
+      for (index_t i = 0; i < m; ++i) cj[i] = T{};
+    } else if (beta != T{1}) {
+      for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (alpha == T{} || k == 0) return;
+
+  std::vector<T> apack(static_cast<std::size_t>(kMC + kMR) * kKC);
+  std::vector<T> bpack(static_cast<std::size_t>(kKC) * (kNC + kNR));
+
+  for (index_t j0 = 0; j0 < n; j0 += kNC) {
+    const index_t nc = std::min(kNC, n - j0);
+    for (index_t k0 = 0; k0 < k; k0 += kKC) {
+      const index_t kc = std::min(kKC, k - k0);
+      pack_b_block(b, k0, j0, kc, nc, bpack.data());
+      for (index_t i0 = 0; i0 < m; i0 += kMC) {
+        const index_t mc = std::min(kMC, m - i0);
+        pack_a_block(a, i0, k0, mc, kc, apack.data());
+#pragma omp parallel for schedule(static) if (nc > 4 * kNR && mc * kc > 16384)
+        for (index_t jr = 0; jr < nc; jr += kNR) {
+          const index_t nr = std::min(kNR, nc - jr);
+          const T* bp = bpack.data() + (jr / kNR) * kc * kNR;
+          for (index_t ir = 0; ir < mc; ir += kMR) {
+            const index_t mr = std::min(kMR, mc - ir);
+            const T* ap = apack.data() + (ir / kMR) * kc * kMR;
+            micro_kernel(kc, ap, bp, alpha, &c(i0 + ir, j0 + jr), c.ld(), mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Pack op(X) into a fresh column-major matrix.
+template <typename T>
+Matrix<T> pack_op(Trans trans, ConstMatrixView<T> x) {
+  if (trans == Trans::No) {
+    Matrix<T> out(x.rows(), x.cols());
+    copy_matrix(x, out.view());
+    return out;
+  }
+  Matrix<T> out(x.cols(), x.rows());
+  for (index_t j = 0; j < x.cols(); ++j)
+    for (index_t i = 0; i < x.rows(); ++i) out(j, i) = x(i, j);
+  return out;
+}
+
+/// Element of op(A) for triangular routines.
+template <typename T>
+inline T op_elem(Trans trans, ConstMatrixView<T> a, index_t i, index_t j) {
+  return trans == Trans::No ? a(i, j) : a(j, i);
+}
+
+/// True when op(A) is lower triangular.
+inline bool op_is_lower(Uplo uplo, Trans trans) {
+  return (uplo == Uplo::Lower) == (trans == Trans::No);
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+          T beta, MatrixView<T> c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t ka = (transa == Trans::No) ? a.cols() : a.rows();
+  const index_t ma = (transa == Trans::No) ? a.rows() : a.cols();
+  const index_t kb = (transb == Trans::No) ? b.rows() : b.cols();
+  const index_t nb = (transb == Trans::No) ? b.cols() : b.rows();
+  TCEVD_CHECK(ma == m && nb == n && ka == kb, "gemm shape mismatch");
+  FlopCounter::instance().add(gemm_flops(m, n, ka));
+  if (m == 0 || n == 0) return;
+  if (ka == 0 || alpha == T{}) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) c(i, j) = (beta == T{}) ? T{} : beta * c(i, j);
+    return;
+  }
+
+  if (transa == Trans::No && transb == Trans::No) {
+    gemm_nn(alpha, a, b, beta, c);
+    return;
+  }
+  if (transa == Trans::Yes && transb == Trans::No) {
+    // C = alpha A^T B + beta C: dot-product kernel, columns of A and B are
+    // both contiguous so no packing is needed.
+#pragma omp parallel for schedule(static) if (n > 64 && m > 64)
+    for (index_t j = 0; j < n; ++j) {
+      const T* bj = &b(0, j);
+      for (index_t i = 0; i < m; ++i) {
+        const T* ai = &a(0, i);
+        T s{};
+        for (index_t l = 0; l < ka; ++l) s += ai[l] * bj[l];
+        c(i, j) = alpha * s + ((beta == T{}) ? T{} : beta * c(i, j));
+      }
+    }
+    return;
+  }
+  // Remaining cases transpose B: pack op(B) once and run the NN kernel.
+  Matrix<T> bp = pack_op(transb, b);
+  if (transa == Trans::No) {
+    gemm_nn<T>(alpha, a, bp.view(), beta, c);
+  } else {
+    Matrix<T> ap = pack_op(transa, a);
+    gemm_nn<T>(alpha, ap.view(), bp.view(), beta, c);
+  }
+}
+
+template <typename T>
+void symm(Side side, Uplo uplo, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+          MatrixView<T> c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t na = (side == Side::Left) ? m : n;
+  TCEVD_CHECK(a.rows() == na && a.cols() == na, "symm symmetric factor must be square");
+  if (side == Side::Left) {
+    TCEVD_CHECK(b.rows() == m && b.cols() == n, "symm shape mismatch");
+  } else {
+    TCEVD_CHECK(b.rows() == m && b.cols() == n, "symm shape mismatch");
+  }
+  FlopCounter::instance().add(gemm_flops(m, n, na));
+
+  // Element of the symmetric A from its stored triangle.
+  auto ae = [&](index_t i, index_t j) {
+    if (uplo == Uplo::Lower) return (i >= j) ? a(i, j) : a(j, i);
+    return (i <= j) ? a(i, j) : a(j, i);
+  };
+
+  if (side == Side::Left) {
+    // C(:, j) = alpha * A * B(:, j) + beta * C(:, j), column-wise symv-like.
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        T s{};
+        for (index_t l = 0; l < m; ++l) s += ae(i, l) * b(l, j);
+        c(i, j) = alpha * s + ((beta == T{}) ? T{} : beta * c(i, j));
+      }
+    }
+  } else {
+    // C = alpha * B * A + beta * C.
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        T s{};
+        for (index_t l = 0; l < n; ++l) s += b(i, l) * ae(l, j);
+        c(i, j) = alpha * s + ((beta == T{}) ? T{} : beta * c(i, j));
+      }
+    }
+  }
+}
+
+template <typename T>
+void syrk(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, T beta, MatrixView<T> c) {
+  const index_t n = c.rows();
+  const index_t k = (trans == Trans::No) ? a.cols() : a.rows();
+  TCEVD_CHECK(c.cols() == n, "syrk requires square C");
+  TCEVD_CHECK(((trans == Trans::No) ? a.rows() : a.cols()) == n, "syrk shape mismatch");
+  FlopCounter::instance().add(gemm_flops(n, n, k) / 2);
+
+  auto elem = [&](index_t i, index_t l) { return trans == Trans::No ? a(i, l) : a(l, i); };
+  if (uplo == Uplo::Lower) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = j; i < n; ++i) c(i, j) = (beta == T{}) ? T{} : beta * c(i, j);
+      for (index_t l = 0; l < k; ++l) {
+        const T t = alpha * elem(j, l);
+        if (t == T{}) continue;
+        for (index_t i = j; i < n; ++i) c(i, j) += t * elem(i, l);
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i <= j; ++i) c(i, j) = (beta == T{}) ? T{} : beta * c(i, j);
+      for (index_t l = 0; l < k; ++l) {
+        const T t = alpha * elem(j, l);
+        if (t == T{}) continue;
+        for (index_t i = 0; i <= j; ++i) c(i, j) += t * elem(i, l);
+      }
+    }
+  }
+}
+
+template <typename T>
+void syr2k(Uplo uplo, Trans trans, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+           MatrixView<T> c) {
+  const index_t n = c.rows();
+  const index_t k = (trans == Trans::No) ? a.cols() : a.rows();
+  TCEVD_CHECK(c.cols() == n, "syr2k requires square C");
+  FlopCounter::instance().add(gemm_flops(n, n, k));
+
+  auto ae = [&](index_t i, index_t l) { return trans == Trans::No ? a(i, l) : a(l, i); };
+  auto be = [&](index_t i, index_t l) { return trans == Trans::No ? b(i, l) : b(l, i); };
+  if (uplo == Uplo::Lower) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = j; i < n; ++i) c(i, j) = (beta == T{}) ? T{} : beta * c(i, j);
+      for (index_t l = 0; l < k; ++l) {
+        const T ta = alpha * be(j, l);
+        const T tb = alpha * ae(j, l);
+        if (ta == T{} && tb == T{}) continue;
+        for (index_t i = j; i < n; ++i) c(i, j) += ae(i, l) * ta + be(i, l) * tb;
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i <= j; ++i) c(i, j) = (beta == T{}) ? T{} : beta * c(i, j);
+      for (index_t l = 0; l < k; ++l) {
+        const T ta = alpha * be(j, l);
+        const T tb = alpha * ae(j, l);
+        if (ta == T{} && tb == T{}) continue;
+        for (index_t i = 0; i <= j; ++i) c(i, j) += ae(i, l) * ta + be(i, l) * tb;
+      }
+    }
+  }
+}
+
+template <typename T>
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
+          MatrixView<T> b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  const index_t na = (side == Side::Left) ? m : n;
+  TCEVD_CHECK(a.rows() == na && a.cols() == na, "trmm triangular factor shape mismatch");
+  FlopCounter::instance().add(gemm_flops(m, n, na) / 2);
+  const bool unit = diag == Diag::Unit;
+  const bool lower = op_is_lower(uplo, trans);
+
+  if (side == Side::Left) {
+    // B(:,j) = alpha * op(A) * B(:,j), in place per column.
+    for (index_t j = 0; j < n; ++j) {
+      if (lower) {
+        for (index_t i = m - 1; i >= 0; --i) {
+          T s = unit ? b(i, j) : op_elem(trans, a, i, i) * b(i, j);
+          for (index_t l = 0; l < i; ++l) s += op_elem(trans, a, i, l) * b(l, j);
+          b(i, j) = alpha * s;
+        }
+      } else {
+        for (index_t i = 0; i < m; ++i) {
+          T s = unit ? b(i, j) : op_elem(trans, a, i, i) * b(i, j);
+          for (index_t l = i + 1; l < m; ++l) s += op_elem(trans, a, i, l) * b(l, j);
+          b(i, j) = alpha * s;
+        }
+      }
+    }
+  } else {
+    // B = alpha * B * op(A). Column j of the result mixes columns l of B with
+    // l <= j (op(A) upper) or l >= j (op(A) lower); order the sweep so source
+    // columns are still unmodified when read.
+    if (lower) {
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          T s = unit ? b(i, j) : b(i, j) * op_elem(trans, a, j, j);
+          for (index_t l = j + 1; l < n; ++l) s += b(i, l) * op_elem(trans, a, l, j);
+          b(i, j) = alpha * s;
+        }
+      }
+    } else {
+      for (index_t j = n - 1; j >= 0; --j) {
+        for (index_t i = 0; i < m; ++i) {
+          T s = unit ? b(i, j) : b(i, j) * op_elem(trans, a, j, j);
+          for (index_t l = 0; l < j; ++l) s += b(i, l) * op_elem(trans, a, l, j);
+          b(i, j) = alpha * s;
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstMatrixView<T> a,
+          MatrixView<T> b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  const index_t na = (side == Side::Left) ? m : n;
+  TCEVD_CHECK(a.rows() == na && a.cols() == na, "trsm triangular factor shape mismatch");
+  FlopCounter::instance().add(gemm_flops(m, n, na) / 2);
+  const bool unit = diag == Diag::Unit;
+  const bool lower = op_is_lower(uplo, trans);
+
+  if (alpha != T{1}) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) b(i, j) *= alpha;
+  }
+
+  if (side == Side::Left) {
+    // Solve op(A) X = B column by column (forward for lower, backward for upper).
+    for (index_t j = 0; j < n; ++j) {
+      if (lower) {
+        for (index_t i = 0; i < m; ++i) {
+          T s = b(i, j);
+          for (index_t l = 0; l < i; ++l) s -= op_elem(trans, a, i, l) * b(l, j);
+          b(i, j) = unit ? s : s / op_elem(trans, a, i, i);
+        }
+      } else {
+        for (index_t i = m - 1; i >= 0; --i) {
+          T s = b(i, j);
+          for (index_t l = i + 1; l < m; ++l) s -= op_elem(trans, a, i, l) * b(l, j);
+          b(i, j) = unit ? s : s / op_elem(trans, a, i, i);
+        }
+      }
+    }
+  } else {
+    // Solve X op(A) = B: column j of X needs previously solved columns l with
+    // op(A)(l,j) != 0.
+    if (lower) {
+      for (index_t j = n - 1; j >= 0; --j) {
+        for (index_t l = j + 1; l < n; ++l) {
+          const T t = op_elem(trans, a, l, j);
+          if (t == T{}) continue;
+          for (index_t i = 0; i < m; ++i) b(i, j) -= t * b(i, l);
+        }
+        if (!unit) {
+          const T d = op_elem(trans, a, j, j);
+          for (index_t i = 0; i < m; ++i) b(i, j) /= d;
+        }
+      }
+    } else {
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t l = 0; l < j; ++l) {
+          const T t = op_elem(trans, a, l, j);
+          if (t == T{}) continue;
+          for (index_t i = 0; i < m; ++i) b(i, j) -= t * b(i, l);
+        }
+        if (!unit) {
+          const T d = op_elem(trans, a, j, j);
+          for (index_t i = 0; i < m; ++i) b(i, j) /= d;
+        }
+      }
+    }
+  }
+}
+
+#define TCEVD_L3_INST(T)                                                                     \
+  template void gemm<T>(Trans, Trans, T, ConstMatrixView<T>, ConstMatrixView<T>, T,          \
+                        MatrixView<T>);                                                      \
+  template void symm<T>(Side, Uplo, T, ConstMatrixView<T>, ConstMatrixView<T>, T,            \
+                        MatrixView<T>);                                                      \
+  template void syrk<T>(Uplo, Trans, T, ConstMatrixView<T>, T, MatrixView<T>);               \
+  template void syr2k<T>(Uplo, Trans, T, ConstMatrixView<T>, ConstMatrixView<T>, T,          \
+                         MatrixView<T>);                                                     \
+  template void trmm<T>(Side, Uplo, Trans, Diag, T, ConstMatrixView<T>, MatrixView<T>);      \
+  template void trsm<T>(Side, Uplo, Trans, Diag, T, ConstMatrixView<T>, MatrixView<T>);
+
+TCEVD_L3_INST(float)
+TCEVD_L3_INST(double)
+#undef TCEVD_L3_INST
+
+}  // namespace tcevd::blas

@@ -1,0 +1,30 @@
+// Lightweight contract checks (C++ Core Guidelines I.6/I.8 style).
+//
+// TCEVD_CHECK is always on (argument validation on public API boundaries);
+// TCEVD_ASSERT compiles away in release builds (internal invariants on hot
+// paths).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcevd {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "tcevd: check `%s` failed at %s:%d: %s\n", expr, file, line, msg);
+  std::abort();
+}
+
+}  // namespace tcevd
+
+#define TCEVD_CHECK(expr, msg)                              \
+  do {                                                      \
+    if (!(expr)) ::tcevd::check_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TCEVD_ASSERT(expr, msg) ((void)0)
+#else
+#define TCEVD_ASSERT(expr, msg) TCEVD_CHECK(expr, msg)
+#endif

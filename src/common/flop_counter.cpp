@@ -1,0 +1,10 @@
+#include "src/common/flop_counter.hpp"
+
+namespace tcevd {
+
+FlopCounter& FlopCounter::instance() noexcept {
+  static FlopCounter counter;
+  return counter;
+}
+
+}  // namespace tcevd

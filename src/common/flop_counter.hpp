@@ -1,0 +1,61 @@
+// Global floating-point-operation accounting.
+//
+// The paper's Table 2 compares the *actual arithmetic operation counts* of
+// ZY-based vs WY-based SBR. Every level-3 kernel in src/blas and
+// src/tensorcore reports its flops here; benches snapshot/reset around the
+// region of interest. Counting is optional (enabled around instrumented
+// regions) and costs one relaxed atomic add per kernel call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tcevd {
+
+class FlopCounter {
+ public:
+  static FlopCounter& instance() noexcept;
+
+  void enable(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+
+  void add(std::uint64_t flops) noexcept {
+    if (enabled()) total_.fetch_add(flops, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept { return total_.load(std::memory_order_relaxed); }
+  void reset() noexcept { total_.store(0, std::memory_order_relaxed); }
+
+ private:
+  FlopCounter() = default;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> total_{0};
+};
+
+/// RAII scope: enables counting, resets on entry, exposes the delta.
+class FlopScope {
+ public:
+  FlopScope() noexcept {
+    auto& c = FlopCounter::instance();
+    was_enabled_ = c.enabled();
+    start_ = c.total();
+    c.enable(true);
+  }
+  ~FlopScope() { FlopCounter::instance().enable(was_enabled_); }
+  FlopScope(const FlopScope&) = delete;
+  FlopScope& operator=(const FlopScope&) = delete;
+
+  std::uint64_t flops() const noexcept { return FlopCounter::instance().total() - start_; }
+
+ private:
+  std::uint64_t start_ = 0;
+  bool was_enabled_ = false;
+};
+
+/// 2*m*n*k flops of a GEMM contribution.
+inline std::uint64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k) noexcept {
+  return 2ull * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+         static_cast<std::uint64_t>(k);
+}
+
+}  // namespace tcevd

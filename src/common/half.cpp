@@ -1,0 +1,88 @@
+#include "src/common/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace tcevd {
+
+namespace {
+
+inline std::uint32_t f32_bits(float f) noexcept { return std::bit_cast<std::uint32_t>(f); }
+inline float bits_f32(std::uint32_t u) noexcept { return std::bit_cast<float>(u); }
+
+}  // namespace
+
+std::uint16_t float_to_half_bits(float f) noexcept {
+  const std::uint32_t x = f32_bits(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf / NaN. Keep a quiet-NaN payload bit so NaN stays NaN.
+    if (abs > 0x7f800000u) return static_cast<std::uint16_t>(sign | 0x7e00u);
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs >= 0x477ff000u) {
+    // Rounds to a value >= 2^16: overflow to infinity. (0x477ff000 is the
+    // smallest fp32 whose RNE to fp16 is inf: 65520.)
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal fp16 (or zero): |f| < 2^-14. Align mantissa to a fixed-point
+    // representation with the implicit bit made explicit, then RNE-shift.
+    if (abs < 0x33000000u) return static_cast<std::uint16_t>(sign);  // < 2^-25: rounds to 0
+    const std::uint32_t exp32 = abs >> 23;
+    const std::uint32_t shift = 126u - exp32;  // 14..24 inclusive
+    std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+    const std::uint32_t lsb = 1u << shift;
+    const std::uint32_t round = (lsb >> 1);
+    const std::uint32_t sticky_mask = round - 1u;
+    std::uint32_t result = mant >> shift;
+    if ((mant & round) && ((mant & sticky_mask) || (result & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+  // Normal range: rebias exponent (127 -> 15) and RNE the low 13 mantissa bits.
+  std::uint32_t h = (abs >> 13) - (112u << 10);
+  const std::uint32_t rem = abs & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+float half_bits_to_float(std::uint16_t hb) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(hb) & 0x8000u) << 16;
+  const std::uint32_t exp = (hb >> 10) & 0x1fu;
+  const std::uint32_t mant = hb & 0x3ffu;
+
+  if (exp == 0) {
+    if (mant == 0) return bits_f32(sign);  // +-0
+    // Subnormal: value = mant * 2^-24. Normalize.
+    int shift = 0;
+    std::uint32_t m = mant;
+    while ((m & 0x400u) == 0) {
+      m <<= 1;
+      ++shift;
+    }
+    m &= 0x3ffu;
+    // value = 1.f * 2^(-14 - shift) once the leading bit is normalized.
+    const std::uint32_t e32 = 127u - 14u - static_cast<std::uint32_t>(shift);
+    return bits_f32(sign | (e32 << 23) | (m << 13));
+  }
+  if (exp == 0x1fu) {
+    if (mant == 0) return bits_f32(sign | 0x7f800000u);  // inf
+    return bits_f32(sign | 0x7f800000u | (mant << 13) | 0x00400000u);  // NaN
+  }
+  const std::uint32_t e32 = exp + (127u - 15u);
+  return bits_f32(sign | (e32 << 23) | (mant << 13));
+}
+
+float round_to_tf32(float f) noexcept {
+  std::uint32_t x = f32_bits(f);
+  if ((x & 0x7f800000u) == 0x7f800000u) return f;  // inf/NaN pass through
+  // RNE to a 10-bit mantissa: round bit is bit 12, sticky bits 0..11.
+  const std::uint32_t rem = x & 0x1fffu;
+  x &= ~0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (x & 0x2000u))) x += 0x2000u;
+  return bits_f32(x);
+}
+
+}  // namespace tcevd

@@ -1,0 +1,28 @@
+#include "src/common/matrix.hpp"
+
+namespace tcevd {
+
+template <typename T>
+void symmetrize_from_lower(MatrixView<T> a) {
+  TCEVD_CHECK(a.rows() == a.cols(), "symmetrize requires a square matrix");
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = j + 1; i < a.rows(); ++i) a(j, i) = a(i, j);
+}
+
+template <typename T>
+void make_symmetric(MatrixView<T> a) {
+  TCEVD_CHECK(a.rows() == a.cols(), "make_symmetric requires a square matrix");
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = j + 1; i < a.rows(); ++i) {
+      const T v = (a(i, j) + a(j, i)) / T{2};
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+}
+
+template void symmetrize_from_lower<float>(MatrixView<float>);
+template void symmetrize_from_lower<double>(MatrixView<double>);
+template void make_symmetric<float>(MatrixView<float>);
+template void make_symmetric<double>(MatrixView<double>);
+
+}  // namespace tcevd

@@ -1,0 +1,109 @@
+#include "src/common/norms.hpp"
+
+#include <cmath>
+
+namespace tcevd {
+
+template <typename T>
+double frobenius_norm(ConstMatrixView<T> a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double v = static_cast<double>(a(i, j));
+      s += v * v;
+    }
+  return std::sqrt(s);
+}
+
+template <typename T>
+double max_abs(ConstMatrixView<T> a) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      m = std::max(m, std::abs(static_cast<double>(a(i, j))));
+  return m;
+}
+
+template <typename T>
+double frobenius_diff(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  TCEVD_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "norm diff shape mismatch");
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double v = static_cast<double>(a(i, j)) - static_cast<double>(b(i, j));
+      s += v * v;
+    }
+  return std::sqrt(s);
+}
+
+template <typename T>
+double orthogonality_residual(ConstMatrixView<T> q) {
+  // ||I - Q^T Q||_F computed column-pair-wise in double without forming Q^T Q.
+  const index_t n = q.cols();
+  double s = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      double dot = 0.0;
+      for (index_t k = 0; k < q.rows(); ++k)
+        dot += static_cast<double>(q(k, i)) * static_cast<double>(q(k, j));
+      const double target = (i == j) ? 1.0 : 0.0;
+      const double d = target - dot;
+      s += (i == j) ? d * d : 2.0 * d * d;  // symmetric off-diagonal counted twice
+    }
+  }
+  return std::sqrt(s);
+}
+
+double backward_error(ConstMatrixView<double> a, ConstMatrixView<double> q,
+                      ConstMatrixView<double> b) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n && q.rows() == n && q.cols() == n && b.rows() == n && b.cols() == n,
+              "backward_error expects square same-size matrices");
+  // R = A - Q B Q^T, accumulated in double. Form T1 = Q B, then R = A - T1 Q^T.
+  Matrix<double> t1(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k < n; ++k) s += q(i, k) * b(k, j);
+      t1(i, j) = s;
+    }
+  double num = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k < n; ++k) s += t1(i, k) * q(j, k);
+      const double d = a(i, j) - s;
+      num += d * d;
+    }
+  const double denom = static_cast<double>(n) * frobenius_norm(a);
+  return std::sqrt(num) / denom;
+}
+
+template <typename T>
+double orthogonality_error(ConstMatrixView<T> q) {
+  return orthogonality_residual(q) / static_cast<double>(q.rows());
+}
+
+double eigenvalue_error(const double* d_ref, const double* d, index_t n) {
+  double num = 0.0;
+  double denom = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double diff = d_ref[i] - d[i];
+    num += diff * diff;
+    denom += d_ref[i] * d_ref[i];
+  }
+  return std::sqrt(num) / (static_cast<double>(n) * std::sqrt(denom));
+}
+
+template double frobenius_norm<float>(ConstMatrixView<float>);
+template double frobenius_norm<double>(ConstMatrixView<double>);
+template double max_abs<float>(ConstMatrixView<float>);
+template double max_abs<double>(ConstMatrixView<double>);
+template double frobenius_diff<float>(ConstMatrixView<float>, ConstMatrixView<float>);
+template double frobenius_diff<double>(ConstMatrixView<double>, ConstMatrixView<double>);
+template double orthogonality_residual<float>(ConstMatrixView<float>);
+template double orthogonality_residual<double>(ConstMatrixView<double>);
+template double orthogonality_error<float>(ConstMatrixView<float>);
+template double orthogonality_error<double>(ConstMatrixView<double>);
+
+}  // namespace tcevd

@@ -1,0 +1,51 @@
+// Matrix norms and the paper's error metrics (Section 6.3 / 6.4.2).
+//
+// All reductions accumulate in double regardless of the element type, so a
+// measured fp16/fp32 error is not polluted by the measurement itself.
+#pragma once
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd {
+
+/// Frobenius norm, accumulated in double.
+template <typename T>
+double frobenius_norm(ConstMatrixView<T> a);
+
+/// Max-abs entry.
+template <typename T>
+double max_abs(ConstMatrixView<T> a);
+
+/// ||a - b||_F with shapes checked.
+template <typename T>
+double frobenius_diff(ConstMatrixView<T> a, ConstMatrixView<T> b);
+
+/// ||I - Q^T Q||_F — departure from orthonormal columns.
+template <typename T>
+double orthogonality_residual(ConstMatrixView<T> q);
+
+/// Paper Eq. (6.3): E_b = ||A - Q B Q^T||_F / (N ||A||_F).
+/// All three operands given explicitly; computed in double.
+double backward_error(ConstMatrixView<double> a, ConstMatrixView<double> q,
+                      ConstMatrixView<double> b);
+
+/// Paper Eq. (6.3): E_o = ||I - Q^T Q||_F / N.
+template <typename T>
+double orthogonality_error(ConstMatrixView<T> q);
+
+/// Paper Eq. (6.4.2): E_s = ||d_ref - d||_2 / (N ||d_ref||_2) over sorted
+/// eigenvalue vectors of length N.
+double eigenvalue_error(const double* d_ref, const double* d, index_t n);
+
+extern template double frobenius_norm<float>(ConstMatrixView<float>);
+extern template double frobenius_norm<double>(ConstMatrixView<double>);
+extern template double max_abs<float>(ConstMatrixView<float>);
+extern template double max_abs<double>(ConstMatrixView<double>);
+extern template double frobenius_diff<float>(ConstMatrixView<float>, ConstMatrixView<float>);
+extern template double frobenius_diff<double>(ConstMatrixView<double>, ConstMatrixView<double>);
+extern template double orthogonality_residual<float>(ConstMatrixView<float>);
+extern template double orthogonality_residual<double>(ConstMatrixView<double>);
+extern template double orthogonality_error<float>(ConstMatrixView<float>);
+extern template double orthogonality_error<double>(ConstMatrixView<double>);
+
+}  // namespace tcevd

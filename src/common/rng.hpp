@@ -1,0 +1,50 @@
+// Deterministic pseudo-random generation (xoshiro256++) for reproducible
+// test matrices. Not cryptographic; chosen for speed and statistical quality.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd {
+
+/// xoshiro256++ generator with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double normal() noexcept;
+
+  /// Uniform integer in [0, n).
+  std::uint64_t bounded(std::uint64_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+/// Fill with iid standard normal entries.
+template <typename T>
+void fill_normal(Rng& rng, MatrixView<T> a) {
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) a(i, j) = static_cast<T>(rng.normal());
+}
+
+/// Fill with iid uniform entries in [lo, hi).
+template <typename T>
+void fill_uniform(Rng& rng, MatrixView<T> a, double lo = -1.0, double hi = 1.0) {
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) a(i, j) = static_cast<T>(rng.uniform(lo, hi));
+}
+
+}  // namespace tcevd

@@ -1,0 +1,140 @@
+#include "src/evd/evd.hpp"
+
+#include <cmath>
+
+#include "src/blas/blas.hpp"
+#include "src/bulge/bulge_chasing.hpp"
+#include "src/common/norms.hpp"
+#include "src/common/timer.hpp"
+#include "src/lapack/sytrd.hpp"
+#include "src/lapack/tridiag.hpp"
+#include "src/sbr/band.hpp"
+#include "src/sbr/band_storage.hpp"
+
+namespace tcevd::evd {
+
+namespace {
+
+using blas::Trans;
+
+bool run_tri_solver(TriSolver solver, std::vector<float>& d, std::vector<float>& e,
+                    MatrixView<float>* z) {
+  switch (solver) {
+    case TriSolver::Ql:
+      return lapack::steqr<float>(d, e, z);
+    case TriSolver::DivideConquer:
+      return lapack::stedc<float>(d, e, z);
+    case TriSolver::Bisection: {
+      TCEVD_CHECK(z == nullptr, "bisection solver computes eigenvalues only");
+      const index_t n = static_cast<index_t>(d.size());
+      auto eigs = lapack::stebz<float>(d, e, 0, n - 1);
+      std::copy(eigs.begin(), eigs.end(), d.begin());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+EvdResult solve(ConstMatrixView<float> a, tc::GemmEngine& engine, const EvdOptions& opt) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n, "evd::solve requires a square symmetric matrix");
+  TCEVD_CHECK(!(opt.vectors && opt.solver == TriSolver::Bisection),
+              "bisection computes eigenvalues only");
+
+  EvdResult result;
+  Timer total;
+
+  std::vector<float> d, e;
+  Matrix<float> q;  // accumulated orthogonal factor (vectors only)
+
+  if (opt.reduction == Reduction::OneStage) {
+    Timer t;
+    Matrix<float> work(n, n);
+    copy_matrix(a, work.view());
+    std::vector<float> tau;
+    lapack::sytrd_blocked(work.view(), d, e, tau, std::min<index_t>(opt.bandwidth, n));
+    if (opt.vectors) {
+      q = Matrix<float>(n, n);
+      lapack::orgtr<float>(work.view(), tau, q.view());
+    }
+    result.timings.reduction_s = t.seconds();
+  } else {
+    sbr::SbrOptions sopt;
+    sopt.bandwidth = std::min(opt.bandwidth, n - 1);
+    sopt.big_block = std::max(opt.big_block, sopt.bandwidth);
+    // Keep nb a multiple of b as sbr_wy requires.
+    sopt.big_block -= sopt.big_block % sopt.bandwidth;
+    sopt.panel = opt.panel;
+    sopt.accumulate_q = opt.vectors;
+
+    Timer t;
+    auto sres = (opt.reduction == Reduction::TwoStageWy) ? sbr::sbr_wy(a, engine, sopt)
+                                                         : sbr::sbr_zy(a, engine, sopt);
+    result.timings.reduction_s = t.seconds();
+
+    t.reset();
+    if (opt.compact_second_stage && !opt.vectors) {
+      auto band = sbr::BandMatrix<float>::from_full(
+          ConstMatrixView<float>(sres.band.view()), sopt.bandwidth);
+      sbr::bulge_chase_band(band, d, e);
+    } else {
+      MatrixView<float> qv = sres.q.view();
+      MatrixView<float>* qp = opt.vectors ? &qv : nullptr;
+      auto tri = bulge::bulge_chase<float>(sres.band.view(), sopt.bandwidth, qp);
+      d = std::move(tri.d);
+      e = std::move(tri.e);
+    }
+    result.timings.bulge_s = t.seconds();
+    if (opt.vectors) q = std::move(sres.q);
+  }
+
+  Timer ts;
+  MatrixView<float> zv = q.view();
+  MatrixView<float>* zp = opt.vectors ? &zv : nullptr;
+  result.converged = run_tri_solver(opt.solver, d, e, zp);
+  result.timings.solver_s = ts.seconds();
+
+  result.eigenvalues = std::move(d);
+  if (opt.vectors) result.vectors = std::move(q);
+  result.timings.total_s = total.seconds();
+  return result;
+}
+
+std::vector<double> reference_eigenvalues(ConstMatrixView<double> a) {
+  const index_t n = a.rows();
+  Matrix<double> work(n, n);
+  copy_matrix(a, work.view());
+  std::vector<double> d, e, tau;
+  lapack::sytrd(work.view(), d, e, tau);
+  const bool ok = lapack::steqr<double>(d, e, nullptr);
+  TCEVD_CHECK(ok, "reference eigensolver failed to converge");
+  return d;
+}
+
+double eigenpair_residual(ConstMatrixView<float> a, const std::vector<float>& lambda,
+                          ConstMatrixView<float> v) {
+  const index_t n = a.rows();
+  const index_t nev = v.cols();
+  TCEVD_CHECK(static_cast<index_t>(lambda.size()) == nev && v.rows() == n,
+              "eigenpair_residual: lambda/vector count mismatch");
+  Matrix<double> ad(n, n), vd(n, nev);
+  convert_matrix<float, double>(a, ad.view());
+  convert_matrix<float, double>(v, vd.view());
+  Matrix<double> av(n, nev);
+  blas::gemm(Trans::No, Trans::No, 1.0, ad.view(), vd.view(), 0.0, av.view());
+  const double scale = frobenius_norm<double>(ad.view());
+  double worst = 0.0;
+  for (index_t j = 0; j < nev; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double r = av(i, j) - static_cast<double>(lambda[static_cast<std::size_t>(j)]) * vd(i, j);
+      s += r * r;
+    }
+    worst = std::max(worst, std::sqrt(s));
+  }
+  return worst / scale;
+}
+
+}  // namespace tcevd::evd

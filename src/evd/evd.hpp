@@ -1,0 +1,70 @@
+// Symmetric eigenvalue decomposition drivers (paper Section 6.4).
+//
+// The two-stage pipeline is: SBR (dense -> band, Tensor Core GEMMs) ->
+// bulge chasing (band -> tridiagonal) -> tridiagonal eigensolver (QL or
+// divide & conquer), with an optional eigenvector back-transformation
+// through the accumulated orthogonal factors. The one-stage pipeline
+// (classic Householder tridiagonalization) is kept as the conventional
+// baseline the two-stage method is measured against.
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+#include "src/sbr/sbr.hpp"
+#include "src/tensorcore/engine.hpp"
+
+namespace tcevd::evd {
+
+enum class Reduction {
+  TwoStageWy,  ///< WY-based SBR (the paper's method) + bulge chasing
+  TwoStageZy,  ///< ZY-based SBR (MAGMA-style baseline) + bulge chasing
+  OneStage,    ///< direct Householder tridiagonalization (sytrd)
+};
+
+enum class TriSolver {
+  Ql,             ///< implicit QL/QR with Wilkinson shifts (steqr)
+  DivideConquer,  ///< Cuppen D&C (stedc) — what MAGMA's ssyevd uses
+  Bisection,      ///< Sturm bisection (eigenvalues only)
+};
+
+struct EvdOptions {
+  Reduction reduction = Reduction::TwoStageWy;
+  TriSolver solver = TriSolver::DivideConquer;
+  index_t bandwidth = 32;                       ///< SBR band half-width b
+  index_t big_block = 128;                      ///< WY big block nb
+  sbr::PanelKind panel = sbr::PanelKind::Tsqr;
+  bool vectors = false;                         ///< compute eigenvectors
+  /// Run bulge chasing on compact O(n*b) band storage instead of the full
+  /// matrix (eigenvalues-only pipelines; ignored when vectors are requested
+  /// since the rotations must also stream into Q).
+  bool compact_second_stage = false;
+};
+
+struct EvdTimings {
+  double reduction_s = 0.0;  ///< SBR or sytrd
+  double bulge_s = 0.0;      ///< bulge chasing (two-stage only)
+  double solver_s = 0.0;     ///< tridiagonal eigensolver
+  double total_s = 0.0;
+};
+
+struct EvdResult {
+  std::vector<float> eigenvalues;  ///< ascending
+  Matrix<float> vectors;           ///< n x n (empty unless requested)
+  EvdTimings timings;
+  bool converged = false;
+};
+
+/// Full single-precision EVD with the engine supplying every SBR GEMM.
+EvdResult solve(ConstMatrixView<float> a, tc::GemmEngine& engine, const EvdOptions& opt);
+
+/// Double-precision reference eigenvalues (one-stage sytrd + QL), the stand-
+/// in for "LAPACK dsyevd" ground truth in the accuracy tables.
+std::vector<double> reference_eigenvalues(ConstMatrixView<double> a);
+
+/// Residual metrics for a computed eigensystem: max_j ||A v_j - lambda_j
+/// v_j||_2 / ||A||_F, computed in double.
+double eigenpair_residual(ConstMatrixView<float> a, const std::vector<float>& lambda,
+                          ConstMatrixView<float> v);
+
+}  // namespace tcevd::evd

@@ -1,0 +1,63 @@
+#include "src/evd/partial.hpp"
+
+#include "src/blas/blas.hpp"
+#include "src/bulge/bulge_chasing.hpp"
+#include "src/lapack/stein.hpp"
+#include "src/lapack/sytrd.hpp"
+#include "src/lapack/tridiag.hpp"
+
+namespace tcevd::evd {
+
+PartialResult solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                             const EvdOptions& opt, index_t il, index_t iu, bool vectors) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n, "solve_selected requires a square symmetric matrix");
+  TCEVD_CHECK(0 <= il && il <= iu && iu < n, "selected index range invalid");
+
+  PartialResult out;
+  std::vector<float> d, e;
+  Matrix<float> q;  // accumulated orthogonal factor (only when vectors)
+
+  if (opt.reduction == Reduction::OneStage) {
+    Matrix<float> work(n, n);
+    copy_matrix(a, work.view());
+    std::vector<float> tau;
+    lapack::sytrd(work.view(), d, e, tau);
+    if (vectors) {
+      q = Matrix<float>(n, n);
+      lapack::orgtr<float>(work.view(), tau, q.view());
+    }
+  } else {
+    sbr::SbrOptions sopt;
+    sopt.bandwidth = std::min(opt.bandwidth, n - 1);
+    sopt.big_block = std::max(opt.big_block, sopt.bandwidth);
+    sopt.big_block -= sopt.big_block % sopt.bandwidth;
+    sopt.panel = opt.panel;
+    sopt.accumulate_q = vectors;
+    auto sres = (opt.reduction == Reduction::TwoStageWy) ? sbr::sbr_wy(a, engine, sopt)
+                                                         : sbr::sbr_zy(a, engine, sopt);
+    MatrixView<float> qv = sres.q.view();
+    MatrixView<float>* qp = vectors ? &qv : nullptr;
+    auto tri = bulge::bulge_chase<float>(sres.band.view(), sopt.bandwidth, qp);
+    d = std::move(tri.d);
+    e = std::move(tri.e);
+    if (vectors) q = std::move(sres.q);
+  }
+
+  // Selected eigenvalues by Sturm bisection.
+  out.eigenvalues = lapack::stebz<float>(d, e, il, iu);
+  const index_t nev = iu - il + 1;
+  out.converged = true;
+
+  if (vectors) {
+    // Tridiagonal eigenvectors by inverse iteration, then back-transform.
+    Matrix<float> z(n, nev);
+    out.converged = lapack::stein<float>(d, e, out.eigenvalues, z.view());
+    out.vectors = Matrix<float>(n, nev);
+    blas::gemm(blas::Trans::No, blas::Trans::No, 1.0f, ConstMatrixView<float>(q.view()),
+               ConstMatrixView<float>(z.view()), 0.0f, out.vectors.view());
+  }
+  return out;
+}
+
+}  // namespace tcevd::evd

@@ -1,0 +1,32 @@
+// Partial (selected) eigensolve: eigenvalues with indices [il, iu] and,
+// optionally, their eigenvectors — the "portion of the eigenvalues and
+// eigenvectors requested" workload the paper discusses around the SICE
+// algorithm and the bisection method of its related work.
+//
+// Pipeline: SBR (engine numerics) -> bulge chasing -> Sturm bisection for
+// the selected eigenvalues -> inverse iteration (stein) for the tridiagonal
+// eigenvectors -> back-transformation through the accumulated two-stage Q.
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+#include "src/evd/evd.hpp"
+
+namespace tcevd::evd {
+
+struct PartialResult {
+  std::vector<float> eigenvalues;  ///< iu - il + 1 values, ascending
+  Matrix<float> vectors;           ///< n x nev (empty unless requested)
+  bool converged = false;
+};
+
+/// Compute eigenvalues il..iu (0-based, inclusive, ascending order) of
+/// symmetric `a`, optionally with eigenvectors. Uses opt.reduction /
+/// bandwidth / big_block / panel; opt.solver is ignored (bisection+stein by
+/// construction).
+PartialResult solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                             const EvdOptions& opt, index_t il, index_t iu,
+                             bool vectors = false);
+
+}  // namespace tcevd::evd

@@ -1,0 +1,235 @@
+#include "src/lapack/bidiag.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "src/lapack/householder.hpp"
+
+namespace tcevd::lapack {
+
+template <typename T>
+void gebrd(MatrixView<T> a, std::vector<T>& d, std::vector<T>& e, std::vector<T>& tauq,
+           std::vector<T>& taup) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  TCEVD_CHECK(m >= n, "gebrd requires m >= n");
+  d.assign(static_cast<std::size_t>(n), T{});
+  e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
+  tauq.assign(static_cast<std::size_t>(n), T{});
+  taup.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
+  std::vector<T> work(static_cast<std::size_t>(std::max(m, n)));
+
+  for (index_t j = 0; j < n; ++j) {
+    // Left reflector: annihilate a(j+1:m, j).
+    T alpha = a(j, j);
+    T* x = (j + 1 < m) ? &a(j + 1, j) : nullptr;
+    tauq[static_cast<std::size_t>(j)] = larfg(m - j, alpha, x, 1);
+    d[static_cast<std::size_t>(j)] = alpha;
+    if (j + 1 < n) {
+      const T saved = a(j, j);
+      a(j, j) = T{1};
+      larf_left(&a(j, j), 1, tauq[static_cast<std::size_t>(j)],
+                a.sub(j, j + 1, m - j, n - j - 1), work.data());
+      a(j, j) = saved;
+    }
+
+    if (j + 1 < n) {
+      // Right reflector: annihilate a(j, j+2:n).
+      T beta = a(j, j + 1);
+      T* xr = (j + 2 < n) ? &a(j, j + 2) : nullptr;
+      taup[static_cast<std::size_t>(j)] = larfg(n - j - 1, beta, xr, a.ld());
+      e[static_cast<std::size_t>(j)] = beta;
+      if (j + 1 < m) {
+        const T saved = a(j, j + 1);
+        a(j, j + 1) = T{1};
+        larf_right(&a(j, j + 1), a.ld(), taup[static_cast<std::size_t>(j)],
+                   a.sub(j + 1, j + 1, m - j - 1, n - j - 1), work.data());
+        a(j, j + 1) = saved;
+      }
+    }
+  }
+}
+
+template <typename T>
+void orgbr_q(ConstMatrixView<T> a, const std::vector<T>& tauq, MatrixView<T> q) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  TCEVD_CHECK(q.rows() == m && q.cols() == n, "orgbr_q shape mismatch");
+  set_identity(q);
+  std::vector<T> work(static_cast<std::size_t>(n));
+  std::vector<T> v(static_cast<std::size_t>(m));
+  for (index_t j = n - 1; j >= 0; --j) {
+    v[0] = T{1};
+    for (index_t i = j + 1; i < m; ++i) v[static_cast<std::size_t>(i - j)] = a(i, j);
+    larf_left(v.data(), 1, tauq[static_cast<std::size_t>(j)], q.sub(j, 0, m - j, n),
+              work.data());
+  }
+}
+
+template <typename T>
+void orgbr_p(ConstMatrixView<T> a, const std::vector<T>& taup, MatrixView<T> p) {
+  const index_t n = a.cols();
+  TCEVD_CHECK(p.rows() == n && p.cols() == n, "orgbr_p shape mismatch");
+  set_identity(p);
+  if (n < 2) return;
+  std::vector<T> work(static_cast<std::size_t>(n));
+  std::vector<T> v(static_cast<std::size_t>(n));
+  // Right reflectors act on rows j+1..n of P (P = H_0 ... H_{n-3} applied to I
+  // on the right-rotation space); apply last-to-first from the left on P^T —
+  // equivalently from the left on P since the reflectors are symmetric.
+  for (index_t j = static_cast<index_t>(taup.size()) - 1; j >= 0; --j) {
+    const index_t len = n - j - 1;
+    v[0] = T{1};
+    for (index_t i = 1; i < len; ++i) v[static_cast<std::size_t>(i)] = a(j, j + 1 + i);
+    larf_left(v.data(), 1, taup[static_cast<std::size_t>(j)], p.sub(j + 1, 0, len, n),
+              work.data());
+  }
+}
+
+template <typename T>
+bool bdsqr(std::vector<T>& d, std::vector<T>& e_in, MatrixView<T>* u, MatrixView<T>* v) {
+  // Implicit-shift QR on the upper bidiagonal (Golub-Kahan sweep with the
+  // Demmel-Kahan style splitting/cancellation), classic svdcmp structure.
+  const index_t n = static_cast<index_t>(d.size());
+  if (n == 0) return true;
+  std::vector<T> e(static_cast<std::size_t>(n), T{});
+  for (index_t i = 0; i + 1 < n; ++i)
+    e[static_cast<std::size_t>(i + 1)] = e_in[static_cast<std::size_t>(i)];  // e[0] unused
+
+  if (u) TCEVD_CHECK(u->cols() == n, "bdsqr U must have n columns");
+  if (v) TCEVD_CHECK(v->rows() == n || v->cols() == n, "bdsqr V shape mismatch");
+
+  auto rotate_cols = [](MatrixView<T>* mat, index_t i1, index_t i2, T c, T s) {
+    if (!mat) return;
+    for (index_t r = 0; r < mat->rows(); ++r) {
+      const T x = (*mat)(r, i1);
+      const T y = (*mat)(r, i2);
+      (*mat)(r, i1) = x * c + y * s;
+      (*mat)(r, i2) = y * c - x * s;
+    }
+  };
+
+  T anorm{};
+  for (index_t i = 0; i < n; ++i)
+    anorm = std::max(anorm, std::abs(d[static_cast<std::size_t>(i)]) +
+                                std::abs(e[static_cast<std::size_t>(i)]));
+  const T eps = std::numeric_limits<T>::epsilon();
+  bool ok = true;
+
+  for (index_t k = n - 1; k >= 0; --k) {
+    for (int its = 0;; ++its) {
+      if (its > 60) {
+        ok = false;
+        break;
+      }
+      bool flag = true;
+      index_t l = k;
+      index_t nm = 0;
+      for (; l >= 1; --l) {
+        nm = l - 1;
+        if (std::abs(e[static_cast<std::size_t>(l)]) <= eps * anorm) {
+          flag = false;
+          break;
+        }
+        if (std::abs(d[static_cast<std::size_t>(nm)]) <= eps * anorm) break;
+      }
+      if (l == 0) flag = false;
+      if (flag) {
+        // d[nm] ~ 0: cancel e[l..k] with left rotations.
+        T c{};
+        T s{1};
+        for (index_t i = l; i <= k; ++i) {
+          const T f = s * e[static_cast<std::size_t>(i)];
+          e[static_cast<std::size_t>(i)] *= c;
+          if (std::abs(f) <= eps * anorm) break;
+          const T g = d[static_cast<std::size_t>(i)];
+          const T h = std::hypot(f, g);
+          d[static_cast<std::size_t>(i)] = h;
+          c = g / h;
+          s = -f / h;
+          rotate_cols(u, nm, i, c, s);
+        }
+      }
+      const T z = d[static_cast<std::size_t>(k)];
+      if (l == k) {
+        if (z < T{}) {
+          d[static_cast<std::size_t>(k)] = -z;
+          if (v)
+            for (index_t r = 0; r < v->rows(); ++r) (*v)(r, k) = -(*v)(r, k);
+        }
+        break;
+      }
+      // Shift from the trailing 2x2 of B^T B.
+      T x = d[static_cast<std::size_t>(l)];
+      nm = k - 1;
+      T y = d[static_cast<std::size_t>(nm)];
+      T g = e[static_cast<std::size_t>(nm)];
+      T h = e[static_cast<std::size_t>(k)];
+      T f = ((y - z) * (y + z) + (g - h) * (g + h)) / (T{2} * h * y);
+      g = std::hypot(f, T{1});
+      f = ((x - z) * (x + z) + h * (y / (f + std::copysign(g, f)) - h)) / x;
+      T c{1};
+      T s{1};
+      for (index_t j = l; j <= nm; ++j) {
+        const index_t i = j + 1;
+        g = e[static_cast<std::size_t>(i)];
+        y = d[static_cast<std::size_t>(i)];
+        h = s * g;
+        g = c * g;
+        T zz = std::hypot(f, h);
+        e[static_cast<std::size_t>(j)] = zz;
+        c = f / zz;
+        s = h / zz;
+        f = x * c + g * s;
+        g = g * c - x * s;
+        h = y * s;
+        y *= c;
+        rotate_cols(v, j, i, c, s);
+        zz = std::hypot(f, h);
+        d[static_cast<std::size_t>(j)] = zz;
+        if (zz != T{}) {
+          const T inv = T{1} / zz;
+          c = f * inv;
+          s = h * inv;
+        }
+        f = c * g + s * y;
+        x = c * y - s * g;
+        rotate_cols(u, j, i, c, s);
+      }
+      e[static_cast<std::size_t>(l)] = T{};
+      e[static_cast<std::size_t>(k)] = f;
+      d[static_cast<std::size_t>(k)] = x;
+    }
+    if (!ok) break;
+  }
+
+  // Sort descending with matching column permutations.
+  for (index_t i = 0; i < n; ++i) {
+    index_t imax = i;
+    for (index_t j = i + 1; j < n; ++j)
+      if (d[static_cast<std::size_t>(j)] > d[static_cast<std::size_t>(imax)]) imax = j;
+    if (imax != i) {
+      std::swap(d[static_cast<std::size_t>(i)], d[static_cast<std::size_t>(imax)]);
+      if (u)
+        for (index_t r = 0; r < u->rows(); ++r) std::swap((*u)(r, i), (*u)(r, imax));
+      if (v)
+        for (index_t r = 0; r < v->rows(); ++r) std::swap((*v)(r, i), (*v)(r, imax));
+    }
+  }
+  e_in.assign(e_in.size(), T{});
+  return ok;
+}
+
+#define TCEVD_BIDIAG_INST(T)                                                          \
+  template void gebrd<T>(MatrixView<T>, std::vector<T>&, std::vector<T>&,             \
+                         std::vector<T>&, std::vector<T>&);                           \
+  template void orgbr_q<T>(ConstMatrixView<T>, const std::vector<T>&, MatrixView<T>); \
+  template void orgbr_p<T>(ConstMatrixView<T>, const std::vector<T>&, MatrixView<T>); \
+  template bool bdsqr<T>(std::vector<T>&, std::vector<T>&, MatrixView<T>*,            \
+                         MatrixView<T>*);
+
+TCEVD_BIDIAG_INST(float)
+TCEVD_BIDIAG_INST(double)
+#undef TCEVD_BIDIAG_INST
+
+}  // namespace tcevd::lapack

@@ -1,0 +1,52 @@
+// Bidiagonalization SVD substrate: gebrd (Householder reduction of a tall
+// matrix to upper bidiagonal form) and bdsqr (implicit-shift QR iteration on
+// the bidiagonal, Golub-Kahan/Demmel-Kahan lineage).
+//
+// Together with the drivers in src/svd this forms the classic high-accuracy
+// SVD pipeline — the dense counterpart of the symmetric two-stage EVD this
+// repository reproduces, and the backbone of the SVD applications the paper
+// motivates (PCA, low-rank approximation).
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd::lapack {
+
+/// Reduce a (m x n, m >= n) to upper bidiagonal form B = Q^T A P.
+/// On exit: d (n) diagonal, e (n-1) superdiagonal; the Householder vectors
+/// of the left reflectors live below the diagonal of `a` (scalars in tauq),
+/// the right reflectors above the superdiagonal (scalars in taup).
+template <typename T>
+void gebrd(MatrixView<T> a, std::vector<T>& d, std::vector<T>& e, std::vector<T>& tauq,
+           std::vector<T>& taup);
+
+/// Form the explicit factors from gebrd output: Q (m x n, left reflectors)
+/// and P (n x n, right reflectors) with B = Q^T A P.
+template <typename T>
+void orgbr_q(ConstMatrixView<T> a, const std::vector<T>& tauq, MatrixView<T> q);
+template <typename T>
+void orgbr_p(ConstMatrixView<T> a, const std::vector<T>& taup, MatrixView<T> p);
+
+/// SVD of an upper bidiagonal matrix: d/e in, singular values out in d
+/// (descending, nonnegative). If u/vt given (m x n and n x n column-rotation
+/// accumulators; pass Q and P from gebrd, or identities), they are updated
+/// so that A = U diag(d) V^T. Returns false if an off-diagonal failed to
+/// deflate within the iteration cap.
+template <typename T>
+bool bdsqr(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* u, MatrixView<T>* v);
+
+#define TCEVD_BIDIAG_EXTERN(T)                                                               \
+  extern template void gebrd<T>(MatrixView<T>, std::vector<T>&, std::vector<T>&,             \
+                                std::vector<T>&, std::vector<T>&);                           \
+  extern template void orgbr_q<T>(ConstMatrixView<T>, const std::vector<T>&, MatrixView<T>); \
+  extern template void orgbr_p<T>(ConstMatrixView<T>, const std::vector<T>&, MatrixView<T>); \
+  extern template bool bdsqr<T>(std::vector<T>&, std::vector<T>&, MatrixView<T>*,            \
+                                MatrixView<T>*);
+
+TCEVD_BIDIAG_EXTERN(float)
+TCEVD_BIDIAG_EXTERN(double)
+#undef TCEVD_BIDIAG_EXTERN
+
+}  // namespace tcevd::lapack

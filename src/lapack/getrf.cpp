@@ -1,0 +1,80 @@
+#include "src/lapack/getrf.hpp"
+
+#include <cmath>
+
+#include "src/blas/blas.hpp"
+
+namespace tcevd::lapack {
+
+template <typename T>
+index_t getrf(MatrixView<T> a, std::vector<index_t>& piv) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min(m, n);
+  piv.assign(static_cast<std::size_t>(k), index_t{0});
+  index_t first_zero = -1;
+
+  for (index_t j = 0; j < k; ++j) {
+    // Pivot: largest |entry| in column j at or below the diagonal.
+    index_t p = j + blas::iamax(m - j, &a(j, j), 1);
+    piv[static_cast<std::size_t>(j)] = p;
+    if (p != j)
+      for (index_t c = 0; c < n; ++c) std::swap(a(j, c), a(p, c));
+
+    const T pivot = a(j, j);
+    if (pivot == T{}) {
+      if (first_zero < 0) first_zero = j;
+      continue;  // singular column: skip elimination, like LAPACK
+    }
+    const T inv = T{1} / pivot;
+    for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
+    for (index_t c = j + 1; c < n; ++c) {
+      const T ujc = a(j, c);
+      if (ujc == T{}) continue;
+      for (index_t i = j + 1; i < m; ++i) a(i, c) -= a(i, j) * ujc;
+    }
+  }
+  return first_zero;
+}
+
+template <typename T>
+void getrs(blas::Trans trans, ConstMatrixView<T> lu, const std::vector<index_t>& piv,
+           MatrixView<T> b) {
+  const index_t n = lu.rows();
+  TCEVD_CHECK(lu.cols() == n && b.rows() == n, "getrs shape mismatch");
+  using blas::Diag;
+  using blas::Side;
+  using blas::Trans;
+  using blas::Uplo;
+
+  if (trans == Trans::No) {
+    // Apply P, then solve L y = Pb, then U x = y.
+    for (index_t j = 0; j < static_cast<index_t>(piv.size()); ++j) {
+      const index_t p = piv[static_cast<std::size_t>(j)];
+      if (p != j)
+        for (index_t c = 0; c < b.cols(); ++c) std::swap(b(j, c), b(p, c));
+    }
+    blas::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T{1}, lu, b);
+    blas::trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, T{1}, lu, b);
+  } else {
+    // A^T x = b: solve U^T y = b, L^T z = y, then x = P^T z.
+    blas::trsm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, T{1}, lu, b);
+    blas::trsm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, T{1}, lu, b);
+    for (index_t j = static_cast<index_t>(piv.size()) - 1; j >= 0; --j) {
+      const index_t p = piv[static_cast<std::size_t>(j)];
+      if (p != j)
+        for (index_t c = 0; c < b.cols(); ++c) std::swap(b(j, c), b(p, c));
+    }
+  }
+}
+
+#define TCEVD_GETRF_INST(T)                                              \
+  template index_t getrf<T>(MatrixView<T>, std::vector<index_t>&);       \
+  template void getrs<T>(blas::Trans, ConstMatrixView<T>,                \
+                         const std::vector<index_t>&, MatrixView<T>);
+
+TCEVD_GETRF_INST(float)
+TCEVD_GETRF_INST(double)
+#undef TCEVD_GETRF_INST
+
+}  // namespace tcevd::lapack

@@ -1,0 +1,37 @@
+// LU factorization with partial pivoting and the associated solver.
+//
+// Used by the mixed-precision eigenpair refinement (evd/refine.hpp): each
+// inverse-iteration step solves a shifted system (A - lambda I) x = v, which
+// is indefinite and needs pivoting (unlike the reconstruct_wy LU, which is
+// provably safe unpivoted).
+#pragma once
+
+#include <vector>
+
+#include "src/blas/blas.hpp"
+#include "src/common/matrix.hpp"
+
+namespace tcevd::lapack {
+
+/// In-place PA = LU with partial (row) pivoting. `piv[k]` records the row
+/// swapped with row k at step k (LAPACK ipiv convention, 0-based). Returns
+/// the index of the first exactly-zero pivot, or -1 on success; a zero
+/// pivot leaves a usable singular factorization (like LAPACK).
+template <typename T>
+index_t getrf(MatrixView<T> a, std::vector<index_t>& piv);
+
+/// Solve op(A) X = B in place using the getrf output.
+template <typename T>
+void getrs(blas::Trans trans, ConstMatrixView<T> lu, const std::vector<index_t>& piv,
+           MatrixView<T> b);
+
+#define TCEVD_GETRF_EXTERN(T)                                                      \
+  extern template index_t getrf<T>(MatrixView<T>, std::vector<index_t>&);           \
+  extern template void getrs<T>(blas::Trans, ConstMatrixView<T>,                   \
+                                const std::vector<index_t>&, MatrixView<T>);
+
+TCEVD_GETRF_EXTERN(float)
+TCEVD_GETRF_EXTERN(double)
+#undef TCEVD_GETRF_EXTERN
+
+}  // namespace tcevd::lapack

@@ -1,0 +1,109 @@
+#include "src/lapack/jacobi_evd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace tcevd::lapack {
+
+template <typename T>
+JacobiEvdResult<T> jacobi_evd(ConstMatrixView<T> a, const JacobiEvdOptions& opt) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n, "jacobi_evd requires a square symmetric matrix");
+
+  JacobiEvdResult<T> out;
+  Matrix<T> w(n, n);
+  copy_matrix(a, w.view());
+  if (opt.vectors) {
+    out.vectors = Matrix<T>(n, n);
+    set_identity(out.vectors.view());
+  }
+
+  const T eps = std::numeric_limits<T>::epsilon();
+  // Off-diagonal Frobenius mass; convergence when it is negligible vs diag.
+  auto off_norm = [&] {
+    T s{};
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = j + 1; i < n; ++i) s += w(i, j) * w(i, j);
+    return std::sqrt(s);
+  };
+  T dscale{};
+  for (index_t i = 0; i < n; ++i) dscale = std::max(dscale, std::abs(w(i, i)));
+  dscale = std::max(dscale, off_norm());
+
+  for (out.sweeps = 0; out.sweeps < opt.max_sweeps; ++out.sweeps) {
+    if (off_norm() <= eps * static_cast<T>(n) * std::max(dscale, T{1})) {
+      out.converged = true;
+      break;
+    }
+    for (index_t p = 0; p + 1 < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const T apq = w(p, q);
+        if (std::abs(apq) <=
+            eps * std::sqrt(std::abs(w(p, p) * w(q, q))) + std::numeric_limits<T>::min())
+          continue;
+        // Classic stable rotation (Golub & Van Loan sym.schur2).
+        const T theta = (w(q, q) - w(p, p)) / (T{2} * apq);
+        const T t = std::copysign(T{1}, theta) /
+                    (std::abs(theta) + std::sqrt(T{1} + theta * theta));
+        const T c = T{1} / std::sqrt(T{1} + t * t);
+        const T s = c * t;
+
+        // Two-sided update restricted to rows/cols p, q.
+        for (index_t k = 0; k < n; ++k) {
+          const T wkp = w(k, p);
+          const T wkq = w(k, q);
+          w(k, p) = c * wkp - s * wkq;
+          w(k, q) = s * wkp + c * wkq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const T wpk = w(p, k);
+          const T wqk = w(q, k);
+          w(p, k) = c * wpk - s * wqk;
+          w(q, k) = s * wpk + c * wqk;
+        }
+        if (opt.vectors) {
+          for (index_t k = 0; k < n; ++k) {
+            const T vkp = out.vectors(k, p);
+            const T vkq = out.vectors(k, q);
+            out.vectors(k, p) = c * vkp - s * vkq;
+            out.vectors(k, q) = s * vkp + c * vkq;
+          }
+        }
+      }
+    }
+  }
+  if (!out.converged)
+    out.converged = off_norm() <= std::sqrt(eps) * std::max(dscale, T{1});
+
+  // Gather and sort ascending.
+  out.eigenvalues.resize(static_cast<std::size_t>(n));
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  for (index_t i = 0; i < n; ++i) out.eigenvalues[static_cast<std::size_t>(i)] = w(i, i);
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return out.eigenvalues[static_cast<std::size_t>(x)] <
+           out.eigenvalues[static_cast<std::size_t>(y)];
+  });
+  std::vector<T> sorted(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    sorted[static_cast<std::size_t>(i)] =
+        out.eigenvalues[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+  out.eigenvalues = std::move(sorted);
+  if (opt.vectors) {
+    Matrix<T> vs(n, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i)
+        vs(i, j) = out.vectors(i, order[static_cast<std::size_t>(j)]);
+    out.vectors = std::move(vs);
+  }
+  return out;
+}
+
+template JacobiEvdResult<float> jacobi_evd<float>(ConstMatrixView<float>,
+                                                  const JacobiEvdOptions&);
+template JacobiEvdResult<double> jacobi_evd<double>(ConstMatrixView<double>,
+                                                    const JacobiEvdOptions&);
+
+}  // namespace tcevd::lapack

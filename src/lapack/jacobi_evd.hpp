@@ -1,0 +1,38 @@
+// Cyclic Jacobi eigenvalue algorithm for symmetric matrices.
+//
+// Slow (O(n^3) per sweep, several sweeps) but the most accurate dense
+// symmetric eigensolver available: eigenvalues to high relative accuracy and
+// eigenvectors orthogonal to working precision. Used as an independent
+// cross-check of the reduction-based pipelines (it shares no code path with
+// tridiagonalization) and as a practical solver for small blocks.
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd::lapack {
+
+struct JacobiEvdOptions {
+  int max_sweeps = 30;
+  bool vectors = true;
+};
+
+template <typename T>
+struct JacobiEvdResult {
+  std::vector<T> eigenvalues;  ///< ascending
+  Matrix<T> vectors;           ///< n x n (empty unless requested)
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Eigendecomposition of symmetric `a` (not modified).
+template <typename T>
+JacobiEvdResult<T> jacobi_evd(ConstMatrixView<T> a, const JacobiEvdOptions& opt = {});
+
+extern template JacobiEvdResult<float> jacobi_evd<float>(ConstMatrixView<float>,
+                                                         const JacobiEvdOptions&);
+extern template JacobiEvdResult<double> jacobi_evd<double>(ConstMatrixView<double>,
+                                                           const JacobiEvdOptions&);
+
+}  // namespace tcevd::lapack

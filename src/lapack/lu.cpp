@@ -1,0 +1,29 @@
+#include "src/lapack/lu.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tcevd::lapack {
+
+template <typename T>
+index_t lu_nopiv(MatrixView<T> a) {
+  const index_t n = std::min(a.rows(), a.cols());
+  const T tiny = std::numeric_limits<T>::min();
+  for (index_t j = 0; j < n; ++j) {
+    const T pivot = a(j, j);
+    if (std::abs(pivot) <= tiny) return j;
+    const T inv = T{1} / pivot;
+    for (index_t i = j + 1; i < a.rows(); ++i) a(i, j) *= inv;
+    for (index_t c = j + 1; c < a.cols(); ++c) {
+      const T ujc = a(j, c);
+      if (ujc == T{}) continue;
+      for (index_t i = j + 1; i < a.rows(); ++i) a(i, c) -= a(i, j) * ujc;
+    }
+  }
+  return -1;
+}
+
+template index_t lu_nopiv<float>(MatrixView<float>);
+template index_t lu_nopiv<double>(MatrixView<double>);
+
+}  // namespace tcevd::lapack

@@ -1,0 +1,23 @@
+// Non-pivoted LU factorization.
+//
+// Used by the Householder-reconstruction step (paper Algorithm 3): Ballard
+// et al. prove that for A = S - Q (Q orthonormal from Householder QR, S the
+// sign matrix) the non-pivoted LU exists and is unique, so partial pivoting
+// is unnecessary there. A general-purpose routine nonetheless reports
+// breakdowns via its return value.
+#pragma once
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd::lapack {
+
+/// In-place A = L * U with unit lower-triangular L (strict lower part of the
+/// output) and upper-triangular U. Returns the 0-based index of the first
+/// (near-)zero pivot, or -1 on success.
+template <typename T>
+index_t lu_nopiv(MatrixView<T> a);
+
+extern template index_t lu_nopiv<float>(MatrixView<float>);
+extern template index_t lu_nopiv<double>(MatrixView<double>);
+
+}  // namespace tcevd::lapack

@@ -1,0 +1,98 @@
+#include "src/lapack/secular.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tcevd::lapack {
+
+namespace {
+
+/// f(lambda) - evaluated at lambda = d[anchor] + t - and its derivative,
+/// in long double with anchored differences.
+struct FEval {
+  long double f;
+  long double fprime;
+};
+
+FEval eval_secular(const std::vector<double>& d, const std::vector<double>& z_sq, double rho,
+                   index_t anchor, long double t) {
+  const index_t k = static_cast<index_t>(d.size());
+  long double f = 1.0L;
+  long double fp = 0.0L;
+  const long double da = d[static_cast<std::size_t>(anchor)];
+  for (index_t i = 0; i < k; ++i) {
+    const long double delta =
+        (static_cast<long double>(d[static_cast<std::size_t>(i)]) - da) - t;  // d_i - lambda
+    const long double zi = z_sq[static_cast<std::size_t>(i)];
+    f += rho * zi / delta;
+    fp += rho * zi / (delta * delta);
+  }
+  return {f, fp};
+}
+
+}  // namespace
+
+SecularRoot secular_solve(const std::vector<double>& d, const std::vector<double>& z_sq,
+                          double rho, index_t j) {
+  const index_t k = static_cast<index_t>(d.size());
+  TCEVD_CHECK(k >= 1 && j >= 0 && j < k, "secular_solve index out of range");
+  TCEVD_CHECK(rho > 0.0, "secular_solve requires rho > 0");
+
+  long double sum_zsq = 0.0L;
+  for (double z : z_sq) sum_zsq += z;
+
+  // Bracket (in absolute lambda space, conceptually): (d_j, d_{j+1}) or
+  // (d_{k-1}, d_{k-1} + rho * ||z||^2] for the last root.
+  const long double dj = d[static_cast<std::size_t>(j)];
+  const bool last = (j == k - 1);
+  const long double dj1 =
+      last ? dj + static_cast<long double>(rho) * sum_zsq : static_cast<long double>(d[static_cast<std::size_t>(j + 1)]);
+  const long double width = dj1 - dj;
+  TCEVD_CHECK(width > 0.0L, "secular_solve poles must be strictly ascending");
+
+  // Pick the anchor by the sign of f at the midpoint: f increases across the
+  // interval, so f(mid) > 0 means the root lies in the left half (anchor d_j).
+  index_t anchor = j;
+  if (!last) {
+    const FEval mid = eval_secular(d, z_sq, rho, j, width / 2.0L);
+    anchor = (mid.f > 0.0L) ? j : j + 1;
+  }
+  const long double da = d[static_cast<std::size_t>(anchor)];
+
+  // Bracket in offset space t = lambda - d[anchor]. One bracket end sits on
+  // the anchor pole itself (t = 0): roots may hug that pole arbitrarily
+  // closely (z_i -> 0 gives lambda_i -> d_i), so the safeguard must converge
+  // to full *relative* precision in t, not to an absolute floor. When Newton
+  // leaves the bracket we bisect geometrically toward the pole end, which
+  // reaches t ~ 1e-4000 in a few hundred halvings of the exponent.
+  long double lo = dj - da;   // 0 when anchor == j, else -width
+  long double hi = dj1 - da;  // +width when anchor == j, else 0
+  if (lo > hi) std::swap(lo, hi);
+  const bool pole_at_lo = (lo == 0.0L);  // anchor on the left end
+
+  long double t = (lo + hi) / 2.0L;
+  for (int iter = 0; iter < 400; ++iter) {
+    const FEval ev = eval_secular(d, z_sq, rho, anchor, t);
+    if (ev.f == 0.0L) break;
+    if (ev.f > 0.0L)
+      hi = t;  // f increasing in lambda: root is left of t
+    else
+      lo = t;
+    long double tn = t - ev.f / ev.fprime;
+    if (!(tn > lo && tn < hi)) {
+      // Geometric bisection toward the pole keeps relative resolution when
+      // the remaining bracket spans many orders of magnitude.
+      if (pole_at_lo)
+        tn = (lo > 0.0L) ? std::sqrt(lo * hi) : hi / 2.0L;
+      else
+        tn = (hi < 0.0L) ? -std::sqrt(lo * hi) : lo / 2.0L;
+      if (!(tn > lo && tn < hi)) tn = (lo + hi) / 2.0L;
+    }
+    if (tn == t) break;
+    t = tn;
+  }
+
+  return SecularRoot{anchor, t};
+}
+
+}  // namespace tcevd::lapack

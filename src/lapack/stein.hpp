@@ -1,0 +1,29 @@
+// Inverse iteration for selected eigenvectors of a symmetric tridiagonal
+// matrix (LAPACK stein analogue).
+//
+// Given eigenvalues (e.g. from Sturm bisection), each eigenvector is found
+// by a few iterations of (T - lambda I) x_{k+1} = x_k with a pivoted
+// tridiagonal solve, starting from a deterministic pseudo-random vector.
+// Vectors belonging to clustered eigenvalues are Gram-Schmidt
+// reorthogonalized against their cluster, as in LAPACK.
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd::lapack {
+
+/// Compute eigenvectors for the given eigenvalues of tridiagonal (d, e).
+/// `z` must be n x nev (nev = eigenvalues.size()); eigenvalues must be in
+/// ascending order. Returns false if any vector failed to converge.
+template <typename T>
+bool stein(const std::vector<T>& d, const std::vector<T>& e,
+           const std::vector<T>& eigenvalues, MatrixView<T> z);
+
+extern template bool stein<float>(const std::vector<float>&, const std::vector<float>&,
+                                  const std::vector<float>&, MatrixView<float>);
+extern template bool stein<double>(const std::vector<double>&, const std::vector<double>&,
+                                   const std::vector<double>&, MatrixView<double>);
+
+}  // namespace tcevd::lapack

@@ -1,0 +1,169 @@
+#include "src/lapack/sytrd.hpp"
+
+#include "src/blas/blas.hpp"
+#include "src/lapack/householder.hpp"
+
+namespace tcevd::lapack {
+
+template <typename T>
+void sytrd(MatrixView<T> a, std::vector<T>& d, std::vector<T>& e, std::vector<T>& tau) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n, "sytrd requires a square matrix");
+  d.assign(static_cast<std::size_t>(n), T{});
+  e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
+  tau.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
+  if (n == 0) return;
+
+  std::vector<T> p(static_cast<std::size_t>(n));
+
+  for (index_t j = 0; j + 2 <= n; ++j) {
+    // Reflector annihilating A(j+2:n, j); v stored in a(j+1:, j), v(0)=1.
+    const index_t m = n - j - 1;  // length of the column below the diagonal
+    T alpha = a(j + 1, j);
+    T* x = (m > 1) ? &a(j + 2, j) : nullptr;
+    const T t = larfg(m, alpha, x, 1);
+    tau[static_cast<std::size_t>(j)] = t;
+    e[static_cast<std::size_t>(j)] = alpha;
+
+    if (t != T{}) {
+      // Two-sided rank-2 update of the trailing symmetric block A22 (lower):
+      //   p = tau * A22 * v;  w = p - (tau/2)(p^T v) v;  A22 -= v w^T + w v^T
+      a(j + 1, j) = T{1};
+      const T* v = &a(j + 1, j);
+      auto a22 = a.sub(j + 1, j + 1, m, m);
+      blas::symv(blas::Uplo::Lower, t, a22, v, 1, T{}, p.data(), m > 0 ? 1 : 1);
+      const T gamma = -(t / T{2}) * blas::dot(m, p.data(), 1, v, 1);
+      blas::axpy(m, gamma, v, 1, p.data(), 1);
+      blas::syr2(blas::Uplo::Lower, T{-1}, v, 1, p.data(), 1, a22);
+      a(j + 1, j) = alpha;
+    }
+    d[static_cast<std::size_t>(j)] = a(j, j);
+  }
+  d[static_cast<std::size_t>(n - 1)] = a(n - 1, n - 1);
+  if (n >= 2) {
+    d[static_cast<std::size_t>(n - 2)] = a(n - 2, n - 2);
+    e[static_cast<std::size_t>(n - 2)] = a(n - 1, n - 2);
+    if (n >= 2) tau[static_cast<std::size_t>(n - 2)] = T{};
+  }
+}
+
+template <typename T>
+void orgtr(ConstMatrixView<T> a, const std::vector<T>& tau, MatrixView<T> q) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(q.rows() == n && q.cols() == n, "orgtr requires square Q");
+  set_identity(q);
+  if (n < 3) return;
+  std::vector<T> work(static_cast<std::size_t>(n));
+  std::vector<T> v(static_cast<std::size_t>(n));
+  // Q = H(0) H(1) ... H(n-3) applied to I, last reflector first.
+  for (index_t j = n - 3; j >= 0; --j) {
+    const index_t m = n - j - 1;
+    v[0] = T{1};
+    for (index_t i = 1; i < m; ++i) v[static_cast<std::size_t>(i)] = a(j + 1 + i, j);
+    larf_left(v.data(), 1, tau[static_cast<std::size_t>(j)], q.sub(j + 1, 0, m, n),
+              work.data());
+  }
+}
+
+template <typename T>
+void sytrd_blocked(MatrixView<T> a, std::vector<T>& d, std::vector<T>& e, std::vector<T>& tau,
+                   index_t nb) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n, "sytrd_blocked requires a square matrix");
+  TCEVD_CHECK(nb >= 1, "sytrd_blocked block size must be >= 1");
+  d.assign(static_cast<std::size_t>(n), T{});
+  e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
+  tau.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
+  if (n == 0) return;
+
+  index_t k0 = 0;
+  std::vector<T> tmp(static_cast<std::size_t>(n));
+
+  // Blocked panels (latrd) while the trailing matrix is big enough to matter.
+  while (n - k0 > nb + 2) {
+    const index_t m = n - k0;             // trailing size
+    auto at = a.sub(k0, k0, m, m);        // A_t, lower triangle authoritative
+    Matrix<T> w(m, nb);                   // the panel's W
+
+    for (index_t i = 0; i < nb; ++i) {
+      const index_t len = m - i;  // rows i..m of column i
+      // Delayed update of column i: a(i:, i) -= V w(i,:)^T + W v(i,:)^T.
+      if (i > 0) {
+        for (index_t j = 0; j < i; ++j) {
+          const T wij = w(i, j);
+          const T vij = at(i, j);
+          if (wij != T{})
+            blas::axpy(len, -wij, &at(i, j), 1, &at(i, i), 1);
+          if (vij != T{})
+            blas::axpy(len, -vij, &w(i, j), 1, &at(i, i), 1);
+        }
+      }
+      d[static_cast<std::size_t>(k0 + i)] = at(i, i);
+
+      // Reflector annihilating a(i+2:, i).
+      T alpha = at(i + 1, i);
+      const T ti = larfg(len - 1, alpha, (len > 2) ? &at(i + 2, i) : nullptr, 1);
+      tau[static_cast<std::size_t>(k0 + i)] = ti;
+      e[static_cast<std::size_t>(k0 + i)] = alpha;
+      at(i + 1, i) = T{1};  // unit head kept until the panel completes
+
+      // w_i = tau (A22 v - V (Wprev^T v) - W (Vprev^T v)) - (tau/2)(w^T v) v.
+      const index_t lv = len - 1;  // rows i+1..m
+      const T* v = &at(i + 1, i);
+      T* wi = &w(i + 1, i);
+      blas::symv(blas::Uplo::Lower, T{1}, ConstMatrixView<T>(at.sub(i + 1, i + 1, lv, lv)), v,
+                 1, T{}, wi, 1);
+      for (index_t j = 0; j < i; ++j) {
+        tmp[static_cast<std::size_t>(j)] = blas::dot(lv, &w(i + 1, j), 1, v, 1);
+      }
+      for (index_t j = 0; j < i; ++j)
+        blas::axpy(lv, -tmp[static_cast<std::size_t>(j)], &at(i + 1, j), 1, wi, 1);
+      for (index_t j = 0; j < i; ++j)
+        tmp[static_cast<std::size_t>(j)] = blas::dot(lv, &at(i + 1, j), 1, v, 1);
+      for (index_t j = 0; j < i; ++j)
+        blas::axpy(lv, -tmp[static_cast<std::size_t>(j)], &w(i + 1, j), 1, wi, 1);
+      blas::scal(lv, ti, wi, 1);
+      const T gamma = -(ti / T{2}) * blas::dot(lv, wi, 1, v, 1);
+      blas::axpy(lv, gamma, v, 1, wi, 1);
+    }
+
+    // Rank-2nb trailing update: A(nb:, nb:) -= V W^T + W V^T (lower).
+    {
+      auto a22 = at.sub(nb, nb, m - nb, m - nb);
+      // V panel = at(nb:, 0:nb) (unit heads already in place), W = w(nb:, :).
+      blas::syr2k(blas::Uplo::Lower, blas::Trans::No, T{-1},
+                  ConstMatrixView<T>(at.sub(nb, 0, m - nb, nb)),
+                  ConstMatrixView<T>(w.sub(nb, 0, m - nb, nb)), T{1}, a22);
+    }
+
+    // Restore the subdiagonal entries overwritten with unit heads.
+    for (index_t i = 0; i < nb; ++i) at(i + 1, i) = e[static_cast<std::size_t>(k0 + i)];
+    k0 += nb;
+  }
+
+  // Unblocked cleanup of the remainder.
+  {
+    const index_t m = n - k0;
+    auto at = a.sub(k0, k0, m, m);
+    std::vector<T> ds, es, taus;
+    sytrd(at, ds, es, taus);
+    for (index_t i = 0; i < m; ++i) d[static_cast<std::size_t>(k0 + i)] = ds[static_cast<std::size_t>(i)];
+    for (index_t i = 0; i + 1 < m; ++i) {
+      e[static_cast<std::size_t>(k0 + i)] = es[static_cast<std::size_t>(i)];
+      tau[static_cast<std::size_t>(k0 + i)] = taus[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+#define TCEVD_SYTRD_INST(T)                                                       \
+  template void sytrd<T>(MatrixView<T>, std::vector<T>&, std::vector<T>&,          \
+                         std::vector<T>&);                                        \
+  template void orgtr<T>(ConstMatrixView<T>, const std::vector<T>&, MatrixView<T>); \
+  template void sytrd_blocked<T>(MatrixView<T>, std::vector<T>&, std::vector<T>&,  \
+                                 std::vector<T>&, index_t);
+
+TCEVD_SYTRD_INST(float)
+TCEVD_SYTRD_INST(double)
+#undef TCEVD_SYTRD_INST
+
+}  // namespace tcevd::lapack

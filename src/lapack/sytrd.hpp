@@ -1,0 +1,45 @@
+// One-stage Householder tridiagonalization (LAPACK sytrd analogue, lower
+// storage). This is the "conventional tridiagonalization" baseline the paper
+// contrasts with two-stage SBR: ~50% of its flops are unblockable BLAS-2,
+// which is exactly why the two-stage route wins on throughput hardware.
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd::lapack {
+
+/// Reduce symmetric A (full storage, both triangles valid) to tridiagonal
+/// form T = Q^T A Q. On exit: d (n) and e (n-1) hold the tridiagonal, the
+/// strict lower triangle of `a` holds the Householder vectors, `tau` the
+/// scalar factors (n-1 entries, the last possibly zero).
+template <typename T>
+void sytrd(MatrixView<T> a, std::vector<T>& d, std::vector<T>& e, std::vector<T>& tau);
+
+/// Form the explicit n x n Q from sytrd output (orgtr analogue).
+template <typename T>
+void orgtr(ConstMatrixView<T> a, const std::vector<T>& tau, MatrixView<T> q);
+
+/// Blocked tridiagonalization (LAPACK sytrd with latrd panels): panels of
+/// `nb` reflectors are built with delayed updates, then the trailing matrix
+/// takes one rank-2nb syr2k. This is the "blocked variant from LAPACK" the
+/// paper's introduction contrasts with two-stage SBR — ~50% of its flops
+/// remain BLAS-2, which is exactly why SBR wins on throughput hardware.
+/// Output layout identical to sytrd.
+template <typename T>
+void sytrd_blocked(MatrixView<T> a, std::vector<T>& d, std::vector<T>& e, std::vector<T>& tau,
+                   index_t nb = 32);
+
+#define TCEVD_SYTRD_EXTERN(T)                                                              \
+  extern template void sytrd<T>(MatrixView<T>, std::vector<T>&, std::vector<T>&,            \
+                                std::vector<T>&);                                          \
+  extern template void orgtr<T>(ConstMatrixView<T>, const std::vector<T>&, MatrixView<T>); \
+  extern template void sytrd_blocked<T>(MatrixView<T>, std::vector<T>&, std::vector<T>&,   \
+                                        std::vector<T>&, index_t);
+
+TCEVD_SYTRD_EXTERN(float)
+TCEVD_SYTRD_EXTERN(double)
+#undef TCEVD_SYTRD_EXTERN
+
+}  // namespace tcevd::lapack

@@ -1,0 +1,64 @@
+// Symmetric tridiagonal eigensolvers.
+//
+// The two-stage EVD pipeline ends on a tridiagonal matrix (d, e); these are
+// the from-scratch equivalents of the LAPACK/MAGMA solvers the paper calls:
+//
+//   steqr — implicit QL/QR with Wilkinson shifts, optional eigenvector
+//           accumulation (the robust workhorse; used as the D&C base case)
+//   sterf — eigenvalues only, same iteration without vector updates
+//   stebz — Sturm-sequence bisection (selected or all eigenvalues)
+//   stedc — divide & conquer with deflation and a secular-equation solver
+//           (the paper's final stage uses MAGMA's D&C)
+//
+// All solvers return eigenvalues in ascending order.
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd::lapack {
+
+/// Implicit QL/QR with Wilkinson shift. d (n) / e (n-1) are overwritten with
+/// the eigenvalues / destroyed. If `z` is non-null it must be n x n (or
+/// n x m row-compatible) and is multiplied by the accumulated rotations:
+/// pass identity to get eigenvectors of the tridiagonal, or pass Q from a
+/// previous reduction to get eigenvectors of the original matrix.
+/// Returns false if an eigenvalue failed to converge in 50*n iterations.
+template <typename T>
+bool steqr(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z = nullptr);
+
+/// Eigenvalues only (no vector accumulation).
+template <typename T>
+bool sterf(std::vector<T>& d, std::vector<T>& e);
+
+/// Number of eigenvalues of the tridiagonal strictly less than x
+/// (Sturm count via the shifted LDL^T recurrence).
+template <typename T>
+index_t sturm_count(const std::vector<T>& d, const std::vector<T>& e, T x);
+
+/// Bisection: compute eigenvalues with indices [il, iu] (0-based, inclusive)
+/// to absolute tolerance `tol` (<=0 picks a sensible default).
+template <typename T>
+std::vector<T> stebz(const std::vector<T>& d, const std::vector<T>& e, index_t il, index_t iu,
+                     T tol = T{-1});
+
+/// Divide & conquer. Same contract as steqr: eigenvalues into d, optional
+/// accumulation into z (z := z * V where V are tridiagonal eigenvectors).
+/// Internally computes in double regardless of T for a stable secular solve.
+template <typename T>
+bool stedc(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z = nullptr);
+
+#define TCEVD_TRI_EXTERN(T)                                                              \
+  extern template bool steqr<T>(std::vector<T>&, std::vector<T>&, MatrixView<T>*);        \
+  extern template bool sterf<T>(std::vector<T>&, std::vector<T>&);                        \
+  extern template index_t sturm_count<T>(const std::vector<T>&, const std::vector<T>&, T); \
+  extern template std::vector<T> stebz<T>(const std::vector<T>&, const std::vector<T>&,   \
+                                          index_t, index_t, T);                          \
+  extern template bool stedc<T>(std::vector<T>&, std::vector<T>&, MatrixView<T>*);
+
+TCEVD_TRI_EXTERN(float)
+TCEVD_TRI_EXTERN(double)
+#undef TCEVD_TRI_EXTERN
+
+}  // namespace tcevd::lapack

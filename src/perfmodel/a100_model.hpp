@@ -1,0 +1,75 @@
+// Analytic A100 GEMM throughput model, calibrated to the paper's own
+// Table 1 measurements (m = 32768, k swept 32..4096, TFLOPS):
+//
+//             | TC sq*skinny | SGEMM | TC outer | SGEMM |
+//   k =   32  |    6.28      |  9.36 |  20.02   |  9.31 |
+//   k =  64   |   11.69      |  9.65 |  33.30   |  9.85 |
+//   ...                                                   (see .cpp)
+//
+// "sq*skinny" is C(m x k) = A(m x m) B(m x k) — the GEMM whose *output* is
+// skinny; "outer" is C(m x m) = A(m x k) B(k x m) — skinny *inner*
+// dimension. A GEMM's throughput is looked up on the curve selected by which
+// dimension is smallest, interpolated piecewise-linearly in log2 of that
+// dimension, de-rated for problems much smaller than the calibration size,
+// and a fixed kernel-launch overhead is added per call.
+//
+// This model is how the benches reproduce the paper's *time* figures
+// (Figs. 5-11) at paper scale (n = 32768) without the GPU: the algorithms'
+// GEMM shape streams come from src/perfmodel/shape_trace (unit-tested to
+// match the real implementations call-for-call), and each shape is priced
+// by this model.
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+#include "src/tensorcore/engine.hpp"
+
+namespace tcevd::perf {
+
+enum class Device {
+  TensorCore,  ///< half-precision HMMA path (Table 1 cols 2 & 4)
+  Sgemm,       ///< fp32 SIMT path (Table 1 cols 3 & 5)
+};
+
+/// Modeled throughput of one GEMM in TFLOPS.
+double gemm_tflops(Device dev, index_t m, index_t n, index_t k);
+
+/// Modeled wall time of one GEMM in seconds (includes launch overhead).
+double gemm_time_s(Device dev, index_t m, index_t n, index_t k);
+
+/// Sum of modeled times for a recorded/traced shape stream.
+double total_time_s(Device dev, const std::vector<tc::GemmShape>& shapes);
+
+/// Total flops of a shape stream.
+double total_flops(const std::vector<tc::GemmShape>& shapes);
+
+/// Aggregate throughput of a stream under the model (TFLOPS).
+double stream_tflops(Device dev, const std::vector<tc::GemmShape>& shapes);
+
+/// Kernel launch overhead per GEMM call (seconds).
+inline constexpr double kLaunchOverheadS = 5e-6;
+
+/// Flop-mass histogram over the smallest GEMM dimension (power-of-two bins):
+/// the quantitative form of "which algorithm generates squarer GEMMs".
+struct ShapeBin {
+  index_t min_dim_lo = 0;  ///< inclusive
+  index_t min_dim_hi = 0;  ///< exclusive
+  index_t calls = 0;
+  double flops = 0.0;
+};
+std::vector<ShapeBin> shape_histogram(const std::vector<tc::GemmShape>& shapes);
+
+/// Flop-weighted mean of the smallest dimension over a stream.
+double flop_weighted_min_dim(const std::vector<tc::GemmShape>& shapes);
+
+/// Modeled time of one panel factorization (TSQR + reconstruction vs a
+/// cuSOLVER-style blocked Householder panel), used for Figs. 8/9. Calibrated
+/// against the paper's Fig. 8 magnitudes.
+double panel_time_s(index_t m, index_t b, bool tsqr);
+
+/// Flops of one m x b panel factorization incl. W/Y formation (Table 2
+/// accounting).
+double panel_flops(index_t m, index_t b);
+
+}  // namespace tcevd::perf

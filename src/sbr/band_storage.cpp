@@ -1,0 +1,87 @@
+#include "src/sbr/band_storage.hpp"
+
+#include <cmath>
+
+namespace tcevd::sbr {
+
+namespace {
+
+/// Two-sided Givens rotation in the (i, i+1) plane on compact band storage.
+/// `dmax` is the largest live distance (current bandwidth + the bulge slot);
+/// entries beyond it are structural zeros and are neither read nor written.
+template <typename T>
+void rotate_band(BandMatrix<T>& a, index_t i, T c, T s, index_t dmax) {
+  const index_t n = a.size();
+  const index_t j = i + 1;
+
+  // Columns k < i: rows i and j of column k (within distance dmax).
+  const index_t klo = (j > dmax) ? j - dmax : 0;
+  for (index_t k = klo; k < i; ++k) {
+    const T aik = (i - k <= dmax) ? a.get(i, k) : T{};
+    const T ajk = a.get(j, k);
+    if (i - k <= dmax) a.set(i, k, c * aik + s * ajk);
+    a.set(j, k, -s * aik + c * ajk);
+  }
+
+  // The 2x2 diagonal block.
+  {
+    const T aii = a.get(i, i);
+    const T ajj = a.get(j, j);
+    const T aji = a.get(j, i);
+    a.set(i, i, c * c * aii + T{2} * c * s * aji + s * s * ajj);
+    a.set(j, j, s * s * aii - T{2} * c * s * aji + c * c * ajj);
+    a.set(j, i, (c * c - s * s) * aji + c * s * (ajj - aii));
+  }
+
+  // Rows k > j: columns i and j of row k.
+  const index_t khi = std::min(n, i + dmax + 1);
+  for (index_t k = j + 1; k < khi; ++k) {
+    const T aki = a.get(k, i);
+    const T akj = (k - j <= dmax) ? a.get(k, j) : T{};
+    a.set(k, i, c * aki + s * akj);
+    if (k - j <= dmax) a.set(k, j, -s * aki + c * akj);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void bulge_chase_band(BandMatrix<T>& a, std::vector<T>& d, std::vector<T>& e) {
+  const index_t n = a.size();
+  const index_t bw = a.bandwidth();
+
+  for (index_t dd = std::min(bw, n - 1); dd >= 2; --dd) {
+    for (index_t col = 0; col + dd < n; ++col) {
+      index_t tcol = col;
+      index_t row = col + dd;
+      while (row < n) {
+        const T g = a.get(row, tcol);
+        if (g != T{}) {
+          const T f = a.get(row - 1, tcol);
+          const T h = std::hypot(f, g);
+          const T c = f / h;
+          const T s = g / h;
+          // Live distances: current band dd plus the bulge one beyond.
+          rotate_band(a, row - 1, c, s, dd + 1);
+          a.set(row, tcol, T{});
+        }
+        tcol = row - 1;
+        row += dd;
+      }
+    }
+  }
+
+  d.assign(static_cast<std::size_t>(n), T{});
+  e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
+  for (index_t i = 0; i < n; ++i) {
+    d[static_cast<std::size_t>(i)] = a.get(i, i);
+    if (i + 1 < n) e[static_cast<std::size_t>(i)] = a.get(i + 1, i);
+  }
+}
+
+template void bulge_chase_band<float>(BandMatrix<float>&, std::vector<float>&,
+                                      std::vector<float>&);
+template void bulge_chase_band<double>(BandMatrix<double>&, std::vector<double>&,
+                                       std::vector<double>&);
+
+}  // namespace tcevd::sbr

@@ -1,0 +1,101 @@
+// Recursive W formation (paper Algorithm 2, "FormW").
+//
+// Each big block k of the WY-based SBR leaves a reflector pair
+// Q_k = I - W_k Y_k^T. The overall transform is Q = Q_0 Q_1 ... Q_K, and two
+// consecutive factors merge by the WY product rule
+//
+//   (I - Wa Ya^T)(I - Wb Yb^T) = I - [Wa | Wb - Wa (Ya^T Wb)] [Ya | Yb]^T.
+//
+// Merging pairwise in a binary tree (rather than folding blocks in one by
+// one) turns the corrective GEMM Wa (Ya^T Wb) into large square-ish products
+// — the same shape trick as the SBR itself; the paper measures ~25% faster
+// back-transformation this way (320 ms vs 420 ms at n = 32768).
+#include "src/blas/blas.hpp"
+#include "src/sbr/sbr.hpp"
+
+namespace tcevd::sbr {
+
+namespace {
+
+using blas::Trans;
+
+struct MergedWy {
+  Matrix<float> w;  // n x k
+  Matrix<float> y;  // n x k
+};
+
+/// Embed one block's (W, Y) into full n-row storage.
+MergedWy embed(const WyBlock& blk, index_t n) {
+  MergedWy out;
+  const index_t rows = blk.w.rows();
+  const index_t cols = blk.w.cols();
+  out.w = Matrix<float>(n, cols);
+  out.y = Matrix<float>(n, cols);
+  copy_matrix<float>(blk.w.view(), out.w.sub(blk.row_offset, 0, rows, cols));
+  copy_matrix<float>(blk.y.view(), out.y.sub(blk.row_offset, 0, rows, cols));
+  return out;
+}
+
+/// Merge blocks[lo, hi) into a single representation (binary recursion).
+MergedWy merge_range(const std::vector<WyBlock>& blocks, index_t lo, index_t hi, index_t n,
+                     tc::GemmEngine& engine) {
+  if (hi - lo == 1) return embed(blocks[static_cast<std::size_t>(lo)], n);
+  const index_t mid = lo + (hi - lo) / 2;
+  MergedWy left = merge_range(blocks, lo, mid, n, engine);
+  MergedWy right = merge_range(blocks, mid, hi, n, engine);
+
+  const index_t kl = left.w.cols();
+  const index_t kr = right.w.cols();
+  MergedWy out;
+  out.w = Matrix<float>(n, kl + kr);
+  out.y = Matrix<float>(n, kl + kr);
+  copy_matrix<float>(left.w.view(), out.w.sub(0, 0, n, kl));
+  copy_matrix<float>(left.y.view(), out.y.sub(0, 0, n, kl));
+  copy_matrix<float>(right.y.view(), out.y.sub(0, kl, n, kr));
+
+  // W_right' = W_right - W_left (Y_left^T W_right): the "squeezed" GEMMs.
+  Matrix<float> cross(kl, kr);
+  engine.gemm(Trans::Yes, Trans::No, 1.0f, left.y.view(), right.w.view(), 0.0f, cross.view());
+  auto wr = out.w.sub(0, kl, n, kr);
+  copy_matrix<float>(right.w.view(), wr);
+  engine.gemm(Trans::No, Trans::No, -1.0f, left.w.view(), cross.view(), 1.0f, wr);
+  return out;
+}
+
+}  // namespace
+
+void form_wy_product(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine,
+                     Matrix<float>& w_out, Matrix<float>& y_out) {
+  TCEVD_CHECK(!blocks.empty(), "form_wy_product needs at least one block");
+  MergedWy merged = merge_range(blocks, 0, static_cast<index_t>(blocks.size()), n, engine);
+  w_out = std::move(merged.w);
+  y_out = std::move(merged.y);
+}
+
+Matrix<float> form_q(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine) {
+  Matrix<float> q(n, n);
+  set_identity(q.view());
+  if (blocks.empty()) return q;
+  Matrix<float> w, y;
+  form_wy_product(blocks, n, engine, w, y);
+  engine.gemm(Trans::No, Trans::Yes, -1.0f, w.view(), y.view(), 1.0f, q.view());
+  return q;
+}
+
+void apply_wy_blocks_left(const std::vector<WyBlock>& blocks, tc::GemmEngine& engine,
+                          MatrixView<float> x) {
+  // Q X = Q_0 (Q_1 (... (Q_K X))): apply the last block's reflector first.
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    const auto& blk = *it;
+    const index_t rows = blk.w.rows();
+    const index_t cols = blk.w.cols();
+    TCEVD_CHECK(blk.row_offset + rows <= x.rows(), "apply_wy_blocks_left shape mismatch");
+    auto xs = x.sub(blk.row_offset, 0, rows, x.cols());
+    Matrix<float> t(cols, x.cols());
+    engine.gemm(Trans::Yes, Trans::No, 1.0f, blk.y.view(), ConstMatrixView<float>(xs), 0.0f,
+                t.view());
+    engine.gemm(Trans::No, Trans::No, -1.0f, blk.w.view(), t.view(), 1.0f, xs);
+  }
+}
+
+}  // namespace tcevd::sbr

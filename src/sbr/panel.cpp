@@ -1,0 +1,52 @@
+#include <vector>
+
+#include "src/lapack/qr.hpp"
+#include "src/sbr/sbr.hpp"
+#include "src/tsqr/reconstruct_wy.hpp"
+#include "src/tsqr/tsqr.hpp"
+
+namespace tcevd::sbr {
+
+void panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
+                     MatrixView<float> y) {
+  const index_t m = panel.rows();
+  const index_t k = panel.cols();
+  TCEVD_CHECK(w.rows() == m && w.cols() == k && y.rows() == m && y.cols() == k,
+              "panel_factor_wy W/Y shape mismatch");
+
+  if (kind == PanelKind::Tsqr && m >= k) {
+    // TSQR gives an explicit Q; the signed-LU reconstruction recovers the
+    // WY form, and the sign matrix is folded into R (panel Sec. 5.2).
+    Matrix<float> q(m, k), r(k, k);
+    tsqr::tsqr_factor(panel, q.view(), r.view());
+    std::vector<float> signs;
+    tsqr::reconstruct_wy(q.view(), w, y, signs);
+    for (index_t j = 0; j < k; ++j)
+      for (index_t i = 0; i < m; ++i)
+        panel(i, j) = (i <= j) ? signs[static_cast<std::size_t>(i)] * r(i, j) : 0.0f;
+    return;
+  }
+
+  // Blocked Householder QR path (also the fallback for short panels where
+  // TSQR's m >= k precondition fails).
+  Matrix<float> work(m, k);
+  copy_matrix<float>(panel, work.view());
+  std::vector<float> tau;
+  lapack::geqrf(work.view(), tau, std::min<index_t>(k, 32));
+  const index_t nref = static_cast<index_t>(tau.size());
+  if (nref == k) {
+    lapack::build_wy<float>(work.view(), tau, w, y);
+  } else {
+    // m < k: only m reflectors exist; pad W/Y with zero columns (those
+    // columns of the panel are already upper trapezoidal).
+    set_zero(w);
+    set_zero(y);
+    auto ws = w.sub(0, 0, m, nref);
+    auto ys = y.sub(0, 0, m, nref);
+    lapack::build_wy<float>(work.view(), tau, ws, ys);
+  }
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < m; ++i) panel(i, j) = (i <= j) ? work(i, j) : 0.0f;
+}
+
+}  // namespace tcevd::sbr

@@ -1,0 +1,105 @@
+// Successive Band Reduction (the paper's core subject).
+//
+// Both variants reduce a dense symmetric A to a symmetric band matrix B of
+// bandwidth `bandwidth` via an orthogonal similarity  B = Q^T A Q:
+//
+//   * sbr_zy — the conventional algorithm (LAPACK/MAGMA `sytrd_sy2sb`
+//     lineage): after each b-column panel QR, the whole trailing matrix is
+//     updated with the rank-2b ZY form  A <- A - Y Z^T - Z Y^T. Every GEMM
+//     has inner dimension b (tall-and-skinny), the shape Tensor Cores run
+//     worst (paper Table 1).
+//
+//   * sbr_wy — the paper's Algorithm 1: panels inside a big block of `nb`
+//     columns update only the *next* panel, against the block-entry copy OA
+//     of the trailing matrix, using the accumulated multiplicative form
+//     GA = (I - W Y^T)^T OA (I - W Y^T); the full trailing matrix is updated
+//     once per big block and the routine recurses. More flops (Table 2) but
+//     near-square GEMMs (inner dimension grows to nb) that Tensor Cores run
+//     near peak.
+//
+// All level-3 updates go through the supplied GemmEngine, so the same code
+// runs in fp32, emulated-Tensor-Core, or error-corrected TC numerics, and
+// shape recording on the engine captures exactly the GEMM mix each
+// algorithm generates. Panels are factored in fp32 (TSQR + Householder
+// reconstruction, or blocked Householder QR), as on the real GPU where only
+// the GEMMs ran on Tensor Cores.
+#pragma once
+
+#include <vector>
+
+#include "src/common/matrix.hpp"
+#include "src/tensorcore/engine.hpp"
+
+namespace tcevd::sbr {
+
+enum class PanelKind {
+  Tsqr,       ///< TSQR + LU-based Householder reconstruction (paper Sec. 5.1/5.2)
+  BlockedQr,  ///< blocked Householder QR (the cuSOLVER-panel stand-in)
+};
+
+struct SbrOptions {
+  index_t bandwidth = 32;          ///< b: output band half-width
+  index_t big_block = 128;         ///< nb: WY big block (clamped to >= bandwidth)
+  PanelKind panel = PanelKind::Tsqr;
+  bool accumulate_q = false;       ///< form the explicit n x n Q
+  bool zy_use_syr2k = false;       ///< ZY only: use fp32 syr2k for the rank-2b
+                                   ///< update (the non-Tensor-Core MAGMA path)
+                                   ///< instead of two engine GEMMs
+  /// ZY only: use the Tensor-Core-native symmetric rank-2k kernel
+  /// (tc::tc_syr2k — the paper's first future-work item) for the trailing
+  /// update when the engine is a TcEngine. Halves the trailing-update work
+  /// vs the two-GEMM form. Ignored for non-TC engines.
+  bool zy_use_tc_syr2k = false;
+  /// WY only. false = literal paper Algorithm 1: recompute OA*W with the full
+  /// accumulated W in every inner iteration (flops grow ~quadratically in
+  /// nb — with that accounting WY can never beat ZY, so the paper's
+  /// implementation cannot be doing it). true (default) = cache P = OA*W and
+  /// extend it incrementally per panel: mathematically identical, and its
+  /// flop count brackets the paper's Table 2 from below while the literal
+  /// form brackets it from above. See EXPERIMENTS.md.
+  bool wy_cache_oa_product = true;
+};
+
+/// One accumulated block reflector I - W Y^T whose row support starts at
+/// `row_offset` (global indexing); produced per big block by sbr_wy.
+struct WyBlock {
+  Matrix<float> w;
+  Matrix<float> y;
+  index_t row_offset = 0;
+};
+
+struct SbrResult {
+  Matrix<float> band;          ///< n x n symmetric band matrix B
+  Matrix<float> q;             ///< n x n orthogonal Q (empty unless requested)
+  std::vector<WyBlock> blocks; ///< WY blocks (sbr_wy only; for FormW / tests)
+};
+
+/// Conventional ZY-based SBR (baseline).
+SbrResult sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOptions& opt);
+
+/// WY-based recursive SBR (paper Algorithm 1).
+SbrResult sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOptions& opt);
+
+/// Factor `panel` (m x k, m >= 2) into (I - W Y^T) [R; 0]; writes [R; 0]
+/// back into `panel` and fills w, y (m x k). Shared by both SBR variants and
+/// benchmarked on its own for paper Figure 8.
+void panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
+                     MatrixView<float> y);
+
+/// Merge the per-block reflectors into one (W, Y) pair with n rows so that
+/// Q = I - W Y^T equals the product of all blocks, using the recursive
+/// pairwise scheme of paper Algorithm 2 ("FormW"). GEMMs go through the
+/// engine. Used for the eigenvector back-transformation.
+void form_wy_product(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine,
+                     Matrix<float>& w_out, Matrix<float>& y_out);
+
+/// Explicit Q = I - W Y^T from the merged representation.
+Matrix<float> form_q(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine);
+
+/// Apply Q = prod_k (I - W_k Y_k^T) to X from the left (X <- Q X) without
+/// ever forming Q — the memory-lean way to back-transform a block of
+/// eigenvectors (n x nev GEMMs instead of an n x n Q).
+void apply_wy_blocks_left(const std::vector<WyBlock>& blocks, tc::GemmEngine& engine,
+                          MatrixView<float> x);
+
+}  // namespace tcevd::sbr

@@ -1,0 +1,225 @@
+// WY-based recursive successive band reduction (paper Algorithm 1).
+//
+// Within a big block of nb columns the trailing matrix is *never* updated in
+// place. Instead the block keeps the entry-time copy OA of the trailing
+// matrix together with the accumulated reflectors (W, Y) — the invariant is
+//
+//   A_current(b:, b:) = (I - W Y^T)^T * OA * (I - W Y^T)
+//
+// (active-block indexing; reflector support starts at row b). Producing the
+// next b-column panel, or the post-block full trailing update, is then a
+// restriction of that identity to the needed rows/columns:
+//
+//   right:  M  = OA(:, C) - (OA W) Y(C, :)^T        <- the big near-square GEMM
+//   left:   GA = M(R, :)  - Y(R, :) (W^T M)
+//
+// The OA*W product is recomputed with the full accumulated W each panel —
+// this is the deliberate arithmetic overhead of Table 2 that buys GEMM
+// shapes with inner dimension up to nb. Appending a panel's reflectors uses
+// the WY update rule W <- [W | w - W (Y^T w)].
+#include "src/blas/blas.hpp"
+#include "src/sbr/sbr.hpp"
+
+namespace tcevd::sbr {
+
+namespace {
+
+using blas::Trans;
+
+struct WyContext {
+  MatrixView<float> A;  // full n x n storage
+  index_t n = 0;
+  index_t b = 0;
+  index_t nb = 0;
+  tc::GemmEngine* engine = nullptr;
+  PanelKind panel_kind = PanelKind::Tsqr;
+  std::vector<WyBlock>* blocks = nullptr;
+  bool cache_oa = false;  // maintain P = OA*W incrementally instead of
+                          // recomputing it with the full W every panel
+};
+
+/// Process the big block starting at global offset s; returns the number of
+/// columns reduced (0 when the active matrix is already banded).
+index_t process_block(WyContext& ctx, index_t s) {
+  const index_t na = ctx.n - s;  // active size
+  const index_t b = ctx.b;
+  if (na - b < 2) return 0;
+
+  auto& eng = *ctx.engine;
+  auto A = ctx.A;
+
+  // OA: copy of the active trailing matrix (rows/cols [s+b, n)).
+  const index_t mt = na - b;  // reflector row support
+  Matrix<float> oa(mt, mt);
+  copy_matrix<float>(A.sub(s + b, s + b, mt, mt), oa.view());
+
+  const index_t max_cols = std::min(ctx.nb, na);
+  Matrix<float> W(mt, max_cols);
+  Matrix<float> Y(mt, max_cols);
+  Matrix<float> P;  // cached OA*W, extended per panel (cache_oa mode only)
+  if (ctx.cache_oa) P = Matrix<float>(mt, max_cols);
+
+  index_t cols_done = 0;
+  for (index_t p = 0;; ++p) {
+    const index_t c = p * b;                 // active column offset of this panel
+    if (c >= ctx.nb || na - c - b < 2) break;
+    const index_t m = na - c - b;            // panel rows
+
+    if (p > 0) {
+      // Materialize the current values of columns C = [c, c+b), rows
+      // [c, na) from OA and the accumulated (W, Y).
+      const index_t pb = c;  // accumulated reflector count
+      auto Wv = W.sub(0, 0, mt, pb);
+
+      // P = OA * W: either the literal Algorithm-1 recompute with the full
+      // accumulated W (the big near-square GEMM) or the maintained cache.
+      Matrix<float> big;
+      ConstMatrixView<float> big_v;
+      if (ctx.cache_oa) {
+        big_v = P.sub(0, 0, mt, pb);
+      } else {
+        big = Matrix<float>(mt, pb);
+        eng.gemm(Trans::No, Trans::No, 1.0f, oa.view(), Wv, 0.0f, big.view());
+        big_v = big.view();
+      }
+
+      // M = OA(:, C') - P * Y(C', :)^T with C' = [c-b, c) in OA coordinates.
+      Matrix<float> mcol(mt, b);
+      copy_matrix<float>(oa.sub(0, c - b, mt, b), mcol.view());
+      eng.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
+               ConstMatrixView<float>(Y.sub(c - b, 0, b, pb)), 1.0f, mcol.view());
+
+      // GA = M(R', :) - Y(R', :) (W^T M) with R' = [c-b, mt) in OA coords
+      // (global rows [s+c, n)), which includes the b x b diagonal block.
+      Matrix<float> wtm(pb, b);
+      eng.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol.view(), 0.0f, wtm.view());
+      const index_t rrows = mt - (c - b);
+      Matrix<float> ga(rrows, b);
+      copy_matrix<float>(mcol.sub(c - b, 0, rrows, b), ga.view());
+      eng.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(Y.sub(c - b, 0, rrows, pb)),
+               wtm.view(), 1.0f, ga.view());
+
+      // Write back: global rows [s+c, n) x cols [s+c, s+c+b), plus mirror.
+      copy_matrix<float>(ConstMatrixView<float>(ga.view()), A.sub(s + c, s + c, rrows, b));
+      for (index_t j = 0; j < b; ++j)
+        for (index_t r = 0; r < rrows; ++r) A(s + c + j, s + c + r) = A(s + c + r, s + c + j);
+    }
+
+    // Panel QR: global rows [s+c+b, n) x cols [s+c, s+c+b).
+    auto panel = A.sub(s + c + b, s + c, m, b);
+    Matrix<float> w(m, b), y(m, b);
+    panel_factor_wy(ctx.panel_kind, panel, w.view(), y.view());
+    for (index_t j = 0; j < b; ++j)  // mirror the finalized band columns
+      for (index_t r = 0; r < m; ++r) A(s + c + j, s + c + b + r) = A(s + c + b + r, s + c + j);
+
+    // Append to the accumulated representation. The new reflectors live on
+    // buffer rows [c, mt) (active rows [c+b, na)).
+    auto ycol = Y.sub(0, c, mt, b);
+    set_zero(ycol);
+    copy_matrix<float>(ConstMatrixView<float>(y.view()), Y.sub(c, c, m, b));
+
+    auto wcol = W.sub(0, c, mt, b);
+    set_zero(wcol);
+    copy_matrix<float>(ConstMatrixView<float>(w.view()), W.sub(c, c, m, b));
+    if (c > 0) {
+      // w' = w - W (Y^T w).
+      Matrix<float> ytw(c, b);
+      eng.gemm(Trans::Yes, Trans::No, 1.0f, ConstMatrixView<float>(Y.sub(c, 0, m, c)),
+               ConstMatrixView<float>(w.view()), 0.0f, ytw.view());
+      eng.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(W.sub(0, 0, mt, c)),
+               ytw.view(), 1.0f, wcol);
+    }
+    if (ctx.cache_oa) {
+      // Extend the cache: P(:, c:c+b) = OA * w'.
+      eng.gemm(Trans::No, Trans::No, 1.0f, oa.view(), ConstMatrixView<float>(wcol), 0.0f,
+               P.sub(0, c, mt, b));
+    }
+
+    cols_done = c + b;
+  }
+
+  if (cols_done == 0) return 0;
+
+  // Full trailing update: rows/cols [cols_done, na) — OA coords [cols_done-b, mt).
+  const index_t t0 = cols_done - b;  // OA-coordinate offset
+  const index_t tw = mt - t0;        // trailing width
+  if (tw > 0) {
+    auto Wv = W.sub(0, 0, mt, cols_done);
+
+    Matrix<float> big;
+    ConstMatrixView<float> big_v;
+    if (ctx.cache_oa) {
+      big_v = P.sub(0, 0, mt, cols_done);
+    } else {
+      big = Matrix<float>(mt, cols_done);
+      eng.gemm(Trans::No, Trans::No, 1.0f, oa.view(), Wv, 0.0f, big.view());
+      big_v = big.view();
+    }
+
+    Matrix<float> mcol(mt, tw);
+    copy_matrix<float>(oa.sub(0, t0, mt, tw), mcol.view());
+    eng.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
+             ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)), 1.0f, mcol.view());
+
+    Matrix<float> wtm(cols_done, tw);
+    eng.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol.view(), 0.0f, wtm.view());
+    Matrix<float> ga(tw, tw);
+    copy_matrix<float>(mcol.sub(t0, 0, tw, tw), ga.view());
+    eng.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)),
+             wtm.view(), 1.0f, ga.view());
+
+    copy_matrix<float>(ConstMatrixView<float>(ga.view()),
+                       A.sub(s + cols_done, s + cols_done, tw, tw));
+  }
+
+  if (ctx.blocks) {
+    WyBlock blk;
+    blk.w = Matrix<float>(mt, cols_done);
+    blk.y = Matrix<float>(mt, cols_done);
+    copy_matrix<float>(ConstMatrixView<float>(W.sub(0, 0, mt, cols_done)), blk.w.view());
+    copy_matrix<float>(ConstMatrixView<float>(Y.sub(0, 0, mt, cols_done)), blk.y.view());
+    blk.row_offset = s + b;
+    ctx.blocks->push_back(std::move(blk));
+  }
+
+  return cols_done;
+}
+
+}  // namespace
+
+SbrResult sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOptions& opt) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n, "sbr_wy requires a square symmetric matrix");
+  const index_t b = opt.bandwidth;
+  TCEVD_CHECK(b >= 1 && b < n, "sbr_wy bandwidth out of range");
+  const index_t nb = std::max(opt.big_block, b);
+  TCEVD_CHECK(nb % b == 0, "sbr_wy big_block must be a multiple of bandwidth");
+
+  SbrResult result;
+  result.band = Matrix<float>(n, n);
+  copy_matrix(a, result.band.view());
+
+  WyContext ctx;
+  ctx.A = result.band.view();
+  ctx.n = n;
+  ctx.b = b;
+  ctx.nb = nb;
+  ctx.engine = &engine;
+  ctx.panel_kind = opt.panel;
+  ctx.blocks = &result.blocks;
+  ctx.cache_oa = opt.wy_cache_oa_product;
+
+  index_t s = 0;
+  for (;;) {
+    const index_t done = process_block(ctx, s);
+    if (done == 0) break;
+    s += done;
+  }
+
+  if (opt.accumulate_q) {
+    result.q = form_q(result.blocks, n, engine);
+  }
+  return result;
+}
+
+}  // namespace tcevd::sbr

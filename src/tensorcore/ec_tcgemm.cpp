@@ -1,0 +1,69 @@
+#include "src/tensorcore/ec_tcgemm.hpp"
+
+namespace tcevd::tc {
+
+namespace {
+
+/// Materialize op(X) as a fresh column-major matrix (no rounding).
+Matrix<float> materialize_op(blas::Trans trans, ConstMatrixView<float> x) {
+  const index_t rows = trans == blas::Trans::No ? x.rows() : x.cols();
+  const index_t cols = trans == blas::Trans::No ? x.cols() : x.rows();
+  Matrix<float> out(rows, cols);
+  if (trans == blas::Trans::No) {
+    copy_matrix(x, out.view());
+  } else {
+    for (index_t j = 0; j < cols; ++j)
+      for (index_t i = 0; i < rows; ++i) out(i, j) = x(j, i);
+  }
+  return out;
+}
+
+}  // namespace
+
+void ec_split(ConstMatrixView<float> x, MatrixView<float> head, MatrixView<float> residual,
+              TcPrecision prec) {
+  TCEVD_CHECK(head.rows() == x.rows() && head.cols() == x.cols() &&
+                  residual.rows() == x.rows() && residual.cols() == x.cols(),
+              "ec_split shape mismatch");
+  for (index_t j = 0; j < x.cols(); ++j)
+    for (index_t i = 0; i < x.rows(); ++i) {
+      const float v = x(i, j);
+      const float h = round_operand(v, prec);
+      head(i, j) = h;
+      residual(i, j) = round_operand(kEcScale * (v - h), prec);
+    }
+}
+
+void ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+               ConstMatrixView<float> b, float beta, MatrixView<float> c, TcPrecision prec) {
+  Matrix<float> ax = materialize_op(transa, a);
+  Matrix<float> bx = materialize_op(transb, b);
+
+  const index_t m = ax.rows();
+  const index_t k = ax.cols();
+  const index_t n = bx.cols();
+  TCEVD_CHECK(bx.rows() == k && c.rows() == m && c.cols() == n, "ec_tcgemm shape mismatch");
+
+  Matrix<float> ah(m, k), da(m, k), bh(k, n), db(k, n);
+  ec_split(ax.view(), ah.view(), da.view(), prec);
+  ec_split(bx.view(), bh.view(), db.view(), prec);
+
+  // Head product: C0 = Ah * Bh (fp32 accumulate — the main TC GEMM).
+  Matrix<float> c0(m, n);
+  blas::gemm<float>(blas::Trans::No, blas::Trans::No, 1.0f, ah.view(), bh.view(), 0.0f, c0.view());
+
+  // Correction: C1 = Ah * dB + dA * Bh (two more TC GEMMs, fp32 accumulate).
+  Matrix<float> c1(m, n);
+  blas::gemm<float>(blas::Trans::No, blas::Trans::No, 1.0f, ah.view(), db.view(), 0.0f, c1.view());
+  blas::gemm<float>(blas::Trans::No, blas::Trans::No, 1.0f, da.view(), bh.view(), 1.0f, c1.view());
+
+  // C = alpha * (C0 + C1/s) + beta * C, fused in fp32 on the SIMT side.
+  const float inv_s = 1.0f / kEcScale;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      const float corrected = c0(i, j) + c1(i, j) * inv_s;
+      c(i, j) = alpha * corrected + ((beta == 0.0f) ? 0.0f : beta * c(i, j));
+    }
+}
+
+}  // namespace tcevd::tc

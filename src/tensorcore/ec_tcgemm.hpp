@@ -1,0 +1,41 @@
+// Error-corrected Tensor Core GEMM (paper Section 5.3; Ootomo & Yokota 2022,
+// building on Markidis et al. 2018).
+//
+// Split each fp32 operand into a low-precision head and a scaled residual:
+//
+//   A = Ã + ΔA/s,  Ã = round16(A),  ΔA = round16(s * (A − Ã)),  s = 2^11
+//
+// then recover the fp32 product from three Tensor Core GEMMs:
+//
+//   C ≈ Ã·B̃ + (Ã·ΔB + ΔA·B̃)/s        (ΔA·ΔB/s² is below fp32 eps — dropped)
+//
+// The 2^11 residual scaling keeps ΔA in fp16's normal range and is the
+// "scale the matrix to reduce underflow" device the paper describes. The
+// result is single-precision-accurate while every multiply still runs on the
+// (emulated) Tensor Core data path.
+#pragma once
+
+#include "src/blas/blas.hpp"
+#include "src/common/matrix.hpp"
+#include "src/tensorcore/mma_tile.hpp"
+
+namespace tcevd::tc {
+
+/// Residual scaling factor: 2^11 shifts the fp16 residual back into the
+/// normal range (fp16 has 10+1 mantissa bits, so the head absorbs the top 11
+/// bits and the residual carries the next 11).
+inline constexpr float kEcScale = 2048.0f;
+
+/// C = alpha * op(A) * op(B) + beta * C with error-corrected Tensor Core
+/// numerics (three TC GEMMs + fp32 fixups). Accuracy is close to one fp32
+/// SGEMM; cost is ~3x the TC flops (still faster than SGEMM on real HW).
+void ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+               ConstMatrixView<float> b, float beta, MatrixView<float> c,
+               TcPrecision prec = TcPrecision::Fp16);
+
+/// Decompose x into head (round to prec) and scaled residual
+/// round(kEcScale * (x - head)). Exposed for tests.
+void ec_split(ConstMatrixView<float> x, MatrixView<float> head, MatrixView<float> residual,
+              TcPrecision prec);
+
+}  // namespace tcevd::tc

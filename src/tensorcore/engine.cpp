@@ -1,0 +1,39 @@
+#include "src/tensorcore/engine.hpp"
+
+namespace tcevd::tc {
+
+void GemmEngine::gemm(blas::Trans transa, blas::Trans transb, float alpha,
+                      ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
+                      MatrixView<float> c) {
+  if (recording_) {
+    const index_t k = (transa == blas::Trans::No) ? a.cols() : a.rows();
+    shapes_.push_back(GemmShape{c.rows(), c.cols(), k});
+  }
+  do_gemm(transa, transb, alpha, a, b, beta, c);
+}
+
+double GemmEngine::recorded_flops() const noexcept {
+  double total = 0.0;
+  for (const auto& s : shapes_) total += s.flops();
+  return total;
+}
+
+void Fp32Engine::do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
+                         ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
+                         MatrixView<float> c) {
+  blas::gemm(transa, transb, alpha, a, b, beta, c);
+}
+
+void TcEngine::do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
+                       ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
+                       MatrixView<float> c) {
+  tc_gemm(transa, transb, alpha, a, b, beta, c, prec_);
+}
+
+void EcTcEngine::do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
+                         ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
+                         MatrixView<float> c) {
+  ec_tcgemm(transa, transb, alpha, a, b, beta, c, prec_);
+}
+
+}  // namespace tcevd::tc

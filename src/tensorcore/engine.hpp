@@ -1,0 +1,112 @@
+// Pluggable GEMM engine.
+//
+// The SBR and EVD drivers are written once against this interface and run
+// with any of three numerics:
+//
+//   * Fp32Engine  — plain fp32 SGEMM (the "SGEMM" lines in Figs. 7, 9, 10)
+//   * TcEngine    — emulated Tensor Core GEMM, fp16 or TF32 operands
+//   * EcTcEngine  — error-corrected Tensor Core GEMM (Fig. 10 blue line)
+//
+// Every call is also recorded (shape + engine) when recording is enabled, so
+// tests can verify that the WY algorithm really generates squarer GEMMs than
+// the ZY algorithm — the paper's central claim — and benches can feed the
+// recorded shapes into the A100 performance model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/blas/blas.hpp"
+#include "src/common/matrix.hpp"
+#include "src/tensorcore/ec_tcgemm.hpp"
+#include "src/tensorcore/tc_gemm.hpp"
+
+namespace tcevd::tc {
+
+/// One recorded GEMM: C(m x n) += op(A) * op(B) with inner dimension k.
+struct GemmShape {
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+
+  double flops() const noexcept { return 2.0 * double(m) * double(n) * double(k); }
+  /// Smallest dimension — the "skinniness" measure from paper Table 1.
+  index_t min_dim() const noexcept { return std::min(m, std::min(n, k)); }
+};
+
+class GemmEngine {
+ public:
+  virtual ~GemmEngine() = default;
+
+  /// Human-readable engine name ("fp32", "tc-fp16", ...).
+  virtual const std::string& name() const noexcept = 0;
+
+  /// C = alpha * op(A) * op(B) + beta * C under this engine's numerics.
+  void gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+            ConstMatrixView<float> b, float beta, MatrixView<float> c);
+
+  /// Shape recording (off by default).
+  void set_recording(bool on) noexcept { recording_ = on; }
+  const std::vector<GemmShape>& recorded() const noexcept { return shapes_; }
+  void clear_recorded() noexcept { shapes_.clear(); }
+  double recorded_flops() const noexcept;
+
+ protected:
+  virtual void do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
+                       ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
+                       MatrixView<float> c) = 0;
+
+ private:
+  bool recording_ = false;
+  std::vector<GemmShape> shapes_;
+};
+
+/// Plain fp32 GEMM (cuBLAS-SGEMM stand-in).
+class Fp32Engine final : public GemmEngine {
+ public:
+  const std::string& name() const noexcept override { return name_; }
+
+ protected:
+  void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+               ConstMatrixView<float> b, float beta, MatrixView<float> c) override;
+
+ private:
+  std::string name_ = "fp32";
+};
+
+/// Emulated Tensor Core GEMM.
+class TcEngine final : public GemmEngine {
+ public:
+  explicit TcEngine(TcPrecision prec = TcPrecision::Fp16)
+      : prec_(prec), name_(prec == TcPrecision::Fp16 ? "tc-fp16" : "tc-tf32") {}
+
+  const std::string& name() const noexcept override { return name_; }
+  TcPrecision precision() const noexcept { return prec_; }
+
+ protected:
+  void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+               ConstMatrixView<float> b, float beta, MatrixView<float> c) override;
+
+ private:
+  TcPrecision prec_;
+  std::string name_;
+};
+
+/// Error-corrected Tensor Core GEMM.
+class EcTcEngine final : public GemmEngine {
+ public:
+  explicit EcTcEngine(TcPrecision prec = TcPrecision::Fp16)
+      : prec_(prec), name_(prec == TcPrecision::Fp16 ? "ectc-fp16" : "ectc-tf32") {}
+
+  const std::string& name() const noexcept override { return name_; }
+
+ protected:
+  void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+               ConstMatrixView<float> b, float beta, MatrixView<float> c) override;
+
+ private:
+  TcPrecision prec_;
+  std::string name_;
+};
+
+}  // namespace tcevd::tc

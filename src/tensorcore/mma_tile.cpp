@@ -1,0 +1,27 @@
+#include "src/tensorcore/mma_tile.hpp"
+
+namespace tcevd::tc {
+
+float round_operand(float v, TcPrecision prec) noexcept {
+  return prec == TcPrecision::Fp16 ? round_to_half(v) : round_to_tf32(v);
+}
+
+void mma_tile(const float* a, index_t lda, const float* b, index_t ldb, float* c, index_t ldc,
+              TcPrecision prec) noexcept {
+  // Round operand fragments once, as the hardware does at fragment load.
+  float af[kTile * kTile];
+  float bf[kTile * kTile];
+  for (index_t j = 0; j < kTile; ++j)
+    for (index_t i = 0; i < kTile; ++i) {
+      af[i + j * kTile] = round_operand(a[i + j * lda], prec);
+      bf[i + j * kTile] = round_operand(b[i + j * ldb], prec);
+    }
+  for (index_t j = 0; j < kTile; ++j)
+    for (index_t i = 0; i < kTile; ++i) {
+      float acc = c[i + j * ldc];
+      for (index_t l = 0; l < kTile; ++l) acc += af[i + l * kTile] * bf[l + j * kTile];
+      c[i + j * ldc] = acc;
+    }
+}
+
+}  // namespace tcevd::tc

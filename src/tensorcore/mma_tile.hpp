@@ -1,0 +1,39 @@
+// Software model of one Tensor Core MMA tile operation.
+//
+// An Ampere HMMA instruction computes D = A*B + C where A and B are 16x16
+// fp16 (or TF32) fragments and C/D are fp32 accumulators. The numerically
+// relevant behaviour is:
+//
+//   1. operands are *rounded to fp16/TF32* before the multiply,
+//   2. each fp16*fp16 product is exact in fp32 (11-bit x 11-bit mantissas),
+//   3. products are accumulated in fp32.
+//
+// `mma_tile` reproduces exactly that on a 16x16x16 tile. The full tc_gemm
+// (tc_gemm.hpp) applies the same operand rounding globally and accumulates
+// in fp32, which is element-wise identical rounding with a different (but
+// still fp32/RNE) accumulation order; the tile emulator exists so tests can
+// pin down the per-tile semantics independently.
+#pragma once
+
+#include "src/common/half.hpp"
+#include "src/common/matrix.hpp"
+
+namespace tcevd::tc {
+
+inline constexpr index_t kTile = 16;
+
+/// Input precision the emulated Tensor Core ingests.
+enum class TcPrecision {
+  Fp16,  ///< binary16 operands (machine eps ~ 9.8e-4)
+  Tf32,  ///< TF32 operands (same 10-bit mantissa, fp32 exponent range)
+};
+
+/// Round an fp32 value to the given Tensor Core input precision.
+float round_operand(float v, TcPrecision prec) noexcept;
+
+/// One 16x16x16 tile: c (16x16 fp32, column-major, ld=16) += A_tile * B_tile
+/// where both operand tiles are rounded to `prec` first.
+void mma_tile(const float* a, index_t lda, const float* b, index_t ldb, float* c, index_t ldc,
+              TcPrecision prec) noexcept;
+
+}  // namespace tcevd::tc

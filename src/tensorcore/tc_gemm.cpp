@@ -1,0 +1,40 @@
+#include "src/tensorcore/tc_gemm.hpp"
+
+namespace tcevd::tc {
+
+namespace {
+
+/// Materialize op(X) rounded to `prec` as a fresh column-major fp32 matrix.
+Matrix<float> rounded_op(blas::Trans trans, ConstMatrixView<float> x, TcPrecision prec) {
+  const index_t rows = trans == blas::Trans::No ? x.rows() : x.cols();
+  const index_t cols = trans == blas::Trans::No ? x.cols() : x.rows();
+  Matrix<float> out(rows, cols);
+  if (trans == blas::Trans::No) {
+    for (index_t j = 0; j < cols; ++j)
+      for (index_t i = 0; i < rows; ++i) out(i, j) = round_operand(x(i, j), prec);
+  } else {
+    for (index_t j = 0; j < cols; ++j)
+      for (index_t i = 0; i < rows; ++i) out(i, j) = round_operand(x(j, i), prec);
+  }
+  return out;
+}
+
+}  // namespace
+
+void tc_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+             ConstMatrixView<float> b, float beta, MatrixView<float> c, TcPrecision prec) {
+  // Operand rounding is element-wise, so rounding whole matrices up front is
+  // identical to per-fragment rounding inside the tile loop; the fp32
+  // accumulation then happens inside blas::gemm. (The tile-level emulator in
+  // mma_tile.cpp is kept for semantics tests; this path is the fast one.)
+  Matrix<float> ar = rounded_op(transa, a, prec);
+  Matrix<float> br = rounded_op(transb, b, prec);
+  blas::gemm<float>(blas::Trans::No, blas::Trans::No, alpha, ar.view(), br.view(), beta, c);
+}
+
+void round_matrix(MatrixView<float> a, TcPrecision prec) {
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) a(i, j) = round_operand(a(i, j), prec);
+}
+
+}  // namespace tcevd::tc

@@ -1,0 +1,25 @@
+// Emulated Tensor Core GEMM: fp32 in/out, operands rounded to fp16 (or TF32)
+// before the multiply, products accumulated in fp32.
+//
+// This is the GEMM every Tensor Core path of the SBR/EVD pipeline goes
+// through, so its accuracy (one ulp-of-fp16 relative error per operand,
+// fp32 accumulation) is exactly what drives the paper's Table 3/4 numbers.
+#pragma once
+
+#include "src/blas/blas.hpp"
+#include "src/common/matrix.hpp"
+#include "src/tensorcore/mma_tile.hpp"
+
+namespace tcevd::tc {
+
+/// C = alpha * op(A) * op(B) + beta * C with Tensor Core numerics.
+/// A and B stay fp32 in memory; they are rounded to `prec` on the fly.
+void tc_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+             ConstMatrixView<float> b, float beta, MatrixView<float> c,
+             TcPrecision prec = TcPrecision::Fp16);
+
+/// Round every entry of `a` to the Tensor Core input precision, in place.
+/// Useful for constructing reference results and for pre-truncating inputs.
+void round_matrix(MatrixView<float> a, TcPrecision prec);
+
+}  // namespace tcevd::tc

@@ -1,0 +1,48 @@
+#include "src/tensorcore/tc_syr2k.hpp"
+
+#include "src/common/flop_counter.hpp"
+
+namespace tcevd::tc {
+
+void tc_syr2k(blas::Uplo uplo, float alpha, ConstMatrixView<float> a, ConstMatrixView<float> b,
+              float beta, MatrixView<float> c, TcPrecision prec) {
+  const index_t n = c.rows();
+  const index_t k = a.cols();
+  TCEVD_CHECK(c.cols() == n, "tc_syr2k requires square C");
+  TCEVD_CHECK(a.rows() == n && b.rows() == n && b.cols() == k, "tc_syr2k shape mismatch");
+  FlopCounter::instance().add(gemm_flops(n, n, k));
+
+  // Pre-round the operands once (fragment-load rounding).
+  Matrix<float> ar(n, k), br(n, k);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      ar(i, j) = round_operand(a(i, j), prec);
+      br(i, j) = round_operand(b(i, j), prec);
+    }
+
+  const bool lower = uplo == blas::Uplo::Lower;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t i0 = lower ? j : 0;
+    const index_t i1 = lower ? n : j + 1;
+    for (index_t i = i0; i < i1; ++i) {
+      // fp32 accumulation of the 2k products, operands already rounded.
+      float acc = (beta == 0.0f) ? 0.0f : beta * c(i, j);
+      float s = 0.0f;
+      for (index_t l = 0; l < k; ++l) s += ar(i, l) * br(j, l) + br(i, l) * ar(j, l);
+      c(i, j) = acc + alpha * s;
+    }
+  }
+}
+
+Syr2kTileCount tc_syr2k_tile_counts(index_t n, index_t k) {
+  const index_t nt = (n + kTile - 1) / kTile;
+  const index_t kt = (k + kTile - 1) / kTile;
+  Syr2kTileCount out;
+  // syr2k touches the lower-triangle tiles (incl. diagonal) for both
+  // products; two full GEMMs touch every tile twice.
+  out.syr2k = nt * (nt + 1) / 2 * kt * 2;
+  out.two_gemm = nt * nt * kt * 2;
+  return out;
+}
+
+}  // namespace tcevd::tc

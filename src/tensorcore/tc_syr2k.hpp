@@ -1,0 +1,32 @@
+// Tensor-Core symmetric rank-2k update (the paper's first future-work item).
+//
+// The paper's ZY trailing update A <- A - Y Z^T - Z Y^T runs as two full
+// GEMMs on a Tensor Core because "Tensor Core does not support the syr2k
+// routine natively ... this kind of GEMM is regarded as a normal GEMM that
+// does 2x more computations". This routine closes that gap in the emulator:
+// it walks only the tiles of the requested triangle (plus the diagonal
+// tiles) with TC numerics, doing ~half the tile-MMAs of the two-GEMM form
+// and producing an exactly symmetric update.
+#pragma once
+
+#include "src/blas/blas.hpp"
+#include "src/common/matrix.hpp"
+#include "src/tensorcore/mma_tile.hpp"
+
+namespace tcevd::tc {
+
+/// C = alpha * (A B^T + B A^T) + beta * C on the `uplo` triangle of C only
+/// (the opposite triangle is left untouched), with Tensor Core operand
+/// rounding. A, B are n x k.
+void tc_syr2k(blas::Uplo uplo, float alpha, ConstMatrixView<float> a, ConstMatrixView<float> b,
+              float beta, MatrixView<float> c, TcPrecision prec = TcPrecision::Fp16);
+
+/// Tile-MMA count of tc_syr2k vs the two-GEMM form, for the ablation bench:
+/// returns {syr2k_tiles, two_gemm_tiles}.
+struct Syr2kTileCount {
+  index_t syr2k = 0;
+  index_t two_gemm = 0;
+};
+Syr2kTileCount tc_syr2k_tile_counts(index_t n, index_t k);
+
+}  // namespace tcevd::tc

@@ -1,0 +1,75 @@
+#include "src/tsqr/reconstruct_wy.hpp"
+
+#include "src/blas/blas.hpp"
+#include "src/lapack/lu.hpp"
+
+namespace tcevd::tsqr {
+
+namespace {
+
+template <typename T>
+void reconstruct_impl(ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
+                      std::vector<T>& signs) {
+  const index_t m = q.rows();
+  const index_t n = q.cols();
+  TCEVD_CHECK(w.rows() == m && w.cols() == n && y.rows() == m && y.cols() == n,
+              "reconstruct_wy output shape mismatch");
+
+  // Signed LU (Ballard et al., Algorithm "LU with on-the-fly sign choice"):
+  // eliminate A = S - Q column by column, choosing each S_jj = +-1 only when
+  // its column comes up, from the *Schur-complement-updated* diagonal entry,
+  // so |pivot| = 1 + |updated Q_jj| >= 1 and the factorization cannot break
+  // down. A static sign choice from the original diagonal of Q does not work:
+  // the updated diagonal can flip sign during elimination.
+  signs.assign(static_cast<std::size_t>(n), T{1});
+  Matrix<T> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = -q(i, j);
+
+  for (index_t j = 0; j < n; ++j) {
+    const T s = (a(j, j) >= T{}) ? T{1} : T{-1};
+    signs[static_cast<std::size_t>(j)] = s;
+    a(j, j) += s;
+    const T pivot = a(j, j);
+    TCEVD_CHECK(pivot != T{}, "reconstruct_wy: zero pivot (Q not orthonormal?)");
+    const T inv = T{1} / pivot;
+    for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
+    for (index_t c = j + 1; c < n; ++c) {
+      const T ujc = a(j, c);
+      if (ujc == T{}) continue;
+      for (index_t i = j + 1; i < m; ++i) a(i, c) -= a(i, j) * ujc;
+    }
+  }
+
+  // Y = unit lower trapezoidal factor.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      y(i, j) = (i > j) ? a(i, j) : (i == j ? T{1} : T{});
+
+  // The reconstruction identity is  Y (T Y1^T) = I(:,1:n) - Q*S  with S
+  // scaling the *columns* of Q (the sign convention the reflector product
+  // actually produces). The signed LU above ran on (S - Q) = (I - Q S) * S,
+  // whose L factor is identical (column scaling only rescales U), so Y is
+  // already correct; W however must be solved from the column-scaled matrix:
+  // W = (I - Q S) Y1^{-T}.
+  for (index_t j = 0; j < n; ++j) {
+    const T s = signs[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < m; ++i) w(i, j) = ((i == j) ? T{1} : T{}) - q(i, j) * s;
+  }
+  blas::trsm(blas::Side::Right, blas::Uplo::Lower, blas::Trans::Yes, blas::Diag::Unit, T{1},
+             ConstMatrixView<T>(y.sub(0, 0, n, n)), w);
+}
+
+}  // namespace
+
+void reconstruct_wy(ConstMatrixView<float> q, MatrixView<float> w, MatrixView<float> y,
+                    std::vector<float>& signs) {
+  reconstruct_impl(q, w, y, signs);
+}
+
+void reconstruct_wy(ConstMatrixView<double> q, MatrixView<double> w, MatrixView<double> y,
+                    std::vector<double>& signs) {
+  reconstruct_impl(q, w, y, signs);
+}
+
+}  // namespace tcevd::tsqr

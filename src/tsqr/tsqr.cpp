@@ -1,0 +1,87 @@
+#include "src/tsqr/tsqr.hpp"
+
+#include <vector>
+
+#include "src/blas/blas.hpp"
+#include "src/lapack/qr.hpp"
+
+namespace tcevd::tsqr {
+
+namespace {
+
+/// Leaf: ordinary Householder QR producing explicit Q and R.
+template <typename T>
+void leaf_qr(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  Matrix<T> work(m, n);
+  copy_matrix(a, work.view());
+  std::vector<T> tau;
+  lapack::geqr2(work.view(), tau);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) r(i, j) = (i <= j) ? work(i, j) : T{};
+  lapack::orgqr(work.view(), tau, q);
+}
+
+/// Recursive TSQR: split rows, factor halves, combine [R1; R2] and fold the
+/// combining Q back into the children's Qs.
+template <typename T>
+void tsqr_rec(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
+              const TsqrOptions& opts) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (m <= std::max(opts.leaf_rows, 2 * n)) {
+    leaf_qr(a, q, r);
+    return;
+  }
+  const index_t mh = m / 2;
+
+  Matrix<T> r1(n, n);
+  Matrix<T> r2(n, n);
+  tsqr_rec<T>(a.sub(0, 0, mh, n), q.sub(0, 0, mh, n), r1.view(), opts);
+  tsqr_rec<T>(a.sub(mh, 0, m - mh, n), q.sub(mh, 0, m - mh, n), r2.view(), opts);
+
+  // Combine: QR of the stacked (2n x n) R factors.
+  Matrix<T> stacked(2 * n, n);
+  copy_matrix<T>(r1.view(), stacked.sub(0, 0, n, n));
+  copy_matrix<T>(r2.view(), stacked.sub(n, 0, n, n));
+  Matrix<T> qc(2 * n, n);
+  leaf_qr<T>(stacked.view(), qc.view(), r);
+
+  // Q_top *= Qc(0:n, :), Q_bottom *= Qc(n:2n, :).
+  Matrix<T> tmp_top(mh, n);
+  blas::gemm<T>(blas::Trans::No, blas::Trans::No, T{1}, ConstMatrixView<T>(q.sub(0, 0, mh, n)),
+             ConstMatrixView<T>(qc.sub(0, 0, n, n)), T{}, tmp_top.view());
+  copy_matrix<T>(tmp_top.view(), q.sub(0, 0, mh, n));
+
+  Matrix<T> tmp_bot(m - mh, n);
+  blas::gemm<T>(blas::Trans::No, blas::Trans::No, T{1},
+             ConstMatrixView<T>(q.sub(mh, 0, m - mh, n)), ConstMatrixView<T>(qc.sub(n, 0, n, n)),
+             T{}, tmp_bot.view());
+  copy_matrix<T>(tmp_bot.view(), q.sub(mh, 0, m - mh, n));
+}
+
+template <typename T>
+void tsqr_impl(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
+               const TsqrOptions& opts) {
+  TCEVD_CHECK(a.rows() >= a.cols(), "tsqr requires a tall matrix (m >= n)");
+  TCEVD_CHECK(q.rows() == a.rows() && q.cols() == a.cols(), "tsqr Q shape mismatch");
+  TCEVD_CHECK(r.rows() == a.cols() && r.cols() == a.cols(), "tsqr R shape mismatch");
+  TsqrOptions o = opts;
+  o.leaf_rows = std::max(o.leaf_rows, a.cols());
+  tsqr_rec<T>(a, q, r, o);
+}
+
+}  // namespace
+
+void tsqr_factor(ConstMatrixView<float> a, MatrixView<float> q, MatrixView<float> r,
+                 const TsqrOptions& opts) {
+  tsqr_impl(a, q, r, opts);
+}
+
+void tsqr_factor(ConstMatrixView<double> a, MatrixView<double> q, MatrixView<double> r,
+                 const TsqrOptions& opts) {
+  tsqr_impl(a, q, r, opts);
+}
+
+}  // namespace tcevd::tsqr

@@ -1,0 +1,30 @@
+// Tall-Skinny QR (paper Section 5.1).
+//
+// Communication-avoiding QR on a binary row-block tree: each leaf block is
+// factorized with Householder QR (the paper deliberately uses Householder
+// rather than modified Gram-Schmidt per block, for stability), pairs of R
+// factors are re-factorized up the tree, and the explicit Q is assembled on
+// the way back down. The output is an explicit orthonormal Q plus R — the
+// Householder (WY) form is recovered afterwards by reconstruct_wy.
+#pragma once
+
+#include "src/common/matrix.hpp"
+
+namespace tcevd::tsqr {
+
+struct TsqrOptions {
+  /// Row count below which a block is factorized directly. Must be >= the
+  /// panel width; the default mimics a GPU block of 256 rows.
+  index_t leaf_rows = 256;
+};
+
+/// Factor a (m x n, m >= n) into Q (m x n, orthonormal columns) * R (n x n,
+/// upper triangular). `a` is not modified.
+void tsqr_factor(ConstMatrixView<float> a, MatrixView<float> q, MatrixView<float> r,
+                 const TsqrOptions& opts = {});
+
+/// Double-precision variant (used by reference pipelines and tests).
+void tsqr_factor(ConstMatrixView<double> a, MatrixView<double> q, MatrixView<double> r,
+                 const TsqrOptions& opts = {});
+
+}  // namespace tcevd::tsqr

@@ -1,0 +1,169 @@
+// Bidiagonalization SVD pipeline: gebrd / orgbr / bdsqr / svd_golub_kahan.
+#include <gtest/gtest.h>
+
+#include "src/blas/blas.hpp"
+#include "src/common/norms.hpp"
+#include "src/lapack/bidiag.hpp"
+#include "src/svd/svd.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+
+TEST(Gebrd, QtAPIsBidiagonal) {
+  const index_t m = 40, n = 24;
+  auto a = test::random_matrix(m, n, 1);
+  auto work = a;
+  std::vector<double> d, e, tauq, taup;
+  lapack::gebrd(work.view(), d, e, tauq, taup);
+
+  Matrix<double> q(m, n), p(n, n);
+  lapack::orgbr_q<double>(work.view(), tauq, q.view());
+  lapack::orgbr_p<double>(work.view(), taup, p.view());
+  EXPECT_LT(orthogonality_residual<double>(q.view()), 1e-12 * m);
+  EXPECT_LT(orthogonality_residual<double>(p.view()), 1e-12 * n);
+
+  // B = Q^T A P must equal the recorded bidiagonal.
+  Matrix<double> t(n, n), b(n, n);
+  Matrix<double> qa(n, n);
+  blas::gemm(Trans::Yes, Trans::No, 1.0, q.view(), a.view(), 0.0, qa.view());
+  blas::gemm(Trans::No, Trans::No, 1.0, qa.view(), p.view(), 0.0, b.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      double expect = 0.0;
+      if (i == j) expect = d[static_cast<std::size_t>(i)];
+      if (j == i + 1) expect = e[static_cast<std::size_t>(i)];
+      EXPECT_NEAR(b(i, j), expect, 1e-12) << i << "," << j;
+    }
+}
+
+TEST(Bdsqr, DiagonalInputIsSortedAbs) {
+  std::vector<double> d{3.0, -7.0, 1.0};
+  std::vector<double> e{0.0, 0.0};
+  Matrix<double> u(3, 3), v(3, 3);
+  set_identity(u.view());
+  set_identity(v.view());
+  auto uv = u.view();
+  auto vv = v.view();
+  ASSERT_TRUE(lapack::bdsqr<double>(d, e, &uv, &vv));
+  EXPECT_DOUBLE_EQ(d[0], 7.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+  // The negative singular value's V column flips sign.
+  EXPECT_DOUBLE_EQ(v(1, 0), -1.0);
+}
+
+TEST(Bdsqr, MatchesJacobiOnRandomBidiagonal) {
+  const index_t n = 30;
+  Rng rng(2);
+  std::vector<double> d(static_cast<std::size_t>(n)), e(static_cast<std::size_t>(n - 1));
+  for (auto& x : d) x = rng.normal();
+  for (auto& x : e) x = rng.normal();
+
+  Matrix<double> bfull(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    bfull(i, i) = d[static_cast<std::size_t>(i)];
+    if (i + 1 < n) bfull(i, i + 1) = e[static_cast<std::size_t>(i)];
+  }
+  auto ref = svd::jacobi_svd(bfull.view());
+
+  auto ds = d;
+  auto es = e;
+  ASSERT_TRUE(lapack::bdsqr<double>(ds, es, nullptr, nullptr));
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(ds[static_cast<std::size_t>(i)], ref.sigma[static_cast<std::size_t>(i)],
+                1e-11);
+}
+
+class GkSvdTest : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(GkSvdTest, FullFactorization) {
+  const auto [m, n] = GetParam();
+  auto a = test::random_matrix(m, n, 10 + m);
+  auto res = svd::svd_golub_kahan<double>(a.view());
+  ASSERT_TRUE(res.converged);
+
+  EXPECT_LT(orthogonality_residual<double>(res.u.view()), 1e-11 * m);
+  EXPECT_LT(orthogonality_residual<double>(res.v.view()), 1e-11 * n);
+  for (index_t i = 1; i < n; ++i)
+    EXPECT_GE(res.sigma[static_cast<std::size_t>(i - 1)],
+              res.sigma[static_cast<std::size_t>(i)]);
+
+  // A == U diag(sigma) V^T.
+  Matrix<double> us(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      us(i, j) = res.u(i, j) * res.sigma[static_cast<std::size_t>(j)];
+  Matrix<double> rec(m, n);
+  blas::gemm(Trans::No, Trans::Yes, 1.0, us.view(), res.v.view(), 0.0, rec.view());
+  EXPECT_LT(test::rel_diff<double>(rec.view(), a.view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GkSvdTest,
+                         ::testing::Values(std::make_tuple<index_t, index_t>(30, 30),
+                                           std::make_tuple<index_t, index_t>(80, 25),
+                                           std::make_tuple<index_t, index_t>(200, 12),
+                                           std::make_tuple<index_t, index_t>(17, 16),
+                                           std::make_tuple<index_t, index_t>(40, 1)));
+
+TEST(GkSvd, MatchesJacobiSingularValues) {
+  const index_t m = 60, n = 30;
+  auto a = test::random_matrix(m, n, 20);
+  auto gk = svd::svd_golub_kahan<double>(a.view());
+  auto jac = svd::jacobi_svd(a.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(gk.sigma[static_cast<std::size_t>(i)], jac.sigma[static_cast<std::size_t>(i)],
+                1e-11 * jac.sigma[0]);
+}
+
+TEST(GkSvd, ValuesOnlyMode) {
+  const index_t m = 50, n = 20;
+  auto a = test::random_matrix(m, n, 21);
+  auto full = svd::svd_golub_kahan<double>(a.view(), true);
+  auto vals = svd::svd_golub_kahan<double>(a.view(), false);
+  ASSERT_TRUE(vals.converged);
+  EXPECT_EQ(vals.u.rows(), 0);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(vals.sigma[static_cast<std::size_t>(i)],
+                full.sigma[static_cast<std::size_t>(i)], 1e-12);
+}
+
+TEST(GkSvd, FloatPrecision) {
+  const index_t m = 80, n = 24;
+  auto a = test::random_matrix_f(m, n, 22);
+  auto res = svd::svd_golub_kahan<float>(a.view());
+  ASSERT_TRUE(res.converged);
+  Matrix<float> us(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      us(i, j) = res.u(i, j) * res.sigma[static_cast<std::size_t>(j)];
+  Matrix<float> rec(m, n);
+  blas::gemm(Trans::No, Trans::Yes, 1.0f, us.view(), res.v.view(), 0.0f, rec.view());
+  EXPECT_LT(test::rel_diff<float>(rec.view(), a.view()), 1e-4);
+}
+
+TEST(GkSvd, RankDeficient) {
+  // Exactly rank-2: trailing singular values must come out ~0 and the
+  // factorization must still hold.
+  const index_t m = 40, n = 15;
+  auto b = test::random_matrix(m, 2, 23);
+  auto c = test::random_matrix(2, n, 24);
+  Matrix<double> a(m, n);
+  blas::gemm(Trans::No, Trans::No, 1.0, b.view(), c.view(), 0.0, a.view());
+  auto res = svd::svd_golub_kahan<double>(a.view());
+  ASSERT_TRUE(res.converged);
+  for (index_t i = 2; i < n; ++i)
+    EXPECT_LT(res.sigma[static_cast<std::size_t>(i)], 1e-10 * res.sigma[0]);
+  Matrix<double> us(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      us(i, j) = res.u(i, j) * res.sigma[static_cast<std::size_t>(j)];
+  Matrix<double> rec(m, n);
+  blas::gemm(Trans::No, Trans::Yes, 1.0, us.view(), res.v.view(), 0.0, rec.view());
+  EXPECT_LT(test::rel_diff<double>(rec.view(), a.view()), 1e-12);
+}
+
+}  // namespace
+}  // namespace tcevd

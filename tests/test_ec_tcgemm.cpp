@@ -1,0 +1,134 @@
+// Error-corrected Tensor Core GEMM: the split identity, accuracy recovery to
+// ~fp32, and behaviour across transposes and dynamic ranges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/blas/blas.hpp"
+#include "src/tensorcore/ec_tcgemm.hpp"
+#include "src/tensorcore/tc_gemm.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+using tc::TcPrecision;
+
+TEST(EcSplit, HeadPlusScaledResidualReconstructs) {
+  const index_t n = 32;
+  auto x = test::random_matrix_f(n, n, 1);
+  Matrix<float> head(n, n), res(n, n);
+  tc::ec_split(x.view(), head.view(), res.view(), TcPrecision::Fp16);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const double recon = double(head(i, j)) + double(res(i, j)) / tc::kEcScale;
+      // Residual itself is rounded to fp16, so reconstruction error is
+      // ~eps16^2 relative, far below fp32 eps * 4 in this [-4,4] range.
+      EXPECT_NEAR(recon, double(x(i, j)), 4e-7 * std::max(1.0, std::abs(double(x(i, j)))));
+    }
+}
+
+TEST(EcSplit, HeadIsFp16Representable) {
+  auto x = test::random_matrix_f(16, 16, 2);
+  Matrix<float> head(16, 16), res(16, 16);
+  tc::ec_split(x.view(), head.view(), res.view(), TcPrecision::Fp16);
+  for (index_t j = 0; j < 16; ++j)
+    for (index_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(head(i, j), round_to_half(head(i, j)));
+      EXPECT_EQ(res(i, j), round_to_half(res(i, j)));
+    }
+}
+
+TEST(EcTcGemm, RecoversNearFp32Accuracy) {
+  const index_t n = 96;
+  auto a = test::random_matrix_f(n, n, 3);
+  auto b = test::random_matrix_f(n, n, 4);
+  Matrix<double> ad(n, n), bd(n, n), cd(n, n);
+  convert_matrix<float, double>(a.view(), ad.view());
+  convert_matrix<float, double>(b.view(), bd.view());
+  blas::gemm(Trans::No, Trans::No, 1.0, ad.view(), bd.view(), 0.0, cd.view());
+
+  Matrix<float> c_tc(n, n), c_ec(n, n);
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
+  tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view());
+
+  Matrix<float> cd_f(n, n);
+  convert_matrix<double, float>(cd.view(), cd_f.view());
+  const double err_tc = test::rel_diff<float>(c_tc.view(), cd_f.view());
+  const double err_ec = test::rel_diff<float>(c_ec.view(), cd_f.view());
+  // EC must beat plain TC by >= 2 orders of magnitude and approach fp32.
+  EXPECT_LT(err_ec, err_tc / 100.0);
+  EXPECT_LT(err_ec, 1e-6);
+}
+
+TEST(EcTcGemm, AlphaBetaHandled) {
+  const index_t n = 16;
+  auto a = test::random_matrix_f(n, n, 5);
+  auto b = test::random_matrix_f(n, n, 6);
+  auto c = test::random_matrix_f(n, n, 7);
+  Matrix<float> c_ref = c;
+  blas::gemm(Trans::No, Trans::No, 1.5f, a.view(), b.view(), -0.5f, c_ref.view());
+  tc::ec_tcgemm(Trans::No, Trans::No, 1.5f, a.view(), b.view(), -0.5f, c.view());
+  EXPECT_LT(test::rel_diff<float>(c.view(), c_ref.view()), 1e-5);
+}
+
+struct TransCase {
+  Trans ta, tb;
+};
+
+class EcTransTest : public ::testing::TestWithParam<TransCase> {};
+
+TEST_P(EcTransTest, Transposes) {
+  const auto p = GetParam();
+  const index_t m = 20, n = 24, k = 16;
+  const index_t am = (p.ta == Trans::No) ? m : k;
+  const index_t an = (p.ta == Trans::No) ? k : m;
+  const index_t bm = (p.tb == Trans::No) ? k : n;
+  const index_t bn = (p.tb == Trans::No) ? n : k;
+  auto a = test::random_matrix_f(am, an, 8);
+  auto b = test::random_matrix_f(bm, bn, 9);
+  Matrix<float> c_ec(m, n), c_ref(m, n);
+  tc::ec_tcgemm(p.ta, p.tb, 1.0f, a.view(), b.view(), 0.0f, c_ec.view());
+  blas::gemm(p.ta, p.tb, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
+  EXPECT_LT(test::rel_diff<float>(c_ec.view(), c_ref.view()), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, EcTransTest,
+                         ::testing::Values(TransCase{Trans::No, Trans::No},
+                                           TransCase{Trans::No, Trans::Yes},
+                                           TransCase{Trans::Yes, Trans::No},
+                                           TransCase{Trans::Yes, Trans::Yes}));
+
+TEST(EcTcGemm, ScalingHandlesSmallMagnitudes) {
+  // Entries around 2^-13: plain fp16 rounding loses most mantissa bits to
+  // the subnormal range; the 2^11 residual scaling must recover them.
+  const index_t n = 32;
+  Rng rng(10);
+  Matrix<float> a(n, n), b(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      a(i, j) = static_cast<float>(rng.normal()) * 0x1.0p-13f;
+      b(i, j) = static_cast<float>(rng.normal());
+    }
+  Matrix<float> c_ec(n, n), c_tc(n, n), c_ref(n, n);
+  tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view());
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
+  blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
+  EXPECT_LT(test::rel_diff<float>(c_ec.view(), c_ref.view()),
+            0.1 * test::rel_diff<float>(c_tc.view(), c_ref.view()));
+}
+
+TEST(EcTcGemm, Tf32VariantAlsoAccurate) {
+  const index_t n = 48;
+  auto a = test::random_matrix_f(n, n, 11);
+  auto b = test::random_matrix_f(n, n, 12);
+  Matrix<float> c_ec(n, n), c_ref(n, n);
+  tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view(),
+                TcPrecision::Tf32);
+  blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
+  EXPECT_LT(test::rel_diff<float>(c_ec.view(), c_ref.view()), 1e-6);
+}
+
+}  // namespace
+}  // namespace tcevd

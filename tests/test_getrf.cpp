@@ -1,0 +1,106 @@
+// Pivoted LU (getrf/getrs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/blas/blas.hpp"
+#include "src/lapack/getrf.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+
+TEST(Getrf, ReconstructsWithPivoting) {
+  const index_t n = 20;
+  auto a = test::random_matrix(n, n, 1);
+  a(0, 0) = 0.0;  // force an immediate pivot
+  auto f = a;
+  std::vector<index_t> piv;
+  EXPECT_EQ(lapack::getrf(f.view(), piv), -1);
+
+  // Rebuild P A and compare against L U.
+  Matrix<double> l(n, n), u(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      l(i, j) = (i > j) ? f(i, j) : (i == j ? 1.0 : 0.0);
+      u(i, j) = (i <= j) ? f(i, j) : 0.0;
+    }
+  Matrix<double> lu(n, n);
+  blas::gemm(Trans::No, Trans::No, 1.0, l.view(), u.view(), 0.0, lu.view());
+  Matrix<double> pa = a;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t p = piv[static_cast<std::size_t>(j)];
+    if (p != j)
+      for (index_t c = 0; c < n; ++c) std::swap(pa(j, c), pa(p, c));
+  }
+  EXPECT_LT(test::rel_diff<double>(lu.view(), pa.view()), 1e-13);
+}
+
+TEST(Getrf, SolveRoundTrip) {
+  const index_t n = 30;
+  auto a = test::random_matrix(n, n, 2);
+  Rng rng(3);
+  Matrix<double> x_true(n, 3);
+  fill_normal(rng, x_true.view());
+  Matrix<double> b(n, 3);
+  blas::gemm(Trans::No, Trans::No, 1.0, a.view(), x_true.view(), 0.0, b.view());
+
+  auto f = a;
+  std::vector<index_t> piv;
+  ASSERT_EQ(lapack::getrf(f.view(), piv), -1);
+  lapack::getrs<double>(Trans::No, f.view(), piv, b.view());
+  EXPECT_LT(test::rel_diff<double>(b.view(), x_true.view()), 1e-10);
+}
+
+TEST(Getrf, TransposedSolve) {
+  const index_t n = 18;
+  auto a = test::random_matrix(n, n, 4);
+  Rng rng(5);
+  Matrix<double> x_true(n, 2);
+  fill_normal(rng, x_true.view());
+  Matrix<double> b(n, 2);
+  blas::gemm(Trans::Yes, Trans::No, 1.0, a.view(), x_true.view(), 0.0, b.view());
+
+  auto f = a;
+  std::vector<index_t> piv;
+  ASSERT_EQ(lapack::getrf(f.view(), piv), -1);
+  lapack::getrs<double>(Trans::Yes, f.view(), piv, b.view());
+  EXPECT_LT(test::rel_diff<double>(b.view(), x_true.view()), 1e-10);
+}
+
+TEST(Getrf, ReportsSingularity) {
+  Matrix<double> a(3, 3);  // all zeros
+  std::vector<index_t> piv;
+  EXPECT_EQ(lapack::getrf(a.view(), piv), 0);
+}
+
+TEST(Getrf, HandlesIllConditionedShift) {
+  // A - lambda I with lambda ~ an eigenvalue: nearly singular but must
+  // factor and solve without producing NaNs (the refinement use case).
+  const index_t n = 16;
+  auto a = test::random_symmetric<double>(n, 6);
+  // crude largest eigenvalue estimate by power iteration
+  std::vector<double> v(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (int it = 0; it < 50; ++it) {
+    blas::gemv(Trans::No, 1.0, a.view(), v.data(), 1, 0.0, w.data(), 1);
+    const double nn = blas::nrm2(n, w.data(), 1);
+    for (index_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = w[static_cast<std::size_t>(i)] / nn;
+  }
+  blas::gemv(Trans::No, 1.0, a.view(), v.data(), 1, 0.0, w.data(), 1);
+  const double lambda = blas::dot(n, v.data(), 1, w.data(), 1);
+
+  auto f = a;
+  for (index_t i = 0; i < n; ++i) f(i, i) -= lambda;
+  std::vector<index_t> piv;
+  lapack::getrf(f.view(), piv);  // may or may not flag exact singularity
+  Matrix<double> rhs(n, 1);
+  for (index_t i = 0; i < n; ++i) rhs(i, 0) = v[static_cast<std::size_t>(i)];
+  lapack::getrs<double>(Trans::No, f.view(), piv, rhs.view());
+  for (index_t i = 0; i < n; ++i) EXPECT_TRUE(std::isfinite(rhs(i, 0)));
+}
+
+}  // namespace
+}  // namespace tcevd

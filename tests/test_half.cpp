@@ -1,0 +1,154 @@
+// binary16 / TF32 conversion semantics: exactness, rounding mode, overflow,
+// subnormals, NaN/inf propagation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/half.hpp"
+#include "src/common/rng.hpp"
+
+namespace tcevd {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2^11 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(round_to_half(static_cast<float>(i)), static_cast<float>(i)) << i;
+  }
+}
+
+TEST(Half, ExactPowersOfTwo) {
+  for (int e = -14; e <= 15; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(round_to_half(v), v) << "2^" << e;
+  }
+}
+
+TEST(Half, SignedZeroRoundTrip) {
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000u);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000u);
+  EXPECT_EQ(half_bits_to_float(0x8000u), -0.0f);
+  EXPECT_TRUE(std::signbit(half_bits_to_float(0x8000u)));
+}
+
+TEST(Half, RoundToNearestEvenAtMidpoint) {
+  // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; RNE picks 1 (even).
+  EXPECT_EQ(round_to_half(1.0f + 0x1.0p-11f), 1.0f);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: RNE picks 1+2^-9
+  // (mantissa 2, even) over 1+2^-10 (mantissa 1, odd).
+  EXPECT_EQ(round_to_half(1.0f + 3.0f * 0x1.0p-11f), 1.0f + 0x1.0p-9f);
+}
+
+TEST(Half, RoundsUpPastMidpoint) {
+  EXPECT_EQ(round_to_half(1.0f + 0x1.0p-11f + 0x1.0p-20f), 1.0f + 0x1.0p-10f);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(round_to_half(65520.0f)));
+  EXPECT_TRUE(std::isinf(round_to_half(1e30f)));
+  EXPECT_TRUE(std::isinf(round_to_half(-1e30f)));
+  EXPECT_LT(round_to_half(-1e30f), 0.0f);
+  // Largest finite value survives.
+  EXPECT_EQ(round_to_half(65504.0f), 65504.0f);
+  // Just below the rounding threshold stays finite.
+  EXPECT_EQ(round_to_half(65519.0f), 65504.0f);
+}
+
+TEST(Half, SubnormalsRepresentable) {
+  // Smallest positive subnormal: 2^-24.
+  const float tiny = 0x1.0p-24f;
+  EXPECT_EQ(round_to_half(tiny), tiny);
+  // 2^-25 is halfway between 0 and 2^-24: RNE picks 0 (even).
+  EXPECT_EQ(round_to_half(0x1.0p-25f), 0.0f);
+  // Slightly more than 2^-25 rounds up to 2^-24.
+  EXPECT_EQ(round_to_half(0x1.2p-25f), tiny);
+  // A mid-range subnormal.
+  EXPECT_EQ(round_to_half(0x1.0p-20f), 0x1.0p-20f);
+}
+
+TEST(Half, SubnormalRoundTripAllBitPatterns) {
+  for (std::uint16_t bits = 1; bits < 0x400u; ++bits) {  // all positive subnormals
+    const float f = half_bits_to_float(bits);
+    EXPECT_EQ(float_to_half_bits(f), bits) << "bits=" << bits;
+  }
+}
+
+TEST(Half, NormalRoundTripAllBitPatterns) {
+  for (std::uint32_t bits = 0x400u; bits < 0x7c00u; ++bits) {  // all positive normals
+    const float f = half_bits_to_float(static_cast<std::uint16_t>(bits));
+    EXPECT_EQ(float_to_half_bits(f), bits) << "bits=" << bits;
+  }
+}
+
+TEST(Half, NanPropagates) {
+  const float nan = std::nanf("");
+  EXPECT_TRUE(std::isnan(round_to_half(nan)));
+  EXPECT_TRUE(std::isnan(half_bits_to_float(0x7e00u)));
+}
+
+TEST(Half, InfPropagates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(round_to_half(inf)));
+  EXPECT_TRUE(std::isinf(round_to_half(-inf)));
+}
+
+TEST(Half, RelativeErrorBound) {
+  // |round16(x) - x| <= eps/2 * |x| for normal-range x.
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-100.0, 100.0));
+    if (std::abs(x) < 0x1.0p-14f) continue;
+    const float r = round_to_half(x);
+    EXPECT_LE(std::abs(r - x), 0.5f * kHalfEps * std::abs(x)) << x;
+  }
+}
+
+TEST(Half, RoundingIsIdempotent) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.normal() * std::exp(rng.uniform(-10.0, 10.0)));
+    const float once = round_to_half(x);
+    EXPECT_EQ(round_to_half(once), once);
+  }
+}
+
+TEST(Tf32, KeepsFp32Exponent) {
+  // 1e-30 underflows fp16 but is fine in TF32.
+  EXPECT_EQ(round_to_half(1e-30f), 0.0f);
+  EXPECT_NEAR(round_to_tf32(1e-30f), 1e-30f, 1e-33f);
+  EXPECT_GT(round_to_tf32(1e30f), 9.9e29f);
+}
+
+TEST(Tf32, MantissaIs10Bits) {
+  EXPECT_EQ(round_to_tf32(1.0f + 0x1.0p-10f), 1.0f + 0x1.0p-10f);  // representable
+  EXPECT_EQ(round_to_tf32(1.0f + 0x1.0p-11f), 1.0f);               // RNE to even
+  EXPECT_EQ(round_to_tf32(1.0f + 0x1.0p-11f + 0x1.0p-20f), 1.0f + 0x1.0p-10f);
+}
+
+TEST(Tf32, RoundingIsIdempotent) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.normal() * std::exp(rng.uniform(-30.0, 30.0)));
+    const float once = round_to_tf32(x);
+    EXPECT_EQ(round_to_tf32(once), once);
+  }
+}
+
+TEST(Half, MatchesNativeFloat16IfAvailable) {
+#ifdef __FLT16_MANT_DIG__
+  // Cross-check against the compiler's _Float16 on a dense sample.
+  Rng rng(123);
+  for (int i = 0; i < 50000; ++i) {
+    const float x = static_cast<float>(rng.normal() * std::exp(rng.uniform(-6.0, 6.0)));
+    const float ours = round_to_half(x);
+    const float native = static_cast<float>(static_cast<_Float16>(x));
+    EXPECT_EQ(ours, native) << "x=" << x;
+  }
+#else
+  GTEST_SKIP() << "no native _Float16";
+#endif
+}
+
+}  // namespace
+}  // namespace tcevd

@@ -1,0 +1,90 @@
+// Cyclic Jacobi symmetric EVD: the reduction-free cross-check.
+#include <gtest/gtest.h>
+
+#include "src/blas/blas.hpp"
+#include "src/common/norms.hpp"
+#include "src/evd/evd.hpp"
+#include "src/lapack/jacobi_evd.hpp"
+#include "src/matgen/matgen.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+TEST(JacobiEvd, DiagonalizesRandomSymmetric) {
+  const index_t n = 50;
+  auto a = test::random_symmetric<double>(n, 1);
+  auto res = lapack::jacobi_evd<double>(a.view());
+  ASSERT_TRUE(res.converged);
+
+  EXPECT_LT(orthogonality_residual<double>(res.vectors.view()), 1e-12 * n);
+  // A V = V diag(lambda).
+  Matrix<double> av(n, n);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), res.vectors.view(), 0.0,
+             av.view());
+  double worst = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      worst = std::max(worst, std::abs(av(i, j) - res.eigenvalues[static_cast<std::size_t>(j)] *
+                                                      res.vectors(i, j)));
+  EXPECT_LT(worst, 1e-12 * n);
+}
+
+TEST(JacobiEvd, AgreesWithTridiagonalizationPipeline) {
+  // Two completely independent algorithms must agree to fp64 roundoff.
+  const index_t n = 64;
+  auto a = test::random_symmetric<double>(n, 2);
+  auto jac = lapack::jacobi_evd<double>(a.view());
+  auto ref = evd::reference_eigenvalues(a.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(jac.eigenvalues[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)],
+                1e-11);
+}
+
+TEST(JacobiEvd, PrescribedSpectrumRecovered) {
+  const index_t n = 40;
+  Rng rng(3);
+  auto a = matgen::generate(matgen::MatrixType::Geo, n, 1e5, rng);
+  auto want = matgen::prescribed_spectrum(matgen::MatrixType::Geo, n, 1e5);
+  auto res = lapack::jacobi_evd<double>(a.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(i)],
+                want[static_cast<std::size_t>(i)],
+                1e-11 * want.back());
+}
+
+TEST(JacobiEvd, ValuesOnlyModeSkipsVectors) {
+  const index_t n = 24;
+  auto a = test::random_symmetric<double>(n, 4);
+  lapack::JacobiEvdOptions opt;
+  opt.vectors = false;
+  auto res = lapack::jacobi_evd<double>(a.view(), opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.vectors.rows(), 0);
+  auto ref = evd::reference_eigenvalues(a.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)],
+                1e-11);
+}
+
+TEST(JacobiEvd, DiagonalInputConvergesInstantly) {
+  const index_t n = 12;
+  Matrix<double> a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = static_cast<double>(n - i);
+  auto res = lapack::jacobi_evd<double>(a.view());
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.sweeps, 0);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_EQ(res.eigenvalues[static_cast<std::size_t>(i)], double(i + 1));
+}
+
+TEST(JacobiEvd, FloatVariant) {
+  const index_t n = 40;
+  auto a = test::random_symmetric<float>(n, 5);
+  auto res = lapack::jacobi_evd<float>(a.view());
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(orthogonality_residual<float>(res.vectors.view()), 1e-4);
+}
+
+}  // namespace
+}  // namespace tcevd

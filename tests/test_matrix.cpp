@@ -1,0 +1,135 @@
+// Matrix container / view semantics.
+#include <gtest/gtest.h>
+
+#include "src/common/matrix.hpp"
+#include "src/common/norms.hpp"
+
+namespace tcevd {
+namespace {
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix<double> a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  EXPECT_EQ(a.data()[0], 1);
+  EXPECT_EQ(a.data()[1], 2);
+  EXPECT_EQ(a.data()[2], 3);
+  EXPECT_EQ(a.data()[3], 4);  // next column starts at ld = 3
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix<float> a(4, 5);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 4; ++i) EXPECT_EQ(a(i, j), 0.0f);
+}
+
+TEST(Matrix, EmptyDimensionsAllowed) {
+  Matrix<double> a(0, 0);
+  EXPECT_EQ(a.rows(), 0);
+  Matrix<double> b(5, 0);
+  EXPECT_EQ(b.cols(), 0);
+  Matrix<double> c(0, 5);
+  EXPECT_EQ(c.view().sub(0, 2, 0, 2).cols(), 2);
+}
+
+TEST(MatrixView, SubviewSharesStorage) {
+  Matrix<double> a(4, 4);
+  auto s = a.sub(1, 1, 2, 2);
+  s(0, 0) = 42.0;
+  EXPECT_EQ(a(1, 1), 42.0);
+  EXPECT_EQ(s.ld(), a.ld());
+}
+
+TEST(MatrixView, NestedSubviews) {
+  Matrix<double> a(8, 8);
+  a(3, 4) = 7.0;
+  auto s1 = a.sub(1, 1, 6, 6);
+  auto s2 = s1.sub(2, 3, 2, 2);
+  EXPECT_EQ(s2(0, 0), 7.0);
+}
+
+TEST(MatrixView, ColAccess) {
+  Matrix<double> a(3, 3);
+  a(2, 1) = 5.0;
+  auto c = a.view().col(1);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 1);
+  EXPECT_EQ(c(2, 0), 5.0);
+}
+
+TEST(MatrixHelpers, SetIdentityRectangular) {
+  Matrix<double> a(4, 2);
+  set_identity(a.view());
+  EXPECT_EQ(a(0, 0), 1.0);
+  EXPECT_EQ(a(1, 1), 1.0);
+  EXPECT_EQ(a(1, 0), 0.0);
+  EXPECT_EQ(a(3, 1), 0.0);
+}
+
+TEST(MatrixHelpers, CopyBetweenDifferentStrides) {
+  Matrix<double> a(5, 5);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 5; ++i) a(i, j) = static_cast<double>(i * 10 + j);
+  Matrix<double> b(3, 3);
+  copy_matrix<double>(a.sub(1, 1, 3, 3), b.view());
+  EXPECT_EQ(b(0, 0), 11.0);
+  EXPECT_EQ(b(2, 2), 33.0);
+}
+
+TEST(MatrixHelpers, SymmetrizeFromLower) {
+  Matrix<double> a(3, 3);
+  a(1, 0) = 2.0;
+  a(2, 0) = 3.0;
+  a(2, 1) = 4.0;
+  a(0, 1) = -99.0;  // garbage in the upper triangle
+  symmetrize_from_lower(a.view());
+  EXPECT_EQ(a(0, 1), 2.0);
+  EXPECT_EQ(a(0, 2), 3.0);
+  EXPECT_EQ(a(1, 2), 4.0);
+}
+
+TEST(MatrixHelpers, MakeSymmetricAverages) {
+  Matrix<double> a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 3.0;
+  make_symmetric(a.view());
+  EXPECT_EQ(a(0, 1), 2.0);
+  EXPECT_EQ(a(1, 0), 2.0);
+}
+
+TEST(MatrixHelpers, ConvertNarrows) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 1.5;
+  Matrix<float> b(2, 2);
+  convert_matrix<double, float>(a.view(), b.view());
+  EXPECT_EQ(b(0, 0), 1.5f);
+}
+
+TEST(Norms, FrobeniusKnownValue) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(frobenius_norm<double>(a.view()), 5.0);
+}
+
+TEST(Norms, OrthogonalityOfIdentity) {
+  Matrix<double> q(6, 6);
+  set_identity(q.view());
+  EXPECT_NEAR(orthogonality_residual<double>(q.view()), 0.0, 1e-15);
+}
+
+TEST(Norms, EigenvalueErrorZeroForIdentical) {
+  std::vector<double> d{1.0, 2.0, 3.0};
+  EXPECT_EQ(eigenvalue_error(d.data(), d.data(), 3), 0.0);
+}
+
+TEST(Norms, MaxAbs) {
+  Matrix<float> a(2, 3);
+  a(1, 2) = -7.5f;
+  EXPECT_DOUBLE_EQ(max_abs<float>(a.view()), 7.5);
+}
+
+}  // namespace
+}  // namespace tcevd

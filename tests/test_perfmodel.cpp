@@ -1,0 +1,210 @@
+// Performance model and shape tracers.
+//
+// The load-bearing tests here are the trace-vs-implementation equalities:
+// the paper-scale figures are generated from the traces, so each trace must
+// match the real algorithm's recorded GEMM stream *call for call*.
+#include <gtest/gtest.h>
+
+#include "src/perfmodel/a100_model.hpp"
+#include "src/perfmodel/shape_trace.hpp"
+#include "src/sbr/sbr.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using perf::Device;
+using tc::GemmShape;
+
+void expect_same_shapes(const std::vector<GemmShape>& traced,
+                        const std::vector<GemmShape>& recorded) {
+  ASSERT_EQ(traced.size(), recorded.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    EXPECT_EQ(traced[i].m, recorded[i].m) << "call " << i;
+    EXPECT_EQ(traced[i].n, recorded[i].n) << "call " << i;
+    EXPECT_EQ(traced[i].k, recorded[i].k) << "call " << i;
+  }
+}
+
+class TraceConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(TraceConsistencyTest, WyTraceMatchesImplementation) {
+  const auto [n, b, nb] = GetParam();
+  auto a = test::random_symmetric<float>(n, 900 + n);
+  tc::Fp32Engine eng;
+  eng.set_recording(true);
+  sbr::SbrOptions opt;
+  opt.bandwidth = b;
+  opt.big_block = nb;
+  opt.wy_cache_oa_product = false;  // literal Algorithm 1
+  (void)sbr::sbr_wy(a.view(), eng, opt);
+  expect_same_shapes(perf::trace_sbr_wy(n, b, nb, /*cache_oa=*/false), eng.recorded());
+}
+
+TEST_P(TraceConsistencyTest, ZyTraceMatchesImplementation) {
+  const auto [n, b, nb] = GetParam();
+  auto a = test::random_symmetric<float>(n, 901 + n);
+  tc::Fp32Engine eng;
+  eng.set_recording(true);
+  sbr::SbrOptions opt;
+  opt.bandwidth = b;
+  (void)sbr::sbr_zy(a.view(), eng, opt);
+  expect_same_shapes(perf::trace_sbr_zy(n, b), eng.recorded());
+}
+
+TEST_P(TraceConsistencyTest, FormWTraceMatchesImplementation) {
+  const auto [n, b, nb] = GetParam();
+  auto a = test::random_symmetric<float>(n, 902 + n);
+  tc::Fp32Engine eng;
+  sbr::SbrOptions opt;
+  opt.bandwidth = b;
+  opt.big_block = nb;
+  auto res = sbr::sbr_wy(a.view(), eng, opt);
+  if (res.blocks.empty()) GTEST_SKIP();
+  eng.set_recording(true);
+  (void)sbr::form_q(res.blocks, n, eng);
+  expect_same_shapes(perf::trace_formw(n, b, nb), eng.recorded());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TraceConsistencyTest,
+                         ::testing::Values(std::make_tuple<index_t, index_t, index_t>(96, 8, 32),
+                                           std::make_tuple<index_t, index_t, index_t>(130, 16, 32),
+                                           std::make_tuple<index_t, index_t, index_t>(64, 4, 16),
+                                           std::make_tuple<index_t, index_t, index_t>(100, 8, 8),
+                                           std::make_tuple<index_t, index_t, index_t>(90, 16, 48),
+                                           std::make_tuple<index_t, index_t, index_t>(120, 8, 64)));
+
+TEST_P(TraceConsistencyTest, WyCachedTraceMatchesImplementation) {
+  const auto [n, b, nb] = GetParam();
+  auto a = test::random_symmetric<float>(n, 904 + n);
+  tc::Fp32Engine eng;
+  eng.set_recording(true);
+  sbr::SbrOptions opt;
+  opt.bandwidth = b;
+  opt.big_block = nb;
+  opt.wy_cache_oa_product = true;
+  (void)sbr::sbr_wy(a.view(), eng, opt);
+  expect_same_shapes(perf::trace_sbr_wy(n, b, nb, /*cache_oa=*/true), eng.recorded());
+}
+
+TEST(TraceConsistency, CachedVariantDoesStrictlyFewerFlops) {
+  const double lit = perf::total_flops(perf::trace_sbr_wy(2048, 64, 512, false));
+  const double cached = perf::total_flops(perf::trace_sbr_wy(2048, 64, 512, true));
+  EXPECT_LT(cached, lit);
+}
+
+TEST(TraceConsistency, ZyBacktransformMatchesImplementation) {
+  const index_t n = 96, b = 8;
+  auto a = test::random_symmetric<float>(n, 903);
+  tc::Fp32Engine eng;
+  eng.set_recording(true);
+  sbr::SbrOptions opt;
+  opt.bandwidth = b;
+  opt.accumulate_q = true;
+  (void)sbr::sbr_zy(a.view(), eng, opt);
+  // Recorded = ZY trailing updates + back-transform GEMMs interleaved; the
+  // back-transform shapes must appear as the (4th, 5th) of every 7 calls.
+  auto zy = perf::trace_sbr_zy(n, b);
+  auto bt = perf::trace_zy_backtransform(n, b);
+  ASSERT_EQ(eng.recorded().size(), zy.size() + bt.size());
+  std::vector<GemmShape> interleaved;
+  std::size_t iz = 0, ib = 0;
+  while (iz < zy.size()) {
+    for (int c = 0; c < 5; ++c) interleaved.push_back(zy[iz++]);
+    interleaved.push_back(bt[ib++]);
+    interleaved.push_back(bt[ib++]);
+  }
+  expect_same_shapes(interleaved, eng.recorded());
+}
+
+TEST(A100Model, MatchesCalibrationPoints) {
+  // At the calibration geometry the model must reproduce Table 1 exactly.
+  EXPECT_NEAR(perf::gemm_tflops(Device::TensorCore, 32768, 32, 32768), 6.28, 1e-9);
+  EXPECT_NEAR(perf::gemm_tflops(Device::TensorCore, 32768, 1024, 32768), 85.73, 1e-9);
+  EXPECT_NEAR(perf::gemm_tflops(Device::TensorCore, 32768, 32768, 256), 97.41, 1e-9);
+  EXPECT_NEAR(perf::gemm_tflops(Device::Sgemm, 32768, 512, 32768), 10.36, 1e-9);
+  EXPECT_NEAR(perf::gemm_tflops(Device::Sgemm, 32768, 32768, 4096), 14.33, 1e-9);
+}
+
+TEST(A100Model, TcOuterFasterThanSkinnyAtSmallK) {
+  // Table 1's key asymmetry: outer products beat skinny-output GEMMs on TC.
+  EXPECT_GT(perf::gemm_tflops(Device::TensorCore, 32768, 32768, 128),
+            perf::gemm_tflops(Device::TensorCore, 32768, 128, 32768));
+}
+
+TEST(A100Model, SgemmInsensitiveToShape) {
+  const double a = perf::gemm_tflops(Device::Sgemm, 32768, 64, 32768);
+  const double b = perf::gemm_tflops(Device::Sgemm, 32768, 2048, 32768);
+  EXPECT_LT(b / a, 1.5);  // paper: "SGEMM is much more stable as k increases"
+}
+
+TEST(A100Model, TcGrowsStronglyWithK) {
+  const double a = perf::gemm_tflops(Device::TensorCore, 32768, 32, 32768);
+  const double b = perf::gemm_tflops(Device::TensorCore, 32768, 4096, 32768);
+  EXPECT_GT(b / a, 10.0);
+}
+
+TEST(A100Model, TimeIncludesLaunchOverhead) {
+  // A zero-work GEMM still costs one launch.
+  EXPECT_GE(perf::gemm_time_s(Device::TensorCore, 1, 1, 1), perf::kLaunchOverheadS);
+}
+
+TEST(A100Model, StreamAggregation) {
+  std::vector<GemmShape> s{{100, 100, 100}, {200, 200, 200}};
+  EXPECT_DOUBLE_EQ(perf::total_flops(s), 2e6 + 16e6);
+  EXPECT_GT(perf::total_time_s(Device::TensorCore, s), 2 * perf::kLaunchOverheadS);
+  EXPECT_GT(perf::stream_tflops(Device::TensorCore, s), 0.0);
+}
+
+TEST(A100Model, PanelModelTsqrFasterAndScalesWithM) {
+  EXPECT_LT(perf::panel_time_s(32768, 128, true), perf::panel_time_s(32768, 128, false));
+  EXPECT_GT(perf::panel_time_s(32768, 128, true), perf::panel_time_s(8192, 128, true));
+  EXPECT_GT(perf::panel_flops(1000, 32), 0.0);
+}
+
+TEST(ShapeHistogram, BinsByPowerOfTwoAndConservesFlops) {
+  std::vector<GemmShape> s{{100, 100, 8},    // min 8 -> bin 8
+                           {64, 64, 9},      // min 9 -> bin 8
+                           {1000, 16, 1000}, // min 16 -> bin 16
+                           {5, 5, 5}};       // min 5 -> bin 4
+  auto bins = perf::shape_histogram(s);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].min_dim_lo, 4);
+  EXPECT_EQ(bins[1].min_dim_lo, 8);
+  EXPECT_EQ(bins[1].calls, 2);
+  EXPECT_EQ(bins[2].min_dim_lo, 16);
+  double total = 0.0;
+  for (const auto& b : bins) total += b.flops;
+  EXPECT_DOUBLE_EQ(total, perf::total_flops(s));
+}
+
+TEST(ShapeHistogram, WyMassSitsAtNbZyAtB) {
+  // Quantitative form of the paper's Section 4 claim at paper scale.
+  const index_t n = 32768, b = 128, nb = 1024;
+  auto wy = perf::trace_sbr_wy(n, b, nb, true);
+  auto zy = perf::trace_sbr_zy(n, b);
+  EXPECT_GT(perf::flop_weighted_min_dim(wy), 4.0 * b);
+  EXPECT_NEAR(perf::flop_weighted_min_dim(zy), static_cast<double>(b), 1.0);
+}
+
+TEST(ShapeTrace, WyFlopsExceedZyAndGrowWithNb) {
+  // Paper Table 2's qualitative content at a reduced scale.
+  const index_t n = 2048, b = 64;
+  const double zy = perf::total_flops(perf::trace_sbr_zy(n, b));
+  const double wy_small = perf::total_flops(perf::trace_sbr_wy(n, b, 64));
+  const double wy_big = perf::total_flops(perf::trace_sbr_wy(n, b, 512));
+  EXPECT_GT(wy_small, 0.9 * zy);
+  EXPECT_GT(wy_big, wy_small);
+}
+
+TEST(ShapeTrace, PanelsCoverEveryBlock) {
+  auto panels = perf::trace_panels(100, 8);
+  // Panels at i = 0, 8, ..., while n - i - b >= 2 -> i <= 90 -> 12 panels.
+  EXPECT_EQ(panels.size(), 12u);
+  EXPECT_EQ(panels.front().m, 92);
+  EXPECT_EQ(panels.back().m, 100 - 88 - 8);
+}
+
+}  // namespace
+}  // namespace tcevd

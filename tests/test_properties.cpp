@@ -1,0 +1,333 @@
+// Property-based sweeps: randomized invariants that must hold across sizes,
+// seeds, bandwidths, engines, and matrix classes. Each TEST_P case draws
+// several random instances; failures print the seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/blas/blas.hpp"
+#include "src/common/norms.hpp"
+#include "src/evd/evd.hpp"
+#include "src/matgen/matgen.hpp"
+#include "src/sbr/band.hpp"
+#include "src/sbr/sbr.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+
+// ---------------------------------------------------------------------------
+// Property: eigenvalue sum equals the trace, product-free invariants.
+// ---------------------------------------------------------------------------
+
+class TraceInvariantTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceInvariantTest, EigenvalueSumEqualsTrace) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const index_t n = 32 + static_cast<index_t>(rng.bounded(96));
+  Matrix<float> a(n, n);
+  fill_normal(rng, a.view());
+  make_symmetric(a.view());
+
+  double trace = 0.0;
+  for (index_t i = 0; i < n; ++i) trace += a(i, i);
+
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged) << "seed " << seed;
+
+  double sum = 0.0;
+  for (float v : res.eigenvalues) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-3 * std::max(1.0, std::abs(trace)) + 1e-3 * n)
+      << "seed " << seed << " n " << n;
+}
+
+TEST_P(TraceInvariantTest, FrobeniusNormEqualsEigenvalueNorm) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xabcdef);
+  const index_t n = 32 + static_cast<index_t>(rng.bounded(64));
+  Matrix<float> a(n, n);
+  fill_normal(rng, a.view());
+  make_symmetric(a.view());
+
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 16;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+
+  double s = 0.0;
+  for (float v : res.eigenvalues) s += double(v) * double(v);
+  const double fn = frobenius_norm<float>(a.view());
+  EXPECT_NEAR(std::sqrt(s), fn, 1e-3 * fn) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceInvariantTest,
+                         ::testing::Values<std::uint64_t>(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ---------------------------------------------------------------------------
+// Property: SBR invariants hold for every (b, nb) configuration.
+// ---------------------------------------------------------------------------
+
+class SbrConfigSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, std::uint64_t>> {};
+
+TEST_P(SbrConfigSweep, BandStructureAndSpectrumInvariant) {
+  const auto [b, nb_mult, seed] = GetParam();
+  Rng rng(seed);
+  const index_t n = 64 + static_cast<index_t>(rng.bounded(64));
+  Matrix<float> a(n, n);
+  fill_normal(rng, a.view());
+  make_symmetric(a.view());
+
+  tc::Fp32Engine eng;
+  sbr::SbrOptions opt;
+  opt.bandwidth = b;
+  opt.big_block = b * nb_mult;
+  auto res = sbr::sbr_wy(a.view(), eng, opt);
+
+  // Structure: exactly banded.
+  EXPECT_EQ(sbr::band_violation<float>(res.band.view(), b), 0.0) << "seed " << seed;
+
+  // Spectrum invariant: Frobenius norm is preserved by orthogonal similarity.
+  EXPECT_NEAR(frobenius_norm<float>(res.band.view()), frobenius_norm<float>(a.view()),
+              1e-3 * frobenius_norm<float>(a.view()))
+      << "b=" << b << " nbx=" << nb_mult << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SbrConfigSweep,
+    ::testing::Combine(::testing::Values<index_t>(4, 8, 16),
+                       ::testing::Values<index_t>(1, 2, 4),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+// ---------------------------------------------------------------------------
+// Property: determinism — same inputs, same bits.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, SbrWyIsBitwiseReproducible) {
+  const index_t n = 96;
+  auto a = test::random_symmetric<float>(n, 42);
+  tc::TcEngine e1(tc::TcPrecision::Fp16), e2(tc::TcPrecision::Fp16);
+  sbr::SbrOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  auto r1 = sbr::sbr_wy(a.view(), e1, opt);
+  auto r2 = sbr::sbr_wy(a.view(), e2, opt);
+  EXPECT_EQ(frobenius_diff<float>(r1.band.view(), r2.band.view()), 0.0);
+}
+
+TEST(Determinism, EvdIsBitwiseReproducible) {
+  const index_t n = 64;
+  auto a = test::random_symmetric<float>(n, 43);
+  tc::Fp32Engine e1, e2;
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  auto r1 = evd::solve(a.view(), e1, opt);
+  auto r2 = evd::solve(a.view(), e2, opt);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_EQ(r1.eigenvalues[static_cast<std::size_t>(i)],
+              r2.eigenvalues[static_cast<std::size_t>(i)]);
+}
+
+// ---------------------------------------------------------------------------
+// Property: similarity shifts — eigenvalues of A + c I are lambda + c.
+// ---------------------------------------------------------------------------
+
+TEST(ShiftInvariance, DiagonalShiftMovesSpectrum) {
+  const index_t n = 80;
+  auto a = test::random_symmetric<float>(n, 44);
+  Matrix<float> shifted = a;
+  const float c = 3.25f;
+  for (index_t i = 0; i < n; ++i) shifted(i, i) += c;
+
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  auto r1 = evd::solve(a.view(), eng, opt);
+  auto r2 = evd::solve(shifted.view(), eng, opt);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(r2.eigenvalues[static_cast<std::size_t>(i)],
+                r1.eigenvalues[static_cast<std::size_t>(i)] + c, 1e-3);
+}
+
+TEST(ShiftInvariance, NegationFlipsAndReversesSpectrum) {
+  const index_t n = 64;
+  auto a = test::random_symmetric<float>(n, 45);
+  Matrix<float> neg(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) neg(i, j) = -a(i, j);
+
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  auto r1 = evd::solve(a.view(), eng, opt);
+  auto r2 = evd::solve(neg.view(), eng, opt);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(r2.eigenvalues[static_cast<std::size_t>(i)],
+                -r1.eigenvalues[static_cast<std::size_t>(n - 1 - i)], 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Property: engine accuracy ordering fp32 <= ectc < tc on the same problem.
+// ---------------------------------------------------------------------------
+
+class EngineOrderingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineOrderingTest, BackwardErrorOrdering) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const index_t n = 96;
+  Matrix<float> a(n, n);
+  fill_normal(rng, a.view());
+  make_symmetric(a.view());
+
+  Matrix<double> ad(n, n);
+  convert_matrix<float, double>(a.view(), ad.view());
+  auto ref = evd::reference_eigenvalues(ad.view());
+
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+
+  auto err_for = [&](tc::GemmEngine& eng) {
+    auto res = evd::solve(a.view(), eng, opt);
+    std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
+    return eigenvalue_error(ref.data(), got.data(), n);
+  };
+  tc::Fp32Engine fp;
+  tc::EcTcEngine ec;
+  tc::TcEngine tchalf;
+  const double e_fp = err_for(fp);
+  const double e_ec = err_for(ec);
+  const double e_tc = err_for(tchalf);
+  EXPECT_LT(e_fp, e_tc) << "seed " << seed;
+  EXPECT_LT(e_ec, e_tc) << "seed " << seed;
+  EXPECT_LT(e_ec, 20.0 * e_fp) << "seed " << seed;  // EC ~ fp32 class
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineOrderingTest,
+                         ::testing::Values<std::uint64_t>(7, 17, 27));
+
+// ---------------------------------------------------------------------------
+// Property: all matgen classes survive the TC pipeline within TC eps.
+// ---------------------------------------------------------------------------
+
+class MatrixClassSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixClassSweep, TcPipelineBounded) {
+  const auto row = matgen::paper_accuracy_rows()[static_cast<std::size_t>(GetParam())];
+  const index_t n = 128;
+  Rng rng(900 + GetParam());
+  auto ad = matgen::generate(row.type, n, row.cond, rng);
+  Matrix<float> a(n, n);
+  convert_matrix<double, float>(ad.view(), a.view());
+  auto ref = evd::reference_eigenvalues(ad.view());
+
+  tc::TcEngine eng(tc::TcPrecision::Fp16);
+  evd::EvdOptions opt;
+  opt.bandwidth = 16;
+  opt.big_block = 32;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
+  // Paper Table 4 bound: E_s under the TC machine eps.
+  EXPECT_LT(eigenvalue_error(ref.data(), got.data(), n), 1e-4)
+      << matgen::matrix_type_name(row.type, row.cond);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, MatrixClassSweep, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs.
+// ---------------------------------------------------------------------------
+
+TEST(Degenerate, ZeroMatrix) {
+  const index_t n = 40;
+  Matrix<float> a(n, n);
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  for (float v : res.eigenvalues) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Degenerate, IdentityMatrix) {
+  const index_t n = 33;
+  Matrix<float> a(n, n);
+  set_identity(a.view());
+  tc::TcEngine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 4;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  for (float v : res.eigenvalues) EXPECT_NEAR(v, 1.0f, 1e-5f);
+}
+
+TEST(Degenerate, RankOneMatrix) {
+  const index_t n = 50;
+  Rng rng(46);
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  Matrix<float> a(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      a(i, j) = x[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(j)];
+  double xn2 = 0.0;
+  for (float v : x) xn2 += double(v) * double(v);
+
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.eigenvalues.back(), xn2, 1e-3 * xn2);
+  for (index_t i = 0; i + 1 < n; ++i)
+    EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(i)], 0.0f, 1e-3f * float(xn2));
+}
+
+TEST(Degenerate, TinyMatrices) {
+  for (index_t n : {2, 3, 4, 5}) {
+    auto a = test::random_symmetric<float>(n, 47 + n);
+    tc::Fp32Engine eng;
+    evd::EvdOptions opt;
+    opt.bandwidth = 1;
+    auto res = evd::solve(a.view(), eng, opt);
+    ASSERT_TRUE(res.converged) << n;
+    Matrix<double> ad(n, n);
+    convert_matrix<float, double>(a.view(), ad.view());
+    auto ref = evd::reference_eigenvalues(ad.view());
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(i)], 1e-4)
+          << "n=" << n;
+  }
+}
+
+TEST(Degenerate, HugeBandwidthClampedToMatrix) {
+  const index_t n = 24;
+  auto a = test::random_symmetric<float>(n, 48);
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 1000;  // clamped internally to n-1
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  Matrix<double> ad(n, n);
+  convert_matrix<float, double>(a.view(), ad.view());
+  auto ref = evd::reference_eigenvalues(ad.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)],
+                1e-4);
+}
+
+}  // namespace
+}  // namespace tcevd

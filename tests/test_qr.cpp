@@ -1,0 +1,174 @@
+// QR family: geqr2/geqrf/orgqr/larft/build_wy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/blas/blas.hpp"
+#include "src/lapack/householder.hpp"
+#include "src/lapack/qr.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+
+/// Checks A == Q R and Q^T Q == I given factored storage + tau.
+void check_qr(ConstMatrixView<double> a_orig, ConstMatrixView<double> factored,
+              const std::vector<double>& tau, double tol) {
+  const index_t m = a_orig.rows();
+  const index_t n = a_orig.cols();
+  Matrix<double> q(m, n);
+  Matrix<double> fact_copy(m, n);
+  copy_matrix(factored, fact_copy.view());
+  lapack::orgqr(fact_copy.view(), tau, q.view());
+
+  Matrix<double> r(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, m - 1); ++i) r(i, j) = factored(i, j);
+
+  Matrix<double> qr(m, n);
+  blas::gemm(Trans::No, Trans::No, 1.0, q.view(), r.view(), 0.0, qr.view());
+  EXPECT_LT(test::rel_diff<double>(qr.view(), a_orig), tol);
+  EXPECT_LT(orthogonality_residual<double>(q.view()), tol * m);
+}
+
+class GeqrfShapeTest : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {
+};
+
+TEST_P(GeqrfShapeTest, BlockedQrReconstructs) {
+  const auto [m, n, nb] = GetParam();
+  auto a = test::random_matrix(m, n, 42 + m + n);
+  auto work = a;
+  std::vector<double> tau;
+  lapack::geqrf(work.view(), tau, nb);
+  check_qr(a.view(), work.view(), tau, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeqrfShapeTest,
+                         ::testing::Values(std::make_tuple(16, 16, 4),
+                                           std::make_tuple(64, 32, 8),
+                                           std::make_tuple(100, 30, 32),
+                                           std::make_tuple(37, 23, 5),
+                                           std::make_tuple(200, 17, 16),
+                                           std::make_tuple(33, 33, 64),  // nb > n
+                                           std::make_tuple(8, 3, 1)));   // unblocked
+
+TEST(Geqr2, MatchesGeqrf) {
+  const index_t m = 45, n = 21;
+  auto a = test::random_matrix(m, n, 1);
+  auto w1 = a;
+  auto w2 = a;
+  std::vector<double> tau1, tau2;
+  lapack::geqr2(w1.view(), tau1);
+  lapack::geqrf(w2.view(), tau2, 7);
+  // Same algorithm, same Householder convention: results match to roundoff.
+  EXPECT_LT(test::rel_diff<double>(w1.view(), w2.view()), 1e-12);
+  for (std::size_t i = 0; i < tau1.size(); ++i) EXPECT_NEAR(tau1[i], tau2[i], 1e-12);
+}
+
+TEST(Geqr2, RDiagonalNonPositiveConvention) {
+  // With v = x - beta e1, beta = -sign(x1)||x||: R(0,0) = beta has the
+  // opposite sign of the original leading entry.
+  Matrix<double> a(6, 3);
+  Rng rng(2);
+  fill_normal(rng, a.view());
+  a(0, 0) = 5.0;  // force positive leading entry
+  std::vector<double> tau;
+  lapack::geqr2(a.view(), tau);
+  EXPECT_LT(a(0, 0), 0.0);
+}
+
+TEST(Larft, CompactWyMatchesExplicitProduct) {
+  const index_t m = 30, k = 6;
+  auto a = test::random_matrix(m, k, 3);
+  std::vector<double> tau;
+  lapack::geqr2(a.view(), tau);
+
+  // Build V (unit lower trapezoidal) and T.
+  Matrix<double> v(m, k);
+  for (index_t j = 0; j < k; ++j) {
+    v(j, j) = 1.0;
+    for (index_t i = j + 1; i < m; ++i) v(i, j) = a(i, j);
+  }
+  Matrix<double> t(k, k);
+  lapack::larft<double>(v.view(), tau.data(), t.view());
+
+  // Explicit product H(0) H(1) ... H(k-1).
+  Matrix<double> h(m, m);
+  set_identity(h.view());
+  std::vector<double> work(static_cast<std::size_t>(m));
+  for (index_t j = k - 1; j >= 0; --j)
+    lapack::larf_left(&v(j, j), 1, tau[static_cast<std::size_t>(j)], h.sub(j, 0, m - j, m),
+                      work.data());
+
+  // I - V T V^T must equal the product.
+  Matrix<double> vt(m, k);
+  copy_matrix<double>(v.view(), vt.view());
+  blas::trmm(blas::Side::Right, blas::Uplo::Upper, Trans::No, blas::Diag::NonUnit, 1.0,
+             t.view(), vt.view());
+  Matrix<double> wy(m, m);
+  set_identity(wy.view());
+  blas::gemm(Trans::No, Trans::Yes, -1.0, vt.view(), v.view(), 1.0, wy.view());
+  EXPECT_LT(test::rel_diff<double>(wy.view(), h.view()), 1e-13);
+}
+
+TEST(BuildWy, IMinusWYtEqualsQ) {
+  const index_t m = 50, k = 8;
+  auto a = test::random_matrix(m, k, 4);
+  auto factored = a;
+  std::vector<double> tau;
+  lapack::geqr2(factored.view(), tau);
+
+  Matrix<double> w(m, k), y(m, k);
+  lapack::build_wy<double>(factored.view(), tau, w.view(), y.view());
+
+  // Q from orgqr (m x k columns of the full Q).
+  Matrix<double> q(m, k);
+  Matrix<double> fc = factored;
+  lapack::orgqr(fc.view(), tau, q.view());
+
+  // (I - W Y^T) restricted to the first k columns equals Q.
+  Matrix<double> iwyt(m, k);
+  set_identity(iwyt.view());
+  blas::gemm(Trans::No, Trans::Yes, -1.0, w.view(),
+             ConstMatrixView<double>(y.sub(0, 0, k, k)), 1.0, iwyt.view());
+  EXPECT_LT(test::rel_diff<double>(iwyt.view(), q.view()), 1e-12);
+}
+
+TEST(BuildWy, YIsUnitLowerTrapezoidal) {
+  const index_t m = 20, k = 5;
+  auto a = test::random_matrix(m, k, 5);
+  std::vector<double> tau;
+  lapack::geqr2(a.view(), tau);
+  Matrix<double> w(m, k), y(m, k);
+  lapack::build_wy<double>(a.view(), tau, w.view(), y.view());
+  for (index_t j = 0; j < k; ++j) {
+    EXPECT_EQ(y(j, j), 1.0);
+    for (index_t i = 0; i < j; ++i) EXPECT_EQ(y(i, j), 0.0);
+  }
+}
+
+TEST(Orgqr, ProducesOrthonormalColumnsForTallMatrix) {
+  const index_t m = 120, n = 15;
+  auto a = test::random_matrix(m, n, 6);
+  std::vector<double> tau;
+  lapack::geqrf(a.view(), tau, 8);
+  Matrix<double> q(m, n);
+  lapack::orgqr(a.view(), tau, q.view());
+  EXPECT_LT(orthogonality_residual<double>(q.view()), 1e-12);
+}
+
+TEST(Geqrf, FloatPrecisionReasonable) {
+  const index_t m = 80, n = 20;
+  auto a = test::random_matrix_f(m, n, 7);
+  auto work = a;
+  std::vector<float> tau;
+  lapack::geqrf(work.view(), tau, 8);
+  Matrix<float> q(m, n);
+  lapack::orgqr(work.view(), tau, q.view());
+  EXPECT_LT(orthogonality_residual<float>(q.view()), 1e-4);
+}
+
+}  // namespace
+}  // namespace tcevd

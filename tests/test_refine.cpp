@@ -1,0 +1,114 @@
+// Mixed-precision eigenpair refinement (Rayleigh-quotient iteration).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/norms.hpp"
+#include "src/evd/evd.hpp"
+#include "src/evd/refine.hpp"
+#include "src/matgen/matgen.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+TEST(Refine, RecoversDoubleAccuracyFromTcPairs) {
+  const index_t n = 96;
+  Rng rng(1);
+  auto gen = matgen::generate(matgen::MatrixType::Arith, n, 1e2, rng);
+  Matrix<float> a(n, n);
+  convert_matrix<double, float>(gen.view(), a.view());
+  // Reference must be the spectrum of the float-rounded matrix the pipeline
+  // (and the refinement) actually sees — rounding A to fp32 already shifts
+  // eigenvalues by ~1e-9, which refinement cannot and should not undo.
+  Matrix<double> ad(n, n);
+  convert_matrix<float, double>(a.view(), ad.view());
+
+  // Low-precision pipeline.
+  tc::TcEngine eng(tc::TcPrecision::Fp16);
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  opt.vectors = true;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+
+  // Refine every pair.
+  auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
+
+  const double anorm = frobenius_norm<double>(ad.view());
+  auto ref = evd::reference_eigenvalues(ad.view());
+  double before = 0.0, after = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    before = std::max(before, std::abs(double(res.eigenvalues[static_cast<std::size_t>(i)]) -
+                                       ref[static_cast<std::size_t>(i)]));
+    // Refined values may reorder within clusters; match to nearest reference.
+    double best = 1e300;
+    for (index_t j = 0; j < n; ++j)
+      best = std::min(best, std::abs(refined.eigenvalues[static_cast<std::size_t>(i)] -
+                                     ref[static_cast<std::size_t>(j)]));
+    after = std::max(after, best);
+  }
+  EXPECT_LT(after, before / 100.0);   // at least two orders recovered
+  EXPECT_LT(after, 1e-10 * anorm);    // near fp64 level
+  for (double r : refined.residuals) EXPECT_LT(r, 1e-9 * anorm);
+}
+
+TEST(Refine, AlreadyAccuratePairsConvergeImmediately) {
+  const index_t n = 40;
+  auto ad = test::random_symmetric<double>(n, 2);
+  Matrix<float> a(n, n);
+  convert_matrix<double, float>(ad.view(), a.view());
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.vectors = true;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+
+  auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
+  // fp32-accurate pairs need at most ~1 iteration each to hit fp64 tol.
+  EXPECT_LE(refined.total_iterations, 2 * n);
+  for (double r : refined.residuals) EXPECT_LT(r, 1e-9);
+}
+
+TEST(Refine, SubsetOfPairs) {
+  const index_t n = 64;
+  auto a = test::random_symmetric<float>(n, 3);
+  tc::TcEngine eng(tc::TcPrecision::Fp16);
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  opt.vectors = true;
+  auto res = evd::solve(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+
+  // Refine only the 3 largest pairs (the low-rank use case).
+  std::vector<float> lam(res.eigenvalues.end() - 3, res.eigenvalues.end());
+  auto v3 = res.vectors.sub(0, n - 3, n, 3);
+  auto refined = evd::refine_eigenpairs(a.view(), lam, ConstMatrixView<float>(v3));
+  ASSERT_EQ(refined.eigenvalues.size(), 3u);
+  Matrix<double> ad(n, n);
+  convert_matrix<float, double>(a.view(), ad.view());
+  const double anorm = frobenius_norm<double>(ad.view());
+  for (double r : refined.residuals) EXPECT_LT(r, 1e-10 * anorm);
+}
+
+TEST(Refine, VectorsStayNormalized) {
+  const index_t n = 32;
+  auto a = test::random_symmetric<float>(n, 4);
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.bandwidth = 4;
+  opt.vectors = true;
+  auto res = evd::solve(a.view(), eng, opt);
+  auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
+  for (index_t j = 0; j < n; ++j) {
+    double nrm = 0.0;
+    for (index_t i = 0; i < n; ++i) nrm += refined.vectors(i, j) * refined.vectors(i, j);
+    EXPECT_NEAR(std::sqrt(nrm), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tcevd

@@ -1,0 +1,91 @@
+// RNG determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+
+namespace tcevd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sum2 / n - (sum / n) * (sum / n), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(33);
+  double sum = 0.0, sum2 = 0.0, sum4 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+    sum4 += x * x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+  EXPECT_NEAR(sum4 / n, 3.0, 0.15);  // kurtosis of a standard normal
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(7), 7ull);
+  }
+  EXPECT_EQ(rng.bounded(0), 0ull);
+  EXPECT_EQ(rng.bounded(1), 0ull);
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Rng rng(77);
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(5)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+}
+
+TEST(Rng, FillHelpersShapeAndRange) {
+  Rng rng(3);
+  Matrix<float> a(10, 10);
+  fill_uniform(rng, a.view(), -2.0, 2.0);
+  for (index_t j = 0; j < 10; ++j)
+    for (index_t i = 0; i < 10; ++i) {
+      EXPECT_GE(a(i, j), -2.0f);
+      EXPECT_LT(a(i, j), 2.0f);
+    }
+}
+
+}  // namespace
+}  // namespace tcevd

@@ -1,0 +1,140 @@
+// SVD drivers: Jacobi reference and the engine-accelerated Gram route.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/blas/blas.hpp"
+#include "src/common/norms.hpp"
+#include "src/svd/svd.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+
+/// ||A - U diag(s) V^T||_F / ||A||_F in double.
+template <typename T>
+double svd_residual(ConstMatrixView<T> a, ConstMatrixView<T> u, const std::vector<T>& s,
+                    ConstMatrixView<T> v) {
+  const index_t m = a.rows(), n = a.cols(), r = static_cast<index_t>(s.size());
+  Matrix<double> us(m, r);
+  for (index_t j = 0; j < r; ++j)
+    for (index_t i = 0; i < m; ++i)
+      us(i, j) = double(u(i, j)) * double(s[static_cast<std::size_t>(j)]);
+  Matrix<double> vd(n, r), ad(m, n);
+  convert_matrix<T, double>(v, vd.view());
+  convert_matrix<T, double>(a, ad.view());
+  Matrix<double> rec(m, n);
+  blas::gemm(Trans::No, Trans::Yes, 1.0, us.view(), vd.view(), 0.0, rec.view());
+  return frobenius_diff<double>(rec.view(), ad.view()) / frobenius_norm<double>(ad.view());
+}
+
+TEST(JacobiSvd, FactorizesRandomMatrix) {
+  const index_t m = 60, n = 25;
+  auto a = test::random_matrix(m, n, 1);
+  auto res = svd::jacobi_svd(a.view());
+  EXPECT_LT(svd_residual<double>(a.view(), res.u.view(), res.sigma, res.v.view()), 1e-13);
+  EXPECT_LT(orthogonality_residual<double>(res.u.view()), 1e-12 * m);
+  EXPECT_LT(orthogonality_residual<double>(res.v.view()), 1e-12 * n);
+  for (index_t i = 1; i < n; ++i)
+    EXPECT_GE(res.sigma[static_cast<std::size_t>(i - 1)], res.sigma[static_cast<std::size_t>(i)]);
+}
+
+TEST(JacobiSvd, KnownSingularValues) {
+  // diag(5, 3, 1) padded with zero rows.
+  Matrix<double> a(6, 3);
+  a(0, 0) = 5.0;
+  a(1, 1) = 3.0;
+  a(2, 2) = 1.0;
+  auto res = svd::jacobi_svd(a.view());
+  EXPECT_NEAR(res.sigma[0], 5.0, 1e-14);
+  EXPECT_NEAR(res.sigma[1], 3.0, 1e-14);
+  EXPECT_NEAR(res.sigma[2], 1.0, 1e-14);
+}
+
+TEST(SvdViaEvd, MatchesJacobiSingularValues) {
+  const index_t m = 100, n = 40;
+  auto ad = test::random_matrix(m, n, 2);
+  Matrix<float> a(m, n);
+  convert_matrix<double, float>(ad.view(), a.view());
+
+  tc::Fp32Engine eng;
+  svd::SvdOptions opt;
+  opt.evd.bandwidth = 8;
+  opt.evd.big_block = 16;
+  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+
+  auto ref = svd::jacobi_svd(ad.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(res.sigma[static_cast<std::size_t>(i)], ref.sigma[static_cast<std::size_t>(i)],
+                1e-3 * ref.sigma[0]);
+}
+
+TEST(SvdViaEvd, FactorizationResidualAndOrthogonality) {
+  const index_t m = 80, n = 32;
+  auto a = test::random_matrix_f(m, n, 3);
+  tc::Fp32Engine eng;
+  svd::SvdOptions opt;
+  opt.evd.bandwidth = 8;
+  opt.evd.big_block = 16;
+  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(svd_residual<float>(a.view(), res.u.view(), res.sigma, res.v.view()), 1e-4);
+  EXPECT_LT(orthogonality_residual<float>(res.u.view()), 1e-3 * m);
+  EXPECT_LT(orthogonality_residual<float>(res.v.view()), 1e-3 * n);
+}
+
+TEST(SvdViaEvd, TensorCoreEngine) {
+  const index_t m = 96, n = 32;
+  auto a = test::random_matrix_f(m, n, 4);
+  tc::TcEngine eng(tc::TcPrecision::Fp16);
+  svd::SvdOptions opt;
+  opt.evd.bandwidth = 8;
+  opt.evd.big_block = 16;
+  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  // Gram route squares the condition number; TC numerics: expect ~1e-2.
+  EXPECT_LT(svd_residual<float>(a.view(), res.u.view(), res.sigma, res.v.view()), 5e-2);
+}
+
+TEST(SvdViaEvd, ValuesOnlyMode) {
+  const index_t m = 50, n = 20;
+  auto a = test::random_matrix_f(m, n, 5);
+  tc::Fp32Engine eng;
+  svd::SvdOptions opt;
+  opt.vectors = false;
+  opt.evd.bandwidth = 4;
+  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.u.rows(), 0);
+  auto ad = Matrix<double>(m, n);
+  convert_matrix<float, double>(a.view(), ad.view());
+  auto ref = svd::jacobi_svd(ad.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(res.sigma[static_cast<std::size_t>(i)], ref.sigma[static_cast<std::size_t>(i)],
+                1e-3 * ref.sigma[0]);
+}
+
+TEST(SvdViaEvd, RankDeficientInput) {
+  // Rank-3 matrix: trailing singular values ~0; U must still be orthonormal.
+  const index_t m = 60, n = 20, r = 3;
+  auto b = test::random_matrix_f(m, r, 6);
+  auto c = test::random_matrix_f(r, n, 7);
+  Matrix<float> a(m, n);
+  blas::gemm(Trans::No, Trans::No, 1.0f, b.view(), c.view(), 0.0f, a.view());
+
+  tc::Fp32Engine eng;
+  svd::SvdOptions opt;
+  opt.evd.bandwidth = 4;
+  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  ASSERT_TRUE(res.converged);
+  for (index_t i = r; i < n; ++i)
+    EXPECT_LT(res.sigma[static_cast<std::size_t>(i)], 1e-2f * res.sigma[0]);
+  EXPECT_LT(orthogonality_residual<float>(res.u.view()), 1e-3 * m);
+  EXPECT_LT(svd_residual<float>(a.view(), res.u.view(), res.sigma, res.v.view()), 1e-3);
+}
+
+}  // namespace
+}  // namespace tcevd

@@ -1,0 +1,93 @@
+// Tensor-Core syr2k (future-work extension).
+#include <gtest/gtest.h>
+
+#include "src/blas/blas.hpp"
+#include "src/tensorcore/tc_gemm.hpp"
+#include "src/tensorcore/tc_syr2k.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+using blas::Uplo;
+
+TEST(TcSyr2k, MatchesTwoTcGemmsOnLowerTriangle) {
+  const index_t n = 48, k = 16;
+  auto a = test::random_matrix_f(n, k, 1);
+  auto b = test::random_matrix_f(n, k, 2);
+  auto c1 = test::random_symmetric<float>(n, 3);
+  auto c2 = c1;
+
+  tc::tc_syr2k(Uplo::Lower, -1.0f, a.view(), b.view(), 1.0f, c1.view());
+  tc::tc_gemm(Trans::No, Trans::Yes, -1.0f, a.view(), b.view(), 1.0f, c2.view());
+  tc::tc_gemm(Trans::No, Trans::Yes, -1.0f, b.view(), a.view(), 1.0f, c2.view());
+
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      EXPECT_NEAR(c1(i, j), c2(i, j), 1e-3 * std::max(1.0f, std::abs(c2(i, j))));
+}
+
+TEST(TcSyr2k, UpperTriangleUntouchedInLowerMode) {
+  const index_t n = 20, k = 8;
+  auto a = test::random_matrix_f(n, k, 4);
+  auto b = test::random_matrix_f(n, k, 5);
+  auto c = test::random_symmetric<float>(n, 6);
+  auto c0 = c;
+  tc::tc_syr2k(Uplo::Lower, 1.0f, a.view(), b.view(), 1.0f, c.view());
+  for (index_t j = 1; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) EXPECT_EQ(c(i, j), c0(i, j));
+}
+
+TEST(TcSyr2k, UpperModeMatchesLowerTransposed) {
+  const index_t n = 24, k = 8;
+  auto a = test::random_matrix_f(n, k, 7);
+  auto b = test::random_matrix_f(n, k, 8);
+  Matrix<float> cl(n, n), cu(n, n);
+  tc::tc_syr2k(Uplo::Lower, 1.0f, a.view(), b.view(), 0.0f, cl.view());
+  tc::tc_syr2k(Uplo::Upper, 1.0f, a.view(), b.view(), 0.0f, cu.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) EXPECT_EQ(cl(i, j), cu(j, i));
+}
+
+TEST(TcSyr2k, AccuracyBoundedByHalfEps) {
+  const index_t n = 64, k = 32;
+  auto a = test::random_matrix_f(n, k, 9);
+  auto b = test::random_matrix_f(n, k, 10);
+  Matrix<float> c_tc(n, n), c_ref(n, n);
+  tc::tc_syr2k(Uplo::Lower, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
+  blas::syr2k(Uplo::Lower, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
+  double worst = 0.0, scale = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) {
+      worst = std::max(worst, std::abs(double(c_tc(i, j)) - double(c_ref(i, j))));
+      scale = std::max(scale, std::abs(double(c_ref(i, j))));
+    }
+  EXPECT_LT(worst / scale, 4.0 * kHalfEps);
+  EXPECT_GT(worst / scale, 1e-7);  // it is still fp16-rounded, not exact
+}
+
+TEST(TcSyr2k, TileCountsShowHalfWork) {
+  const auto counts = tc::tc_syr2k_tile_counts(1024, 128);
+  // Lower-triangle tiles ~ half of all tiles (plus the diagonal).
+  EXPECT_LT(counts.syr2k, counts.two_gemm * 6 / 10);
+  EXPECT_GT(counts.syr2k, counts.two_gemm * 4 / 10);
+}
+
+TEST(TcSyr2k, Tf32Mode) {
+  const index_t n = 32, k = 16;
+  auto a = test::random_matrix_f(n, k, 11);
+  auto b = test::random_matrix_f(n, k, 12);
+  Matrix<float> c(n, n), ref(n, n);
+  tc::tc_syr2k(Uplo::Lower, 1.0f, a.view(), b.view(), 0.0f, c.view(),
+               tc::TcPrecision::Tf32);
+  blas::syr2k(Uplo::Lower, Trans::No, 1.0f, a.view(), b.view(), 0.0f, ref.view());
+  // Operand rounding errors accumulate over the 2k products, and the sum
+  // cancels, so the bound scales with k, not with |result|.
+  const float tol = kTf32Eps * static_cast<float>(k);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) EXPECT_NEAR(c(i, j), ref(i, j), tol);
+}
+
+}  // namespace
+}  // namespace tcevd

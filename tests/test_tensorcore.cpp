@@ -1,0 +1,233 @@
+// Tensor Core emulator semantics: tile behaviour, operand rounding, error
+// bounds of tc_gemm vs exact, fp16 vs tf32 differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/blas/blas.hpp"
+#include "src/tensorcore/engine.hpp"
+#include "src/tensorcore/mma_tile.hpp"
+#include "src/tensorcore/tc_gemm.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+using tc::TcPrecision;
+
+TEST(MmaTile, ExactForSmallIntegers) {
+  // Integer-valued tiles are exact in fp16, so the MMA must be exact.
+  Matrix<float> a(16, 16), b(16, 16), c(16, 16);
+  Rng rng(1);
+  for (index_t j = 0; j < 16; ++j)
+    for (index_t i = 0; i < 16; ++i) {
+      a(i, j) = static_cast<float>(static_cast<int>(rng.bounded(9)) - 4);
+      b(i, j) = static_cast<float>(static_cast<int>(rng.bounded(9)) - 4);
+    }
+  tc::mma_tile(a.data(), a.ld(), b.data(), b.ld(), c.data(), c.ld(), TcPrecision::Fp16);
+  for (index_t j = 0; j < 16; ++j)
+    for (index_t i = 0; i < 16; ++i) {
+      float ref = 0.0f;
+      for (index_t l = 0; l < 16; ++l) ref += a(i, l) * b(l, j);
+      EXPECT_EQ(c(i, j), ref);
+    }
+}
+
+TEST(MmaTile, AccumulatesIntoC) {
+  Matrix<float> a(16, 16), b(16, 16), c(16, 16);
+  set_identity(a.view());
+  set_identity(b.view());
+  c.fill(2.0f);
+  tc::mma_tile(a.data(), a.ld(), b.data(), b.ld(), c.data(), c.ld(), TcPrecision::Fp16);
+  EXPECT_EQ(c(0, 0), 3.0f);  // 2 + 1
+  EXPECT_EQ(c(1, 0), 2.0f);  // 2 + 0
+}
+
+TEST(MmaTile, RoundsOperandsToFp16) {
+  // An operand below fp16 subnormal range vanishes in fp16 mode...
+  Matrix<float> a(16, 16), b(16, 16), c(16, 16);
+  a(0, 0) = 1e-30f;
+  b(0, 0) = 1.0f;
+  tc::mma_tile(a.data(), a.ld(), b.data(), b.ld(), c.data(), c.ld(), TcPrecision::Fp16);
+  EXPECT_EQ(c(0, 0), 0.0f);
+  // ...but survives in TF32 mode.
+  set_zero(c.view());
+  tc::mma_tile(a.data(), a.ld(), b.data(), b.ld(), c.data(), c.ld(), TcPrecision::Tf32);
+  EXPECT_NEAR(c(0, 0), 1e-30f, 1e-33f);
+}
+
+TEST(TcGemm, MatchesTileEmulatorOnAlignedShapes) {
+  // tc_gemm (global rounding + fp32 accumulate) must agree with the explicit
+  // 16x16x16 tile loop up to fp32 accumulation ordering.
+  const index_t m = 32, n = 32, k = 32;
+  auto a = test::random_matrix_f(m, k, 5);
+  auto b = test::random_matrix_f(k, n, 6);
+  Matrix<float> c_fast(m, n);
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_fast.view());
+
+  Matrix<float> c_tiles(m, n);
+  for (index_t jt = 0; jt < n; jt += 16)
+    for (index_t it = 0; it < m; it += 16)
+      for (index_t lt = 0; lt < k; lt += 16)
+        tc::mma_tile(&a(it, lt), a.ld(), &b(lt, jt), b.ld(), &c_tiles(it, jt), c_tiles.ld(),
+                     TcPrecision::Fp16);
+  EXPECT_LT(test::rel_diff<float>(c_fast.view(), c_tiles.view()), 1e-6);
+}
+
+TEST(TcGemm, ErrorBoundedByHalfEps) {
+  const index_t n = 64;
+  auto a = test::random_matrix_f(n, n, 7);
+  auto b = test::random_matrix_f(n, n, 8);
+  Matrix<float> c_tc(n, n), c_ref(n, n);
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
+  blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
+  const double rel = test::rel_diff<float>(c_tc.view(), c_ref.view());
+  // Two rounded operands -> ~eps_16 relative error; must be well above fp32.
+  EXPECT_LT(rel, 2.0 * kHalfEps);
+  EXPECT_GT(rel, 1e-6);
+}
+
+TEST(TcGemm, ExactWhenOperandsAreFp16Representable) {
+  const index_t n = 48;
+  auto a = test::random_matrix_f(n, n, 9);
+  auto b = test::random_matrix_f(n, n, 10);
+  tc::round_matrix(a.view(), TcPrecision::Fp16);
+  tc::round_matrix(b.view(), TcPrecision::Fp16);
+  Matrix<float> c_tc(n, n), c_ref(n, n);
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
+  blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
+  // Same operands, same fp32 accumulation order -> bitwise equal.
+  EXPECT_EQ(test::rel_diff<float>(c_tc.view(), c_ref.view()), 0.0);
+}
+
+struct TransCase {
+  Trans ta, tb;
+};
+
+class TcGemmTransTest : public ::testing::TestWithParam<TransCase> {};
+
+TEST_P(TcGemmTransTest, HandlesTransposes) {
+  const auto p = GetParam();
+  const index_t m = 24, n = 20, k = 28;
+  const index_t am = (p.ta == Trans::No) ? m : k;
+  const index_t an = (p.ta == Trans::No) ? k : m;
+  const index_t bm = (p.tb == Trans::No) ? k : n;
+  const index_t bn = (p.tb == Trans::No) ? n : k;
+  auto a = test::random_matrix_f(am, an, 11);
+  auto b = test::random_matrix_f(bm, bn, 12);
+  Matrix<float> c_tc(m, n), c_ref(m, n);
+  tc::tc_gemm(p.ta, p.tb, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
+  blas::gemm(p.ta, p.tb, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
+  EXPECT_LT(test::rel_diff<float>(c_tc.view(), c_ref.view()), 2.0 * kHalfEps);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, TcGemmTransTest,
+                         ::testing::Values(TransCase{Trans::No, Trans::No},
+                                           TransCase{Trans::No, Trans::Yes},
+                                           TransCase{Trans::Yes, Trans::No},
+                                           TransCase{Trans::Yes, Trans::Yes}));
+
+TEST(TcGemm, Tf32SurvivesWhereFp16Flushes) {
+  // Entries ~1e-9 sit far below the smallest fp16 subnormal (~6e-8): fp16
+  // operand rounding flushes them all to zero, TF32 (fp32 exponent range)
+  // keeps them. Same 10-bit mantissa, so only the exponent range differs.
+  const index_t n = 32;
+  Rng rng(13);
+  Matrix<float> a(n, n), b(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      a(i, j) = static_cast<float>(rng.normal()) * 1e-9f;
+      b(i, j) = static_cast<float>(rng.normal());
+    }
+  Matrix<float> c16(n, n), c32(n, n), ref(n, n);
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c16.view(),
+              TcPrecision::Fp16);
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c32.view(),
+              TcPrecision::Tf32);
+  blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, ref.view());
+  // Outputs are ~1e-9 so normalize by ||ref|| itself, not max(||ref||, 1).
+  const double ref_norm = frobenius_norm<float>(ref.view());
+  EXPECT_DOUBLE_EQ(frobenius_diff<float>(c16.view(), ref.view()) / ref_norm, 1.0);  // flushed
+  EXPECT_LT(frobenius_diff<float>(c32.view(), ref.view()) / ref_norm, 2.0 * kTf32Eps);
+}
+
+TEST(TcGemm, ErrorGrowsLikeSqrtK) {
+  // Statistical property of the rounding model: for iid operands the
+  // absolute output error scales ~ sqrt(k) * eps16 (random-walk accumulation
+  // of operand rounding). Check the growth exponent over k = 64 -> 1024 is
+  // clearly sublinear and clearly nonzero.
+  auto err_at = [&](index_t k) {
+    const index_t m = 32;
+    auto a = test::random_matrix_f(m, k, 1000 + k);
+    auto b = test::random_matrix_f(k, m, 2000 + k);
+    Matrix<float> c_tc(m, m), c_ref(m, m);
+    tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
+    blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
+    return frobenius_diff<float>(c_tc.view(), c_ref.view());
+  };
+  const double e64 = err_at(64);
+  const double e1024 = err_at(1024);
+  const double growth = std::log2(e1024 / e64) / std::log2(1024.0 / 64.0);
+  EXPECT_GT(growth, 0.25);  // not flat
+  EXPECT_LT(growth, 0.85);  // clearly sublinear (sqrt-like, not linear)
+}
+
+TEST(Engine, RecordsShapes) {
+  tc::Fp32Engine eng;
+  eng.set_recording(true);
+  auto a = test::random_matrix_f(10, 6, 20);
+  auto b = test::random_matrix_f(6, 8, 21);
+  Matrix<float> c(10, 8);
+  eng.gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  ASSERT_EQ(eng.recorded().size(), 1u);
+  EXPECT_EQ(eng.recorded()[0].m, 10);
+  EXPECT_EQ(eng.recorded()[0].n, 8);
+  EXPECT_EQ(eng.recorded()[0].k, 6);
+  EXPECT_EQ(eng.recorded()[0].min_dim(), 6);
+  EXPECT_DOUBLE_EQ(eng.recorded_flops(), 2.0 * 10 * 8 * 6);
+  eng.clear_recorded();
+  EXPECT_TRUE(eng.recorded().empty());
+}
+
+TEST(Engine, TransposedShapeRecordsInnerDim) {
+  tc::Fp32Engine eng;
+  eng.set_recording(true);
+  auto a = test::random_matrix_f(6, 10, 22);  // op(A) = A^T is 10 x 6
+  auto b = test::random_matrix_f(6, 8, 23);
+  Matrix<float> c(10, 8);
+  eng.gemm(Trans::Yes, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  EXPECT_EQ(eng.recorded()[0].k, 6);
+}
+
+TEST(Engine, AllEnginesAgreeToTheirPrecision) {
+  const index_t n = 40;
+  auto a = test::random_matrix_f(n, n, 30);
+  auto b = test::random_matrix_f(n, n, 31);
+  Matrix<float> ref(n, n);
+  blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, ref.view());
+
+  tc::Fp32Engine fp32;
+  tc::TcEngine tchalf(TcPrecision::Fp16);
+  tc::EcTcEngine ectc(TcPrecision::Fp16);
+  Matrix<float> c(n, n);
+
+  fp32.gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  EXPECT_EQ(test::rel_diff<float>(c.view(), ref.view()), 0.0);
+
+  tchalf.gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  EXPECT_LT(test::rel_diff<float>(c.view(), ref.view()), 2.0 * kHalfEps);
+
+  ectc.gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  EXPECT_LT(test::rel_diff<float>(c.view(), ref.view()), 1e-5);
+}
+
+TEST(Engine, NamesAreStable) {
+  EXPECT_EQ(tc::Fp32Engine().name(), "fp32");
+  EXPECT_EQ(tc::TcEngine(TcPrecision::Fp16).name(), "tc-fp16");
+  EXPECT_EQ(tc::TcEngine(TcPrecision::Tf32).name(), "tc-tf32");
+  EXPECT_EQ(tc::EcTcEngine(TcPrecision::Fp16).name(), "ectc-fp16");
+}
+
+}  // namespace
+}  // namespace tcevd

@@ -1,0 +1,172 @@
+// steqr / sterf / stebz on matrices with known or cross-checkable spectra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/blas/blas.hpp"
+#include "src/lapack/tridiag.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+/// The (-1, 2, -1) Laplacian has eigenvalues 2 - 2 cos(k pi / (n+1)).
+std::vector<double> laplacian_eigs(index_t n) {
+  std::vector<double> eigs(static_cast<std::size_t>(n));
+  for (index_t k = 1; k <= n; ++k)
+    eigs[static_cast<std::size_t>(k - 1)] =
+        2.0 - 2.0 * std::cos(static_cast<double>(k) * std::numbers::pi / (n + 1));
+  return eigs;
+}
+
+class LaplacianTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(LaplacianTest, SteqrFindsKnownSpectrum) {
+  const index_t n = GetParam();
+  std::vector<double> d(static_cast<std::size_t>(n), 2.0);
+  std::vector<double> e(static_cast<std::size_t>(n - 1), -1.0);
+  ASSERT_TRUE(lapack::steqr<double>(d, e, nullptr));
+  auto ref = laplacian_eigs(n);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(d[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)], 1e-12);
+}
+
+TEST_P(LaplacianTest, SterfMatchesSteqr) {
+  const index_t n = GetParam();
+  std::vector<double> d1(static_cast<std::size_t>(n), 2.0);
+  std::vector<double> e1(static_cast<std::size_t>(n - 1), -1.0);
+  auto d2 = d1;
+  auto e2 = e1;
+  ASSERT_TRUE(lapack::steqr<double>(d1, e1, nullptr));
+  ASSERT_TRUE(lapack::sterf(d2, e2));
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(d1[static_cast<std::size_t>(i)], d2[static_cast<std::size_t>(i)]);
+}
+
+TEST_P(LaplacianTest, StebzMatchesKnownSpectrum) {
+  const index_t n = GetParam();
+  std::vector<double> d(static_cast<std::size_t>(n), 2.0);
+  std::vector<double> e(static_cast<std::size_t>(n - 1), -1.0);
+  auto eigs = lapack::stebz<double>(d, e, 0, n - 1, 1e-13);
+  auto ref = laplacian_eigs(n);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(eigs[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LaplacianTest, ::testing::Values<index_t>(2, 3, 10, 33, 100));
+
+TEST(Steqr, EigenvectorsDiagonalizeT) {
+  const index_t n = 50;
+  Rng rng(1);
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(n - 1));
+  for (auto& v : d) v = rng.normal();
+  for (auto& v : e) v = rng.normal();
+
+  Matrix<double> t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t(i, i) = d[static_cast<std::size_t>(i)];
+    if (i + 1 < n) {
+      t(i + 1, i) = e[static_cast<std::size_t>(i)];
+      t(i, i + 1) = e[static_cast<std::size_t>(i)];
+    }
+  }
+
+  Matrix<double> z(n, n);
+  set_identity(z.view());
+  auto zv = z.view();
+  ASSERT_TRUE(lapack::steqr<double>(d, e, &zv));
+  EXPECT_LT(orthogonality_residual<double>(z.view()), 1e-12 * n);
+
+  // T z_j == lambda_j z_j.
+  Matrix<double> tz(n, n);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, t.view(), z.view(), 0.0, tz.view());
+  double max_err = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      max_err = std::max(max_err, std::abs(tz(i, j) - d[static_cast<std::size_t>(j)] * z(i, j)));
+  EXPECT_LT(max_err, 1e-12);
+}
+
+TEST(Steqr, AscendingOrder) {
+  const index_t n = 64;
+  Rng rng(2);
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(n - 1));
+  for (auto& v : d) v = rng.normal();
+  for (auto& v : e) v = rng.normal();
+  ASSERT_TRUE(lapack::steqr<double>(d, e, nullptr));
+  for (index_t i = 1; i < n; ++i)
+    EXPECT_LE(d[static_cast<std::size_t>(i - 1)], d[static_cast<std::size_t>(i)]);
+}
+
+TEST(Steqr, SizeOneAndTwo) {
+  std::vector<double> d{3.0};
+  std::vector<double> e;
+  ASSERT_TRUE(lapack::steqr<double>(d, e, nullptr));
+  EXPECT_EQ(d[0], 3.0);
+
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  d = {2.0, 2.0};
+  e = {1.0};
+  ASSERT_TRUE(lapack::steqr<double>(d, e, nullptr));
+  EXPECT_NEAR(d[0], 1.0, 1e-14);
+  EXPECT_NEAR(d[1], 3.0, 1e-14);
+}
+
+TEST(Steqr, ZeroOffdiagonalIsImmediatelyDeflated) {
+  std::vector<double> d{5.0, -1.0, 2.0};
+  std::vector<double> e{0.0, 0.0};
+  ASSERT_TRUE(lapack::steqr<double>(d, e, nullptr));
+  EXPECT_DOUBLE_EQ(d[0], -1.0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+TEST(SturmCount, CountsCorrectly) {
+  // Laplacian n=4: eigenvalues 2-2cos(k pi/5), roughly .38, 1.38, 2.62, 3.62.
+  std::vector<double> d(4, 2.0);
+  std::vector<double> e(3, -1.0);
+  EXPECT_EQ(lapack::sturm_count<double>(d, e, 0.0), 0);
+  EXPECT_EQ(lapack::sturm_count<double>(d, e, 1.0), 1);
+  EXPECT_EQ(lapack::sturm_count<double>(d, e, 2.0), 2);
+  EXPECT_EQ(lapack::sturm_count<double>(d, e, 3.0), 3);
+  EXPECT_EQ(lapack::sturm_count<double>(d, e, 4.0), 4);
+}
+
+TEST(Stebz, SelectedRange) {
+  const index_t n = 40;
+  std::vector<double> d(static_cast<std::size_t>(n), 2.0);
+  std::vector<double> e(static_cast<std::size_t>(n - 1), -1.0);
+  auto ref = laplacian_eigs(n);
+  auto eigs = lapack::stebz<double>(d, e, 5, 9, 1e-13);
+  ASSERT_EQ(eigs.size(), 5u);
+  for (index_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(eigs[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(5 + i)], 1e-10);
+}
+
+TEST(Stebz, RepeatedEigenvalues) {
+  // diag(1,1,1,5): three identical eigenvalues.
+  std::vector<double> d{1.0, 1.0, 1.0, 5.0};
+  std::vector<double> e{0.0, 0.0, 0.0};
+  auto eigs = lapack::stebz<double>(d, e, 0, 3, 1e-13);
+  EXPECT_NEAR(eigs[0], 1.0, 1e-9);
+  EXPECT_NEAR(eigs[1], 1.0, 1e-9);
+  EXPECT_NEAR(eigs[2], 1.0, 1e-9);
+  EXPECT_NEAR(eigs[3], 5.0, 1e-9);
+}
+
+TEST(Steqr, FloatPrecision) {
+  const index_t n = 80;
+  std::vector<float> d(static_cast<std::size_t>(n), 2.0f);
+  std::vector<float> e(static_cast<std::size_t>(n - 1), -1.0f);
+  ASSERT_TRUE(lapack::steqr<float>(d, e, nullptr));
+  auto ref = laplacian_eigs(n);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(d[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)], 1e-4);
+}
+
+}  // namespace
+}  // namespace tcevd

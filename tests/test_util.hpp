@@ -1,0 +1,42 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "src/common/matrix.hpp"
+#include "src/common/norms.hpp"
+#include "src/common/rng.hpp"
+
+namespace tcevd::test {
+
+inline Matrix<double> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<double> a(m, n);
+  fill_normal(rng, a.view());
+  return a;
+}
+
+inline Matrix<float> random_matrix_f(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<float> a(m, n);
+  fill_normal(rng, a.view());
+  return a;
+}
+
+template <typename T>
+Matrix<T> random_symmetric(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(n, n);
+  fill_normal(rng, a.view());
+  make_symmetric(a.view());
+  return a;
+}
+
+/// Relative Frobenius difference ||a-b||_F / max(||b||_F, 1).
+template <typename T>
+double rel_diff(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  const double denom = std::max(frobenius_norm(b), 1.0);
+  return frobenius_diff(a, b) / denom;
+}
+
+}  // namespace tcevd::test
