@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_evd.dir/bench_fig11_evd.cpp.o"
+  "CMakeFiles/bench_fig11_evd.dir/bench_fig11_evd.cpp.o.d"
+  "bench_fig11_evd"
+  "bench_fig11_evd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_evd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_blocksize.dir/bench_fig5_blocksize.cpp.o"
+  "CMakeFiles/bench_fig5_blocksize.dir/bench_fig5_blocksize.cpp.o.d"
+  "bench_fig5_blocksize"
+  "bench_fig5_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

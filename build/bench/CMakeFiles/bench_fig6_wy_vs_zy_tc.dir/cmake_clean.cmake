@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wy_vs_zy_tc.dir/bench_fig6_wy_vs_zy_tc.cpp.o"
+  "CMakeFiles/bench_fig6_wy_vs_zy_tc.dir/bench_fig6_wy_vs_zy_tc.cpp.o.d"
+  "bench_fig6_wy_vs_zy_tc"
+  "bench_fig6_wy_vs_zy_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wy_vs_zy_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

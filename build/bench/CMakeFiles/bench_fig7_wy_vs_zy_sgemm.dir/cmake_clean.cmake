@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_wy_vs_zy_sgemm.dir/bench_fig7_wy_vs_zy_sgemm.cpp.o"
+  "CMakeFiles/bench_fig7_wy_vs_zy_sgemm.dir/bench_fig7_wy_vs_zy_sgemm.cpp.o.d"
+  "bench_fig7_wy_vs_zy_sgemm"
+  "bench_fig7_wy_vs_zy_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_wy_vs_zy_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

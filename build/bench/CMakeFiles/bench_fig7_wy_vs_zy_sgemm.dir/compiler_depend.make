@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_wy_vs_zy_sgemm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_panel_qr.dir/bench_fig8_panel_qr.cpp.o"
+  "CMakeFiles/bench_fig8_panel_qr.dir/bench_fig8_panel_qr.cpp.o.d"
+  "bench_fig8_panel_qr"
+  "bench_fig8_panel_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_panel_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gemm_shapes.dir/bench_table1_gemm_shapes.cpp.o"
+  "CMakeFiles/bench_table1_gemm_shapes.dir/bench_table1_gemm_shapes.cpp.o.d"
+  "bench_table1_gemm_shapes"
+  "bench_table1_gemm_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gemm_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

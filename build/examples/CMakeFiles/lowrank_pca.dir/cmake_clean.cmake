@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowrank_pca.dir/lowrank_pca.cpp.o"
+  "CMakeFiles/lowrank_pca.dir/lowrank_pca.cpp.o.d"
+  "lowrank_pca"
+  "lowrank_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowrank_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

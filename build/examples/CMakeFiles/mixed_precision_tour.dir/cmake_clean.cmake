@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_precision_tour.dir/mixed_precision_tour.cpp.o"
+  "CMakeFiles/mixed_precision_tour.dir/mixed_precision_tour.cpp.o.d"
+  "mixed_precision_tour"
+  "mixed_precision_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_precision_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_spectrum.dir/partial_spectrum.cpp.o"
+  "CMakeFiles/partial_spectrum.dir/partial_spectrum.cpp.o.d"
+  "partial_spectrum"
+  "partial_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_modes.dir/spectral_modes.cpp.o"
+  "CMakeFiles/spectral_modes.dir/spectral_modes.cpp.o.d"
+  "spectral_modes"
+  "spectral_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcevd_tool.dir/tcevd_tool.cpp.o"
+  "CMakeFiles/tcevd_tool.dir/tcevd_tool.cpp.o.d"
+  "tcevd_tool"
+  "tcevd_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcevd_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/level1.cpp" "src/CMakeFiles/tcevd.dir/blas/level1.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/blas/level1.cpp.o.d"
+  "/root/repo/src/blas/level2.cpp" "src/CMakeFiles/tcevd.dir/blas/level2.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/blas/level2.cpp.o.d"
+  "/root/repo/src/blas/level3.cpp" "src/CMakeFiles/tcevd.dir/blas/level3.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/blas/level3.cpp.o.d"
+  "/root/repo/src/bulge/bulge_chasing.cpp" "src/CMakeFiles/tcevd.dir/bulge/bulge_chasing.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/bulge/bulge_chasing.cpp.o.d"
+  "/root/repo/src/common/flop_counter.cpp" "src/CMakeFiles/tcevd.dir/common/flop_counter.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/common/flop_counter.cpp.o.d"
+  "/root/repo/src/common/half.cpp" "src/CMakeFiles/tcevd.dir/common/half.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/common/half.cpp.o.d"
+  "/root/repo/src/common/matrix.cpp" "src/CMakeFiles/tcevd.dir/common/matrix.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/common/matrix.cpp.o.d"
+  "/root/repo/src/common/norms.cpp" "src/CMakeFiles/tcevd.dir/common/norms.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/common/norms.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/tcevd.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/common/rng.cpp.o.d"
+  "/root/repo/src/evd/evd.cpp" "src/CMakeFiles/tcevd.dir/evd/evd.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/evd/evd.cpp.o.d"
+  "/root/repo/src/evd/partial.cpp" "src/CMakeFiles/tcevd.dir/evd/partial.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/evd/partial.cpp.o.d"
+  "/root/repo/src/evd/refine.cpp" "src/CMakeFiles/tcevd.dir/evd/refine.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/evd/refine.cpp.o.d"
+  "/root/repo/src/lapack/bidiag.cpp" "src/CMakeFiles/tcevd.dir/lapack/bidiag.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/bidiag.cpp.o.d"
+  "/root/repo/src/lapack/getrf.cpp" "src/CMakeFiles/tcevd.dir/lapack/getrf.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/getrf.cpp.o.d"
+  "/root/repo/src/lapack/householder.cpp" "src/CMakeFiles/tcevd.dir/lapack/householder.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/householder.cpp.o.d"
+  "/root/repo/src/lapack/jacobi_evd.cpp" "src/CMakeFiles/tcevd.dir/lapack/jacobi_evd.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/jacobi_evd.cpp.o.d"
+  "/root/repo/src/lapack/lu.cpp" "src/CMakeFiles/tcevd.dir/lapack/lu.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/lu.cpp.o.d"
+  "/root/repo/src/lapack/qr.cpp" "src/CMakeFiles/tcevd.dir/lapack/qr.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/qr.cpp.o.d"
+  "/root/repo/src/lapack/secular.cpp" "src/CMakeFiles/tcevd.dir/lapack/secular.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/secular.cpp.o.d"
+  "/root/repo/src/lapack/stebz.cpp" "src/CMakeFiles/tcevd.dir/lapack/stebz.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/stebz.cpp.o.d"
+  "/root/repo/src/lapack/stedc.cpp" "src/CMakeFiles/tcevd.dir/lapack/stedc.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/stedc.cpp.o.d"
+  "/root/repo/src/lapack/stein.cpp" "src/CMakeFiles/tcevd.dir/lapack/stein.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/stein.cpp.o.d"
+  "/root/repo/src/lapack/steqr.cpp" "src/CMakeFiles/tcevd.dir/lapack/steqr.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/steqr.cpp.o.d"
+  "/root/repo/src/lapack/sytrd.cpp" "src/CMakeFiles/tcevd.dir/lapack/sytrd.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/lapack/sytrd.cpp.o.d"
+  "/root/repo/src/matgen/matgen.cpp" "src/CMakeFiles/tcevd.dir/matgen/matgen.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/matgen/matgen.cpp.o.d"
+  "/root/repo/src/perfmodel/a100_model.cpp" "src/CMakeFiles/tcevd.dir/perfmodel/a100_model.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/perfmodel/a100_model.cpp.o.d"
+  "/root/repo/src/perfmodel/shape_trace.cpp" "src/CMakeFiles/tcevd.dir/perfmodel/shape_trace.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/perfmodel/shape_trace.cpp.o.d"
+  "/root/repo/src/sbr/band.cpp" "src/CMakeFiles/tcevd.dir/sbr/band.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/sbr/band.cpp.o.d"
+  "/root/repo/src/sbr/band_storage.cpp" "src/CMakeFiles/tcevd.dir/sbr/band_storage.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/sbr/band_storage.cpp.o.d"
+  "/root/repo/src/sbr/formw.cpp" "src/CMakeFiles/tcevd.dir/sbr/formw.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/sbr/formw.cpp.o.d"
+  "/root/repo/src/sbr/panel.cpp" "src/CMakeFiles/tcevd.dir/sbr/panel.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/sbr/panel.cpp.o.d"
+  "/root/repo/src/sbr/sbr_wy.cpp" "src/CMakeFiles/tcevd.dir/sbr/sbr_wy.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/sbr/sbr_wy.cpp.o.d"
+  "/root/repo/src/sbr/sbr_zy.cpp" "src/CMakeFiles/tcevd.dir/sbr/sbr_zy.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/sbr/sbr_zy.cpp.o.d"
+  "/root/repo/src/svd/svd.cpp" "src/CMakeFiles/tcevd.dir/svd/svd.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/svd/svd.cpp.o.d"
+  "/root/repo/src/tensorcore/ec_tcgemm.cpp" "src/CMakeFiles/tcevd.dir/tensorcore/ec_tcgemm.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/tensorcore/ec_tcgemm.cpp.o.d"
+  "/root/repo/src/tensorcore/engine.cpp" "src/CMakeFiles/tcevd.dir/tensorcore/engine.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/tensorcore/engine.cpp.o.d"
+  "/root/repo/src/tensorcore/mma_tile.cpp" "src/CMakeFiles/tcevd.dir/tensorcore/mma_tile.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/tensorcore/mma_tile.cpp.o.d"
+  "/root/repo/src/tensorcore/tc_gemm.cpp" "src/CMakeFiles/tcevd.dir/tensorcore/tc_gemm.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/tensorcore/tc_gemm.cpp.o.d"
+  "/root/repo/src/tensorcore/tc_syr2k.cpp" "src/CMakeFiles/tcevd.dir/tensorcore/tc_syr2k.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/tensorcore/tc_syr2k.cpp.o.d"
+  "/root/repo/src/tsqr/reconstruct_wy.cpp" "src/CMakeFiles/tcevd.dir/tsqr/reconstruct_wy.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/tsqr/reconstruct_wy.cpp.o.d"
+  "/root/repo/src/tsqr/tsqr.cpp" "src/CMakeFiles/tcevd.dir/tsqr/tsqr.cpp.o" "gcc" "src/CMakeFiles/tcevd.dir/tsqr/tsqr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

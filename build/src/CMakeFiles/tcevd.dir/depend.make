@@ -1,0 +1,2 @@
+# Empty dependencies file for tcevd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bidiag.dir/test_bidiag.cpp.o"
+  "CMakeFiles/test_bidiag.dir/test_bidiag.cpp.o.d"
+  "test_bidiag"
+  "test_bidiag.pdb"
+  "test_bidiag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bidiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bulge.dir/test_bulge.cpp.o"
+  "CMakeFiles/test_bulge.dir/test_bulge.cpp.o.d"
+  "test_bulge"
+  "test_bulge.pdb"
+  "test_bulge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bulge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

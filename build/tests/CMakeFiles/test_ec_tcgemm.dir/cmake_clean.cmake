@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ec_tcgemm.dir/test_ec_tcgemm.cpp.o"
+  "CMakeFiles/test_ec_tcgemm.dir/test_ec_tcgemm.cpp.o.d"
+  "test_ec_tcgemm"
+  "test_ec_tcgemm.pdb"
+  "test_ec_tcgemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ec_tcgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

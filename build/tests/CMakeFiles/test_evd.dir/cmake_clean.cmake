@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evd.dir/test_evd.cpp.o"
+  "CMakeFiles/test_evd.dir/test_evd.cpp.o.d"
+  "test_evd"
+  "test_evd.pdb"
+  "test_evd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_getrf.dir/test_getrf.cpp.o"
+  "CMakeFiles/test_getrf.dir/test_getrf.cpp.o.d"
+  "test_getrf"
+  "test_getrf.pdb"
+  "test_getrf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_getrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

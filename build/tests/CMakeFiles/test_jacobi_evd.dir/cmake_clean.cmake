@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jacobi_evd.dir/test_jacobi_evd.cpp.o"
+  "CMakeFiles/test_jacobi_evd.dir/test_jacobi_evd.cpp.o.d"
+  "test_jacobi_evd"
+  "test_jacobi_evd.pdb"
+  "test_jacobi_evd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jacobi_evd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

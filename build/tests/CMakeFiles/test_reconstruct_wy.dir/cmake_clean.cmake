@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconstruct_wy.dir/test_reconstruct_wy.cpp.o"
+  "CMakeFiles/test_reconstruct_wy.dir/test_reconstruct_wy.cpp.o.d"
+  "test_reconstruct_wy"
+  "test_reconstruct_wy.pdb"
+  "test_reconstruct_wy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconstruct_wy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

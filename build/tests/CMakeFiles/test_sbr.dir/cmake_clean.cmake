@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sbr.dir/test_sbr.cpp.o"
+  "CMakeFiles/test_sbr.dir/test_sbr.cpp.o.d"
+  "test_sbr"
+  "test_sbr.pdb"
+  "test_sbr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stedc.dir/test_stedc.cpp.o"
+  "CMakeFiles/test_stedc.dir/test_stedc.cpp.o.d"
+  "test_stedc"
+  "test_stedc.pdb"
+  "test_stedc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stedc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

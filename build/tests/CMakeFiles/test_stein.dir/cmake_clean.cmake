@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stein.dir/test_stein.cpp.o"
+  "CMakeFiles/test_stein.dir/test_stein.cpp.o.d"
+  "test_stein"
+  "test_stein.pdb"
+  "test_stein[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tc_syr2k.dir/test_tc_syr2k.cpp.o"
+  "CMakeFiles/test_tc_syr2k.dir/test_tc_syr2k.cpp.o.d"
+  "test_tc_syr2k"
+  "test_tc_syr2k.pdb"
+  "test_tc_syr2k[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tc_syr2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensorcore.dir/test_tensorcore.cpp.o"
+  "CMakeFiles/test_tensorcore.dir/test_tensorcore.cpp.o.d"
+  "test_tensorcore"
+  "test_tensorcore.pdb"
+  "test_tensorcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensorcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
