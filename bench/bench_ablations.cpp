@@ -38,7 +38,7 @@ int main() {
       opt.bandwidth = b;
       opt.big_block = 4 * b;
       sbr::SbrResult res;
-      const double t1 = bench::time_once_s([&] { res = sbr::sbr_wy(a.view(), eng, opt); });
+      const double t1 = bench::time_once_s([&] { res = *sbr::sbr_wy(a.view(), eng, opt); });
       const double t2 = bench::time_once_s(
           [&] { (void)bulge::bulge_chase<float>(res.band.view(), b, nullptr); });
       std::printf("%6lld | %10.1f | %12.1f\n", static_cast<long long>(b), t1 * 1e3,
@@ -62,7 +62,7 @@ int main() {
       opt.big_block = 64;
       opt.solver = solver;
       evd::EvdResult res;
-      const double t = bench::time_once_s([&] { res = evd::solve(a.view(), eng, opt); });
+      const double t = bench::time_once_s([&] { res = *evd::solve(a.view(), eng, opt); });
       std::printf("%-16s total %8.1f ms (solver %7.1f ms)\n", name, t * 1e3,
                   res.timings.solver_s * 1e3);
     };
@@ -123,7 +123,7 @@ int main() {
     opt.bandwidth = 16;
     opt.big_block = 64;
     opt.vectors = true;
-    auto res = evd::solve(a.view(), eng, opt);
+    auto res = *evd::solve(a.view(), eng, opt);
     std::vector<float> lam(res.eigenvalues.end() - 4, res.eigenvalues.end());
     auto vk = res.vectors.sub(0, n - 4, n, 4);
     evd::RefineResult refined;

@@ -93,7 +93,7 @@ int main() {
       opt.bandwidth = 16;
       opt.big_block = 64;
       evd::EvdResult res;
-      const double t = bench::time_once_s([&] { res = evd::solve(a.view(), eng, opt); });
+      const double t = bench::time_once_s([&] { res = *evd::solve(a.view(), eng, opt); });
       std::printf("%-22s total %7.1f ms (reduce %6.1f, bulge %6.1f, solver %6.1f)\n", name,
                   t * 1e3, res.timings.reduction_s * 1e3, res.timings.bulge_s * 1e3,
                   res.timings.solver_s * 1e3);

@@ -100,7 +100,7 @@ void BM_SbrWy(benchmark::State& state) {
   opt.bandwidth = 16;
   opt.big_block = 64;
   for (auto _ : state) {
-    auto res = sbr::sbr_wy(a.view(), eng, opt);
+    auto res = *sbr::sbr_wy(a.view(), eng, opt);
     benchmark::DoNotOptimize(res.band.data());
   }
 }
@@ -116,7 +116,7 @@ void BM_SbrZy(benchmark::State& state) {
   sbr::SbrOptions opt;
   opt.bandwidth = 16;
   for (auto _ : state) {
-    auto res = sbr::sbr_zy(a.view(), eng, opt);
+    auto res = *sbr::sbr_zy(a.view(), eng, opt);
     benchmark::DoNotOptimize(res.band.data());
   }
 }

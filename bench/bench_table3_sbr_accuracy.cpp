@@ -55,7 +55,7 @@ int main() {
     opt.bandwidth = b;
     opt.big_block = nb;
     opt.accumulate_q = true;
-    auto res = sbr::sbr_wy(a.view(), eng, opt);
+    auto res = *sbr::sbr_wy(a.view(), eng, opt);
     const double eb = backward_error_normalized(a.view(), res.q.view(), res.band.view());
     const double eo = orthogonality_error<float>(res.q.view());
     std::printf("%-20s %14.2e %14.2e\n", matgen::matrix_type_name(row.type, row.cond).c_str(),

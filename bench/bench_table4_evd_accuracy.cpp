@@ -30,7 +30,7 @@ int main() {
     auto ad = matgen::generate(row.type, n, row.cond, rng);
     Matrix<float> a(n, n);
     convert_matrix<double, float>(ad.view(), a.view());
-    auto ref = evd::reference_eigenvalues(ad.view());
+    auto ref = *evd::reference_eigenvalues(ad.view());
 
     evd::EvdOptions opt;
     opt.bandwidth = 16;
@@ -38,8 +38,8 @@ int main() {
 
     tc::TcEngine tc_eng(tc::TcPrecision::Fp16);
     tc::Fp32Engine fp_eng;
-    auto r_tc = evd::solve(a.view(), tc_eng, opt);
-    auto r_fp = evd::solve(a.view(), fp_eng, opt);
+    auto r_tc = *evd::solve(a.view(), tc_eng, opt);
+    auto r_fp = *evd::solve(a.view(), fp_eng, opt);
 
     std::vector<double> g_tc(r_tc.eigenvalues.begin(), r_tc.eigenvalues.end());
     std::vector<double> g_fp(r_fp.eigenvalues.begin(), r_fp.eigenvalues.end());

@@ -47,7 +47,7 @@ int main() {
   opt.bandwidth = 16;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = evd::solve(cov.view(), engine, opt);
+  auto res = *evd::solve(cov.view(), engine, opt);
   if (!res.converged) return 1;
 
   // Eigenvalues ascend; the top `rank` should dominate.

@@ -51,7 +51,7 @@ int main() {
               static_cast<long long>(n));
   std::printf("%-12s %16s %16s\n", "engine", "E_b = |A-QBQ'|/|A|", "E_o = |I-Q'Q|/N");
   for (auto* eng : engines) {
-    auto res = sbr::sbr_wy(a.view(), *eng, opt);
+    auto res = *sbr::sbr_wy(a.view(), *eng, opt);
     std::printf("%-12s %16.2e %16.2e\n", eng->name().c_str(),
                 backward_err(a.view(), res.q.view(), res.band.view()),
                 orthogonality_error<float>(res.q.view()));

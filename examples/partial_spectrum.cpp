@@ -30,7 +30,7 @@ int main() {
   opt.big_block = 64;
 
   // Selected solve: indices n-k .. n-1 are the k largest eigenvalues.
-  auto part = evd::solve_selected(a.view(), engine, opt, n - k, n - 1, /*vectors=*/true);
+  auto part = *evd::solve_selected(a.view(), engine, opt, n - k, n - 1, /*vectors=*/true);
   if (!part.converged) return 1;
   const double res_coarse =
       evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view());

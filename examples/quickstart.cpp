@@ -32,7 +32,7 @@ int main() {
   opt.bandwidth = 16;
   opt.big_block = 64;
   opt.vectors = true;
-  evd::EvdResult res = evd::solve(a.view(), engine, opt);
+  evd::EvdResult res = *evd::solve(a.view(), engine, opt);
   if (!res.converged) {
     std::printf("eigensolver failed to converge\n");
     return 1;

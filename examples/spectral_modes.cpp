@@ -43,7 +43,7 @@ int main() {
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = evd::solve(k.view(), engine, opt);
+  auto res = *evd::solve(k.view(), engine, opt);
   if (!res.converged) return 1;
 
   std::printf("lowest 5 vibrational frequencies (omega = sqrt(lambda)):\n");

@@ -114,11 +114,14 @@ int main(int argc, char** argv) {
               matgen::matrix_type_name(type, cond).c_str(), (long long)n,
               engine->name().c_str(), (long long)opt.bandwidth, (long long)opt.big_block);
 
-  auto res = evd::solve(a.view(), *engine, opt);
-  if (!res.converged) {
-    std::fprintf(stderr, "eigensolver failed to converge\n");
+  auto res_or = evd::solve(a.view(), *engine, opt);
+  if (!res_or.ok()) {
+    std::fprintf(stderr, "eigensolver failed: %s\n", res_or.status().to_string().c_str());
     return 1;
   }
+  evd::EvdResult& res = *res_or;
+  for (const auto& ev : res.recovery)
+    std::printf("recovery: [%s] %s\n", ev.site.c_str(), ev.action.c_str());
 
   std::printf("timings: reduce %.1f ms | bulge %.1f ms | solver %.1f ms | total %.1f ms\n",
               res.timings.reduction_s * 1e3, res.timings.bulge_s * 1e3,
@@ -127,7 +130,7 @@ int main(int argc, char** argv) {
               res.eigenvalues.back());
 
   if (check) {
-    auto ref = evd::reference_eigenvalues(ad.view());
+    auto ref = *evd::reference_eigenvalues(ad.view());
     std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
     std::printf("E_s vs fp64 reference: %.2e\n", eigenvalue_error(ref.data(), got.data(), n));
     if (opt.vectors) {

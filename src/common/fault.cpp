@@ -1,0 +1,130 @@
+#include "src/common/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcevd::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "panel.nan",
+    "ec_tcgemm.saturate",
+    "steqr.exhaust",
+    "reconstruct_wy.singular",
+    "stein.stagnate",
+};
+
+struct SiteState {
+  std::atomic<int> budget{0};  // 0 = disarmed, -1 = unlimited, >0 = fires left
+  std::atomic<int> fired{0};
+};
+
+SiteState g_sites[kSiteCount];
+
+SiteState& state(Site site) { return g_sites[static_cast<int>(site)]; }
+
+/// Arm sites named in TCEVD_FAULTS at process start (before main), so the
+/// injection suite can run unmodified binaries under fault load.
+bool init_from_env() {
+  const char* env = std::getenv("TCEVD_FAULTS");
+  if (!env || !*env) return true;
+  std::string spec;
+  for (const char* p = env;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!spec.empty() && !arm_from_spec(spec))
+        std::fprintf(stderr, "tcevd: ignoring unknown TCEVD_FAULTS entry '%s'\n", spec.c_str());
+      spec.clear();
+      if (*p == '\0') break;
+    } else {
+      spec.push_back(*p);
+    }
+  }
+  return true;
+}
+
+const bool g_env_initialized = init_from_env();
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_armed_sites{0};
+
+bool should_fire_slow(Site site) noexcept {
+  SiteState& s = state(site);
+  int b = s.budget.load(std::memory_order_relaxed);
+  for (;;) {
+    if (b == 0) return false;
+    if (b < 0) {  // unlimited
+      s.fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (s.budget.compare_exchange_weak(b, b - 1, std::memory_order_relaxed)) {
+      if (b == 1) g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+      s.fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+}  // namespace detail
+
+const char* site_name(Site site) noexcept { return kSiteNames[static_cast<int>(site)]; }
+
+bool site_from_name(const std::string& name, Site* out) noexcept {
+  for (int i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) {
+      *out = static_cast<Site>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void arm(Site site, int fires) {
+  if (fires == 0) {
+    disarm(site);
+    return;
+  }
+  SiteState& s = state(site);
+  const int prev = s.budget.exchange(fires, std::memory_order_relaxed);
+  s.fired.store(0, std::memory_order_relaxed);
+  if (prev == 0) detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(Site site) {
+  SiteState& s = state(site);
+  const int prev = s.budget.exchange(0, std::memory_order_relaxed);
+  if (prev != 0) detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  for (int i = 0; i < kSiteCount; ++i) disarm(static_cast<Site>(i));
+}
+
+bool armed(Site site) noexcept {
+  return state(site).budget.load(std::memory_order_relaxed) != 0;
+}
+
+int fired(Site site) noexcept { return state(site).fired.load(std::memory_order_relaxed); }
+
+bool arm_from_spec(const std::string& spec) {
+  std::string name = spec;
+  int fires = 1;
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    const std::string count = spec.substr(colon + 1);
+    char* end = nullptr;
+    const long v = std::strtol(count.c_str(), &end, 10);
+    if (count.empty() || (end && *end != '\0')) return false;
+    fires = static_cast<int>(v);
+  }
+  Site site;
+  if (!site_from_name(name, &site)) return false;
+  arm(site, fires);
+  return true;
+}
+
+}  // namespace tcevd::fault

@@ -1,0 +1,66 @@
+// Numerical fault injection for robustness testing.
+//
+// A fixed registry of named injection sites sits at the pipeline's fragile
+// points (fp16 saturation, TSQR panel output, solver iteration caps). Each
+// site is disarmed by default and costs a single relaxed atomic load on the
+// hot path when nothing is armed anywhere in the process. Sites are armed
+// programmatically (`fault::arm`) or via the environment variable
+//
+//   TCEVD_FAULTS="steqr.exhaust,panel.nan:2,ec_tcgemm.saturate:-1"
+//
+// where the optional `:count` is the number of times the site fires before
+// auto-disarming (-1 = every time; default 1). One-shot budgets are what
+// make fallback testing work: the injected failure fires on the first
+// attempt and the recovery path then runs clean.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace tcevd::fault {
+
+enum class Site : int {
+  PanelNan = 0,          ///< "panel.nan" — poison the TSQR panel's WY output with NaN
+  EcTcSaturate,          ///< "ec_tcgemm.saturate" — force fp16 saturation detection
+  SteqrExhaust,          ///< "steqr.exhaust" — force QL iteration exhaustion
+  ReconstructSingular,   ///< "reconstruct_wy.singular" — force a singular LU pivot
+  SteinStagnate,         ///< "stein.stagnate" — force inverse-iteration failure
+  Count,                 // sentinel
+};
+
+inline constexpr int kSiteCount = static_cast<int>(Site::Count);
+
+/// Registered name of a site ("steqr.exhaust", ...).
+const char* site_name(Site site) noexcept;
+
+/// Reverse lookup; returns false (and leaves *out* alone) for unknown names.
+bool site_from_name(const std::string& name, Site* out) noexcept;
+
+/// Arm `site` to fire `fires` times (-1 = unlimited). Re-arming resets the
+/// budget and the fired counter.
+void arm(Site site, int fires = 1);
+void disarm(Site site);
+void disarm_all();
+bool armed(Site site) noexcept;
+
+/// Times the site actually fired since it was last armed.
+int fired(Site site) noexcept;
+
+/// Parse one "site[:count]" spec (the TCEVD_FAULTS grammar) and arm it.
+/// Returns false for an unknown site name or malformed count.
+bool arm_from_spec(const std::string& spec);
+
+namespace detail {
+extern std::atomic<int> g_armed_sites;
+bool should_fire_slow(Site site) noexcept;
+}  // namespace detail
+
+/// Hot-path query used by the injection sites themselves: consumes one unit
+/// of the site's budget and returns true when the fault must trigger now.
+/// When no site is armed process-wide this is a single relaxed load.
+inline bool should_fire(Site site) noexcept {
+  if (detail::g_armed_sites.load(std::memory_order_relaxed) == 0) return false;
+  return detail::should_fire_slow(site);
+}
+
+}  // namespace tcevd::fault

@@ -6,6 +6,7 @@
 #include "src/bulge/bulge_chasing.hpp"
 #include "src/common/norms.hpp"
 #include "src/common/timer.hpp"
+#include "src/lapack/stein.hpp"
 #include "src/lapack/sytrd.hpp"
 #include "src/lapack/tridiag.hpp"
 #include "src/sbr/band.hpp"
@@ -17,33 +18,71 @@ namespace {
 
 using blas::Trans;
 
-bool run_tri_solver(TriSolver solver, std::vector<float>& d, std::vector<float>& e,
-                    MatrixView<float>* z) {
+Status run_tri_solver(TriSolver solver, std::vector<float>& d, std::vector<float>& e,
+                      MatrixView<float>* z) {
   switch (solver) {
     case TriSolver::Ql:
       return lapack::steqr<float>(d, e, z);
     case TriSolver::DivideConquer:
       return lapack::stedc<float>(d, e, z);
     case TriSolver::Bisection: {
-      TCEVD_CHECK(z == nullptr, "bisection solver computes eigenvalues only");
       const index_t n = static_cast<index_t>(d.size());
       auto eigs = lapack::stebz<float>(d, e, 0, n - 1);
+      if (z != nullptr) {
+        // Vectors via inverse iteration on the bisection values, then fold
+        // into the accumulated orthogonal factor: z := z * S.
+        Matrix<float> s(n, n);
+        TCEVD_RETURN_IF_ERROR(lapack::stein<float>(d, e, eigs, s.view()));
+        Matrix<float> tmp(z->rows(), n);
+        blas::gemm<float>(Trans::No, Trans::No, 1.0f, ConstMatrixView<float>(*z),
+                          ConstMatrixView<float>(s.view()), 0.0f, tmp.view());
+        copy_matrix<float>(ConstMatrixView<float>(tmp.view()), *z);
+      }
       std::copy(eigs.begin(), eigs.end(), d.begin());
-      return true;
+      return ok_status();
     }
   }
-  return false;
+  return Status(ErrorCode::Internal, "unknown tridiagonal solver");
+}
+
+Status screen_input(ConstMatrixView<float> a, float asym_tol) {
+  const index_t n = a.rows();
+  float amax = 0.0f;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const float v = a(i, j);
+      if (!std::isfinite(v))
+        return invalid_input_error("evd::solve: input matrix has a non-finite entry");
+      amax = std::max(amax, std::abs(v));
+    }
+  const float tol = asym_tol * std::max(amax, 1e-30f);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i)
+      if (std::abs(a(i, j) - a(j, i)) > tol)
+        return invalid_input_error("evd::solve: input matrix is not symmetric");
+  return ok_status();
 }
 
 }  // namespace
 
-EvdResult solve(ConstMatrixView<float> a, tc::GemmEngine& engine, const EvdOptions& opt) {
+const char* tri_solver_name(TriSolver solver) noexcept {
+  switch (solver) {
+    case TriSolver::Ql: return "ql";
+    case TriSolver::DivideConquer: return "divide-conquer";
+    case TriSolver::Bisection: return "bisection";
+  }
+  return "?";
+}
+
+StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                          const EvdOptions& opt) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "evd::solve requires a square symmetric matrix");
-  TCEVD_CHECK(!(opt.vectors && opt.solver == TriSolver::Bisection),
-              "bisection computes eigenvalues only");
+
+  if (opt.screen_input) TCEVD_RETURN_IF_ERROR(screen_input(a, opt.asymmetry_tol));
 
   EvdResult result;
+  recovery::Scope rscope;  // collects degradation events from every layer
   Timer total;
 
   std::vector<float> d, e;
@@ -70,8 +109,11 @@ EvdResult solve(ConstMatrixView<float> a, tc::GemmEngine& engine, const EvdOptio
     sopt.accumulate_q = opt.vectors;
 
     Timer t;
-    auto sres = (opt.reduction == Reduction::TwoStageWy) ? sbr::sbr_wy(a, engine, sopt)
-                                                         : sbr::sbr_zy(a, engine, sopt);
+    StatusOr<sbr::SbrResult> sres_or = (opt.reduction == Reduction::TwoStageWy)
+                                          ? sbr::sbr_wy(a, engine, sopt)
+                                          : sbr::sbr_zy(a, engine, sopt);
+    if (!sres_or.ok()) return sres_or.status();
+    sbr::SbrResult& sres = *sres_or;
     result.timings.reduction_s = t.seconds();
 
     t.reset();
@@ -93,23 +135,55 @@ EvdResult solve(ConstMatrixView<float> a, tc::GemmEngine& engine, const EvdOptio
   Timer ts;
   MatrixView<float> zv = q.view();
   MatrixView<float>* zp = opt.vectors ? &zv : nullptr;
-  result.converged = run_tri_solver(opt.solver, d, e, zp);
+
+  // The solvers destroy d/e (and fold rotations into q), so keep restore
+  // points for the fallback chain.
+  std::vector<float> d0, e0;
+  Matrix<float> q0;
+  if (opt.allow_fallbacks) {
+    d0 = d;
+    e0 = e;
+    if (opt.vectors) {
+      q0 = Matrix<float>(q.rows(), q.cols());
+      copy_matrix<float>(ConstMatrixView<float>(q.view()), q0.view());
+    }
+  }
+
+  Status sst = run_tri_solver(opt.solver, d, e, zp);
+  if (!sst.ok() && opt.allow_fallbacks && is_recoverable(sst)) {
+    TriSolver tried = opt.solver;
+    for (TriSolver fb :
+         {TriSolver::DivideConquer, TriSolver::Ql, TriSolver::Bisection}) {
+      if (fb == opt.solver) continue;
+      d = d0;
+      e = e0;
+      if (opt.vectors) copy_matrix<float>(ConstMatrixView<float>(q0.view()), q.view());
+      recovery::note("evd.solver", std::string(tri_solver_name(tried)) + " failed (" +
+                                       sst.to_string() + "); retrying with " +
+                                       tri_solver_name(fb));
+      sst = run_tri_solver(fb, d, e, zp);
+      if (sst.ok() || !is_recoverable(sst)) break;
+      tried = fb;
+    }
+  }
   result.timings.solver_s = ts.seconds();
+  if (!sst.ok()) return sst;
+  result.converged = true;
 
   result.eigenvalues = std::move(d);
   if (opt.vectors) result.vectors = std::move(q);
   result.timings.total_s = total.seconds();
+  result.recovery = rscope.take();
   return result;
 }
 
-std::vector<double> reference_eigenvalues(ConstMatrixView<double> a) {
+StatusOr<std::vector<double>> reference_eigenvalues(ConstMatrixView<double> a) {
   const index_t n = a.rows();
   Matrix<double> work(n, n);
   copy_matrix(a, work.view());
   std::vector<double> d, e, tau;
   lapack::sytrd(work.view(), d, e, tau);
-  const bool ok = lapack::steqr<double>(d, e, nullptr);
-  TCEVD_CHECK(ok, "reference eigensolver failed to converge");
+  TCEVD_RETURN_IF_ERROR(lapack::steqr<double>(d, e, nullptr));
   return d;
 }
 

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "src/common/matrix.hpp"
+#include "src/common/recovery.hpp"
+#include "src/common/status.hpp"
 #include "src/sbr/sbr.hpp"
 #include "src/tensorcore/engine.hpp"
 
@@ -25,8 +27,11 @@ enum class Reduction {
 enum class TriSolver {
   Ql,             ///< implicit QL/QR with Wilkinson shifts (steqr)
   DivideConquer,  ///< Cuppen D&C (stedc) — what MAGMA's ssyevd uses
-  Bisection,      ///< Sturm bisection (eigenvalues only)
+  Bisection,      ///< Sturm bisection (+ inverse iteration for vectors)
 };
+
+/// Human-readable solver name ("ql", "divide-conquer", "bisection").
+const char* tri_solver_name(TriSolver solver) noexcept;
 
 struct EvdOptions {
   Reduction reduction = Reduction::TwoStageWy;
@@ -39,6 +44,16 @@ struct EvdOptions {
   /// matrix (eigenvalues-only pipelines; ignored when vectors are requested
   /// since the rotations must also stream into Q).
   bool compact_second_stage = false;
+  /// Reject NaN/Inf entries and gross asymmetry up front (InvalidInput)
+  /// instead of feeding garbage to the pipeline. O(n^2) scan.
+  bool screen_input = true;
+  /// Relative asymmetry tolerance for the input screen:
+  /// |a_ij - a_ji| <= asymmetry_tol * max|a| is accepted.
+  float asymmetry_tol = 1e-3f;
+  /// Degrade gracefully on recoverable solver failures by walking the
+  /// DivideConquer -> Ql -> Bisection chain (each fallback recorded in
+  /// EvdResult::recovery). When false, the first failure propagates.
+  bool allow_fallbacks = true;
 };
 
 struct EvdTimings {
@@ -53,14 +68,26 @@ struct EvdResult {
   Matrix<float> vectors;           ///< n x n (empty unless requested)
   EvdTimings timings;
   bool converged = false;
+  /// Every graceful-degradation event taken while solving (panel QR
+  /// fallbacks, fp32 GEMM retries, tridiagonal solver fallbacks). Empty on
+  /// a clean run.
+  RecoveryLog recovery;
 };
 
 /// Full single-precision EVD with the engine supplying every SBR GEMM.
-EvdResult solve(ConstMatrixView<float> a, tc::GemmEngine& engine, const EvdOptions& opt);
+///
+/// Failure semantics: invalid input (NaN/Inf/asymmetric) is InvalidInput;
+/// recoverable numerical trouble first walks the documented fallbacks
+/// (TSQR -> blocked QR panels, fp32 GEMM retry, solver chain) and only
+/// propagates if every fallback is exhausted. A returned EvdResult is
+/// always converged; `recovery` says what it took.
+StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                          const EvdOptions& opt);
 
 /// Double-precision reference eigenvalues (one-stage sytrd + QL), the stand-
-/// in for "LAPACK dsyevd" ground truth in the accuracy tables.
-std::vector<double> reference_eigenvalues(ConstMatrixView<double> a);
+/// in for "LAPACK dsyevd" ground truth in the accuracy tables. Reports
+/// NoConvergence instead of aborting when the QL iteration stalls.
+StatusOr<std::vector<double>> reference_eigenvalues(ConstMatrixView<double> a);
 
 /// Residual metrics for a computed eigensystem: max_j ||A v_j - lambda_j
 /// v_j||_2 / ||A||_F, computed in double.

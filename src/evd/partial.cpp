@@ -8,13 +8,15 @@
 
 namespace tcevd::evd {
 
-PartialResult solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
-                             const EvdOptions& opt, index_t il, index_t iu, bool vectors) {
+StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                                       const EvdOptions& opt, index_t il, index_t iu,
+                                       bool vectors) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "solve_selected requires a square symmetric matrix");
   TCEVD_CHECK(0 <= il && il <= iu && iu < n, "selected index range invalid");
 
   PartialResult out;
+  recovery::Scope rscope;
   std::vector<float> d, e;
   Matrix<float> q;  // accumulated orthogonal factor (only when vectors)
 
@@ -34,8 +36,11 @@ PartialResult solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
     sopt.big_block -= sopt.big_block % sopt.bandwidth;
     sopt.panel = opt.panel;
     sopt.accumulate_q = vectors;
-    auto sres = (opt.reduction == Reduction::TwoStageWy) ? sbr::sbr_wy(a, engine, sopt)
-                                                         : sbr::sbr_zy(a, engine, sopt);
+    StatusOr<sbr::SbrResult> sres_or = (opt.reduction == Reduction::TwoStageWy)
+                                           ? sbr::sbr_wy(a, engine, sopt)
+                                           : sbr::sbr_zy(a, engine, sopt);
+    if (!sres_or.ok()) return sres_or.status();
+    sbr::SbrResult& sres = *sres_or;
     MatrixView<float> qv = sres.q.view();
     MatrixView<float>* qp = vectors ? &qv : nullptr;
     auto tri = bulge::bulge_chase<float>(sres.band.view(), sopt.bandwidth, qp);
@@ -47,16 +52,38 @@ PartialResult solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
   // Selected eigenvalues by Sturm bisection.
   out.eigenvalues = lapack::stebz<float>(d, e, il, iu);
   const index_t nev = iu - il + 1;
-  out.converged = true;
 
   if (vectors) {
     // Tridiagonal eigenvectors by inverse iteration, then back-transform.
     Matrix<float> z(n, nev);
-    out.converged = lapack::stein<float>(d, e, out.eigenvalues, z.view());
+    Status st = lapack::stein<float>(d, e, out.eigenvalues, z.view());
+    if (!st.ok() && opt.allow_fallbacks && is_recoverable(st)) {
+      // Inverse iteration stagnated on at least one vector. Solve the full
+      // tridiagonal problem with QL instead and keep the selected columns —
+      // slower (O(n^3) vs O(n * nev)) but unconditionally convergent in
+      // practice on the matrices QL handles.
+      recovery::note("evd.partial", "stein failed (" + st.to_string() +
+                                        "); recomputed selected vectors with full QL solve");
+      std::vector<float> dq = d, eq = e;
+      Matrix<float> zfull(n, n);
+      set_identity(zfull.view());
+      MatrixView<float> zfv = zfull.view();
+      TCEVD_RETURN_IF_ERROR(lapack::steqr<float>(dq, eq, &zfv));
+      // steqr returns ascending eigenvalues, so columns il..iu line up with
+      // the bisection selection.
+      for (index_t j = 0; j < nev; ++j) {
+        out.eigenvalues[static_cast<std::size_t>(j)] = dq[static_cast<std::size_t>(il + j)];
+        for (index_t i = 0; i < n; ++i) z(i, j) = zfull(i, il + j);
+      }
+    } else if (!st.ok()) {
+      return st;
+    }
     out.vectors = Matrix<float>(n, nev);
     blas::gemm(blas::Trans::No, blas::Trans::No, 1.0f, ConstMatrixView<float>(q.view()),
                ConstMatrixView<float>(z.view()), 0.0f, out.vectors.view());
   }
+  out.converged = true;
+  out.recovery = rscope.take();
   return out;
 }
 

@@ -19,14 +19,19 @@ struct PartialResult {
   std::vector<float> eigenvalues;  ///< iu - il + 1 values, ascending
   Matrix<float> vectors;           ///< n x nev (empty unless requested)
   bool converged = false;
+  RecoveryLog recovery;            ///< degradation events (see EvdResult)
 };
 
 /// Compute eigenvalues il..iu (0-based, inclusive, ascending order) of
 /// symmetric `a`, optionally with eigenvectors. Uses opt.reduction /
 /// bandwidth / big_block / panel; opt.solver is ignored (bisection+stein by
-/// construction).
-PartialResult solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
-                             const EvdOptions& opt, index_t il, index_t iu,
-                             bool vectors = false);
+/// construction). If inverse iteration fails on a vector (or the
+/// stein.stagnate fault fires) and opt.allow_fallbacks is set, the selected
+/// vectors are recomputed with the full QL solver instead; only when that
+/// also fails does the error propagate. The index range is a contract
+/// (TCEVD_CHECK).
+StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                                       const EvdOptions& opt, index_t il, index_t iu,
+                                       bool vectors = false);
 
 }  // namespace tcevd::evd

@@ -71,7 +71,7 @@ RefineResult refine_eigenpairs(ConstMatrixView<double> a, const std::vector<doub
       // usable, and any blow-up only *improves* the eigenvector direction.
       copy_matrix(a, shifted.view());
       for (index_t i = 0; i < n; ++i) shifted(i, i) -= mu;
-      if (lapack::getrf(shifted.view(), piv) >= 0) {
+      if (!lapack::getrf(shifted.view(), piv).ok()) {
         // Exactly singular: mu is an eigenvalue to machine precision and v
         // is its vector (or the solve below would divide by zero).
         res = residual_norm(a, v, mu, work);

@@ -7,7 +7,7 @@
 namespace tcevd::lapack {
 
 template <typename T>
-index_t getrf(MatrixView<T> a, std::vector<index_t>& piv) {
+Status getrf(MatrixView<T> a, std::vector<index_t>& piv) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t k = std::min(m, n);
@@ -34,7 +34,9 @@ index_t getrf(MatrixView<T> a, std::vector<index_t>& piv) {
       for (index_t i = j + 1; i < m; ++i) a(i, c) -= a(i, j) * ujc;
     }
   }
-  return first_zero;
+  if (first_zero >= 0)
+    return singular_panel_error("getrf: exactly zero pivot", first_zero);
+  return ok_status();
 }
 
 template <typename T>
@@ -69,7 +71,7 @@ void getrs(blas::Trans trans, ConstMatrixView<T> lu, const std::vector<index_t>&
 }
 
 #define TCEVD_GETRF_INST(T)                                              \
-  template index_t getrf<T>(MatrixView<T>, std::vector<index_t>&);       \
+  template Status getrf<T>(MatrixView<T>, std::vector<index_t>&);        \
   template void getrs<T>(blas::Trans, ConstMatrixView<T>,                \
                          const std::vector<index_t>&, MatrixView<T>);
 

@@ -10,15 +10,17 @@
 
 #include "src/blas/blas.hpp"
 #include "src/common/matrix.hpp"
+#include "src/common/status.hpp"
 
 namespace tcevd::lapack {
 
 /// In-place PA = LU with partial (row) pivoting. `piv[k]` records the row
-/// swapped with row k at step k (LAPACK ipiv convention, 0-based). Returns
-/// the index of the first exactly-zero pivot, or -1 on success; a zero
-/// pivot leaves a usable singular factorization (like LAPACK).
+/// swapped with row k at step k (LAPACK ipiv convention, 0-based). An
+/// exactly-zero pivot reports SingularPanel with the first such column in
+/// detail(); the factorization is still usable for callers that can tolerate
+/// singularity (like LAPACK's info > 0 convention).
 template <typename T>
-index_t getrf(MatrixView<T> a, std::vector<index_t>& piv);
+Status getrf(MatrixView<T> a, std::vector<index_t>& piv);
 
 /// Solve op(A) X = B in place using the getrf output.
 template <typename T>
@@ -26,7 +28,7 @@ void getrs(blas::Trans trans, ConstMatrixView<T> lu, const std::vector<index_t>&
            MatrixView<T> b);
 
 #define TCEVD_GETRF_EXTERN(T)                                                      \
-  extern template index_t getrf<T>(MatrixView<T>, std::vector<index_t>&);           \
+  extern template Status getrf<T>(MatrixView<T>, std::vector<index_t>&);            \
   extern template void getrs<T>(blas::Trans, ConstMatrixView<T>,                   \
                                 const std::vector<index_t>&, MatrixView<T>);
 

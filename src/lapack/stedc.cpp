@@ -28,7 +28,7 @@ namespace {
 constexpr index_t kDcBaseSize = 32;
 
 /// Full D&C on (d, e), eigenvectors into v (n x n, overwritten).
-bool dc_solve(std::vector<double>& d, std::vector<double>& e, MatrixView<double> v) {
+Status dc_solve(std::vector<double>& d, std::vector<double>& e, MatrixView<double> v) {
   const index_t n = static_cast<index_t>(d.size());
   if (n <= kDcBaseSize) {
     set_identity(v);
@@ -50,8 +50,8 @@ bool dc_solve(std::vector<double>& d, std::vector<double>& e, MatrixView<double>
 
   Matrix<double> v1(m, m);
   Matrix<double> v2(n - m, n - m);
-  if (!dc_solve(d1, e1, v1.view())) return false;
-  if (!dc_solve(d2, e2, v2.view())) return false;
+  TCEVD_RETURN_IF_ERROR(dc_solve(d1, e1, v1.view()));
+  TCEVD_RETURN_IF_ERROR(dc_solve(d2, e2, v2.view()));
 
   // Combined (unsorted) diagonal and z = Q^T u.
   std::vector<double> dd(static_cast<std::size_t>(n));
@@ -91,7 +91,7 @@ bool dc_solve(std::vector<double>& d, std::vector<double>& e, MatrixView<double>
     copy_matrix<double>(qb.view(), v);
     d = std::move(ds);
     e.assign(static_cast<std::size_t>(n - 1), 0.0);
-    return true;
+    return ok_status();
   }
 
   // ---- Deflation ----------------------------------------------------------
@@ -225,21 +225,21 @@ bool dc_solve(std::vector<double>& d, std::vector<double>& e, MatrixView<double>
     for (index_t r = 0; r < n; ++r) v(r, j) = vout(r, src);
   }
   e.assign(static_cast<std::size_t>(n - 1), 0.0);
-  return true;
+  return ok_status();
 }
 
 }  // namespace
 
 template <typename T>
-bool stedc(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
+Status stedc(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
   const index_t n = static_cast<index_t>(d.size());
-  if (n == 0) return true;
+  if (n == 0) return ok_status();
   if (z) TCEVD_CHECK(z->cols() == n, "stedc z must have n columns");
 
   std::vector<double> dd(d.begin(), d.end());
   std::vector<double> ee(e.begin(), e.end());
   Matrix<double> v(n, n);
-  if (!dc_solve(dd, ee, v.view())) return false;
+  TCEVD_RETURN_IF_ERROR(dc_solve(dd, ee, v.view()));
 
   for (index_t i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = static_cast<T>(dd[static_cast<std::size_t>(i)]);
   std::fill(e.begin(), e.end(), T{});
@@ -254,10 +254,10 @@ bool stedc(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
                tmp.view());
     copy_matrix<T>(tmp.view(), *z);
   }
-  return true;
+  return ok_status();
 }
 
-template bool stedc<float>(std::vector<float>&, std::vector<float>&, MatrixView<float>*);
-template bool stedc<double>(std::vector<double>&, std::vector<double>&, MatrixView<double>*);
+template Status stedc<float>(std::vector<float>&, std::vector<float>&, MatrixView<float>*);
+template Status stedc<double>(std::vector<double>&, std::vector<double>&, MatrixView<double>*);
 
 }  // namespace tcevd::lapack

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/blas/blas.hpp"
+#include "src/common/fault.hpp"
 #include "src/common/rng.hpp"
 
 namespace tcevd::lapack {
@@ -77,12 +78,14 @@ void tri_solve(const std::vector<T>& dl, const std::vector<T>& dd, const std::ve
 }  // namespace
 
 template <typename T>
-bool stein(const std::vector<T>& d, const std::vector<T>& e,
-           const std::vector<T>& eigenvalues, MatrixView<T> z) {
+Status stein(const std::vector<T>& d, const std::vector<T>& e,
+             const std::vector<T>& eigenvalues, MatrixView<T> z) {
   const index_t n = static_cast<index_t>(d.size());
   const index_t nev = static_cast<index_t>(eigenvalues.size());
   TCEVD_CHECK(z.rows() == n && z.cols() == nev, "stein z shape mismatch");
-  if (n == 0 || nev == 0) return true;
+  if (n == 0 || nev == 0) return ok_status();
+  if (fault::should_fire(fault::Site::SteinStagnate))
+    return fault_injected_error(fault::site_name(fault::Site::SteinStagnate));
 
   // Matrix scale for perturbation/cluster thresholds.
   T anorm{};
@@ -99,7 +102,7 @@ bool stein(const std::vector<T>& d, const std::vector<T>& e,
   const T cluster_gap = std::max(T{1e-3} * anorm, std::numeric_limits<T>::min());
 
   Rng rng(0x57e17ull + static_cast<std::uint64_t>(n));
-  bool ok = true;
+  index_t first_failed = -1;
   index_t cluster_start = 0;
 
   for (index_t j = 0; j < nev; ++j) {
@@ -151,15 +154,18 @@ bool stein(const std::vector<T>& d, const std::vector<T>& e,
         break;
       }
     }
-    ok = ok && converged;
+    if (!converged && first_failed < 0) first_failed = j;
     for (index_t i = 0; i < n; ++i) z(i, j) = x[static_cast<std::size_t>(i)];
   }
-  return ok;
+  if (first_failed >= 0)
+    return no_convergence_error("stein: inverse iteration failed to converge for a vector",
+                                first_failed);
+  return ok_status();
 }
 
-template bool stein<float>(const std::vector<float>&, const std::vector<float>&,
-                           const std::vector<float>&, MatrixView<float>);
-template bool stein<double>(const std::vector<double>&, const std::vector<double>&,
-                            const std::vector<double>&, MatrixView<double>);
+template Status stein<float>(const std::vector<float>&, const std::vector<float>&,
+                             const std::vector<float>&, MatrixView<float>);
+template Status stein<double>(const std::vector<double>&, const std::vector<double>&,
+                              const std::vector<double>&, MatrixView<double>);
 
 }  // namespace tcevd::lapack

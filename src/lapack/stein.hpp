@@ -11,19 +11,21 @@
 #include <vector>
 
 #include "src/common/matrix.hpp"
+#include "src/common/status.hpp"
 
 namespace tcevd::lapack {
 
 /// Compute eigenvectors for the given eigenvalues of tridiagonal (d, e).
 /// `z` must be n x nev (nev = eigenvalues.size()); eigenvalues must be in
-/// ascending order. Returns false if any vector failed to converge.
+/// ascending order. NoConvergence (detail = first failed column) if any
+/// vector fails to converge; the converged columns of z are still valid.
 template <typename T>
-bool stein(const std::vector<T>& d, const std::vector<T>& e,
-           const std::vector<T>& eigenvalues, MatrixView<T> z);
+Status stein(const std::vector<T>& d, const std::vector<T>& e,
+             const std::vector<T>& eigenvalues, MatrixView<T> z);
 
-extern template bool stein<float>(const std::vector<float>&, const std::vector<float>&,
-                                  const std::vector<float>&, MatrixView<float>);
-extern template bool stein<double>(const std::vector<double>&, const std::vector<double>&,
-                                   const std::vector<double>&, MatrixView<double>);
+extern template Status stein<float>(const std::vector<float>&, const std::vector<float>&,
+                                    const std::vector<float>&, MatrixView<float>);
+extern template Status stein<double>(const std::vector<double>&, const std::vector<double>&,
+                                     const std::vector<double>&, MatrixView<double>);
 
 }  // namespace tcevd::lapack

@@ -3,6 +3,7 @@
 #include <limits>
 #include <numeric>
 
+#include "src/common/fault.hpp"
 #include "src/lapack/tridiag.hpp"
 
 namespace tcevd::lapack {
@@ -33,12 +34,14 @@ void sort_eigensystem(std::vector<T>& d, MatrixView<T>* z) {
 /// Core implicit QL sweep (EISPACK tql2 lineage). When `z` is null the
 /// rotation application is skipped (sterf mode).
 template <typename T>
-bool tql_implicit(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
+Status tql_implicit(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
   const index_t n = static_cast<index_t>(d.size());
-  if (n == 0) return true;
+  if (n == 0) return ok_status();
   TCEVD_CHECK(static_cast<index_t>(e.size()) >= n - 1, "e must have n-1 entries");
   if (z) TCEVD_CHECK(z->cols() == n, "z must have n columns");
-  if (n == 1) return true;
+  if (n == 1) return ok_status();
+  if (fault::should_fire(fault::Site::SteqrExhaust))
+    return fault_injected_error(fault::site_name(fault::Site::SteqrExhaust));
 
   e.resize(static_cast<std::size_t>(n), T{});  // sentinel e[n-1] = 0
   const T eps = std::numeric_limits<T>::epsilon();
@@ -55,7 +58,9 @@ bool tql_implicit(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
         if (std::abs(e[static_cast<std::size_t>(m)]) <= eps * dd) break;
       }
       if (m == l) break;
-      if (++iter > max_iter_per_eig) return false;
+      if (++iter > max_iter_per_eig)
+        return no_convergence_error(
+            "steqr: eigenvalue failed to converge within the iteration cap", l);
 
       // Wilkinson shift from the leading 2x2 at l.
       T g = (d[static_cast<std::size_t>(l + 1)] - d[static_cast<std::size_t>(l)]) /
@@ -109,24 +114,24 @@ bool tql_implicit(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
 
   sort_eigensystem(d, z);
   e.resize(static_cast<std::size_t>(n - 1));
-  return true;
+  return ok_status();
 }
 
 }  // namespace
 
 template <typename T>
-bool steqr(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
+Status steqr(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z) {
   return tql_implicit(d, e, z);
 }
 
 template <typename T>
-bool sterf(std::vector<T>& d, std::vector<T>& e) {
+Status sterf(std::vector<T>& d, std::vector<T>& e) {
   return tql_implicit<T>(d, e, nullptr);
 }
 
-template bool steqr<float>(std::vector<float>&, std::vector<float>&, MatrixView<float>*);
-template bool steqr<double>(std::vector<double>&, std::vector<double>&, MatrixView<double>*);
-template bool sterf<float>(std::vector<float>&, std::vector<float>&);
-template bool sterf<double>(std::vector<double>&, std::vector<double>&);
+template Status steqr<float>(std::vector<float>&, std::vector<float>&, MatrixView<float>*);
+template Status steqr<double>(std::vector<double>&, std::vector<double>&, MatrixView<double>*);
+template Status sterf<float>(std::vector<float>&, std::vector<float>&);
+template Status sterf<double>(std::vector<double>&, std::vector<double>&);
 
 }  // namespace tcevd::lapack

@@ -10,12 +10,16 @@
 //   stedc — divide & conquer with deflation and a secular-equation solver
 //           (the paper's final stage uses MAGMA's D&C)
 //
-// All solvers return eigenvalues in ascending order.
+// All solvers return eigenvalues in ascending order. Convergence failure is
+// reported as a Status (NoConvergence with the failing eigenvalue index in
+// detail()), never by aborting — the EVD driver degrades through its solver
+// fallback chain on any non-ok result.
 #pragma once
 
 #include <vector>
 
 #include "src/common/matrix.hpp"
+#include "src/common/status.hpp"
 
 namespace tcevd::lapack {
 
@@ -24,13 +28,13 @@ namespace tcevd::lapack {
 /// n x m row-compatible) and is multiplied by the accumulated rotations:
 /// pass identity to get eigenvectors of the tridiagonal, or pass Q from a
 /// previous reduction to get eigenvectors of the original matrix.
-/// Returns false if an eigenvalue failed to converge in 50*n iterations.
+/// NoConvergence if an eigenvalue fails to converge in 50 iterations.
 template <typename T>
-bool steqr(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z = nullptr);
+Status steqr(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z = nullptr);
 
 /// Eigenvalues only (no vector accumulation).
 template <typename T>
-bool sterf(std::vector<T>& d, std::vector<T>& e);
+Status sterf(std::vector<T>& d, std::vector<T>& e);
 
 /// Number of eigenvalues of the tridiagonal strictly less than x
 /// (Sturm count via the shifted LDL^T recurrence).
@@ -46,16 +50,17 @@ std::vector<T> stebz(const std::vector<T>& d, const std::vector<T>& e, index_t i
 /// Divide & conquer. Same contract as steqr: eigenvalues into d, optional
 /// accumulation into z (z := z * V where V are tridiagonal eigenvectors).
 /// Internally computes in double regardless of T for a stable secular solve.
+/// A base-case steqr failure propagates as NoConvergence.
 template <typename T>
-bool stedc(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z = nullptr);
+Status stedc(std::vector<T>& d, std::vector<T>& e, MatrixView<T>* z = nullptr);
 
 #define TCEVD_TRI_EXTERN(T)                                                              \
-  extern template bool steqr<T>(std::vector<T>&, std::vector<T>&, MatrixView<T>*);        \
-  extern template bool sterf<T>(std::vector<T>&, std::vector<T>&);                        \
+  extern template Status steqr<T>(std::vector<T>&, std::vector<T>&, MatrixView<T>*);      \
+  extern template Status sterf<T>(std::vector<T>&, std::vector<T>&);                      \
   extern template index_t sturm_count<T>(const std::vector<T>&, const std::vector<T>&, T); \
   extern template std::vector<T> stebz<T>(const std::vector<T>&, const std::vector<T>&,   \
                                           index_t, index_t, T);                          \
-  extern template bool stedc<T>(std::vector<T>&, std::vector<T>&, MatrixView<T>*);
+  extern template Status stedc<T>(std::vector<T>&, std::vector<T>&, MatrixView<T>*);
 
 TCEVD_TRI_EXTERN(float)
 TCEVD_TRI_EXTERN(double)

@@ -1,5 +1,9 @@
+#include <cmath>
+#include <limits>
 #include <vector>
 
+#include "src/common/fault.hpp"
+#include "src/common/recovery.hpp"
 #include "src/lapack/qr.hpp"
 #include "src/sbr/sbr.hpp"
 #include "src/tsqr/reconstruct_wy.hpp"
@@ -7,28 +11,43 @@
 
 namespace tcevd::sbr {
 
-void panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
-                     MatrixView<float> y) {
+namespace {
+
+bool all_finite(ConstMatrixView<float> m) {
+  for (index_t j = 0; j < m.cols(); ++j)
+    for (index_t i = 0; i < m.rows(); ++i)
+      if (!std::isfinite(m(i, j))) return false;
+  return true;
+}
+
+/// TSQR + signed-LU Householder reconstruction (paper Sec. 5.1/5.2). The
+/// panel is only overwritten on success, so a failure leaves it intact for
+/// the blocked-QR retry.
+Status tsqr_panel(MatrixView<float> panel, MatrixView<float> w, MatrixView<float> y) {
   const index_t m = panel.rows();
   const index_t k = panel.cols();
-  TCEVD_CHECK(w.rows() == m && w.cols() == k && y.rows() == m && y.cols() == k,
-              "panel_factor_wy W/Y shape mismatch");
+  Matrix<float> q(m, k), r(k, k);
+  TCEVD_RETURN_IF_ERROR(tsqr::tsqr_factor(panel, q.view(), r.view()));
+  std::vector<float> signs;
+  TCEVD_RETURN_IF_ERROR(tsqr::reconstruct_wy(q.view(), w, y, signs));
+  if (fault::should_fire(fault::Site::PanelNan))
+    w(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  if (!all_finite(w) || !all_finite(y))
+    return precision_loss_error("panel_factor_wy: non-finite W/Y from TSQR reconstruction");
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < m; ++i)
+      panel(i, j) = (i <= j) ? signs[static_cast<std::size_t>(i)] * r(i, j) : 0.0f;
+  return ok_status();
+}
 
-  if (kind == PanelKind::Tsqr && m >= k) {
-    // TSQR gives an explicit Q; the signed-LU reconstruction recovers the
-    // WY form, and the sign matrix is folded into R (panel Sec. 5.2).
-    Matrix<float> q(m, k), r(k, k);
-    tsqr::tsqr_factor(panel, q.view(), r.view());
-    std::vector<float> signs;
-    tsqr::reconstruct_wy(q.view(), w, y, signs);
-    for (index_t j = 0; j < k; ++j)
-      for (index_t i = 0; i < m; ++i)
-        panel(i, j) = (i <= j) ? signs[static_cast<std::size_t>(i)] * r(i, j) : 0.0f;
-    return;
-  }
-
-  // Blocked Householder QR path (also the fallback for short panels where
-  // TSQR's m >= k precondition fails).
+/// Blocked Householder QR path (also the fallback for short panels where
+/// TSQR's m >= k precondition fails, and the recovery path when TSQR
+/// reconstruction degrades).
+Status blocked_qr_panel(MatrixView<float> panel, MatrixView<float> w, MatrixView<float> y) {
+  const index_t m = panel.rows();
+  const index_t k = panel.cols();
+  if (!all_finite(panel))
+    return invalid_input_error("panel_factor_wy: non-finite entry in input panel");
   Matrix<float> work(m, k);
   copy_matrix<float>(panel, work.view());
   std::vector<float> tau;
@@ -45,8 +64,36 @@ void panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> 
     auto ys = y.sub(0, 0, m, nref);
     lapack::build_wy<float>(work.view(), tau, ws, ys);
   }
+  if (!all_finite(w) || !all_finite(y))
+    return precision_loss_error("panel_factor_wy: non-finite W/Y from blocked Householder QR");
   for (index_t j = 0; j < k; ++j)
     for (index_t i = 0; i < m; ++i) panel(i, j) = (i <= j) ? work(i, j) : 0.0f;
+  return ok_status();
+}
+
+}  // namespace
+
+Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
+                       MatrixView<float> y) {
+  const index_t m = panel.rows();
+  const index_t k = panel.cols();
+  TCEVD_CHECK(w.rows() == m && w.cols() == k && y.rows() == m && y.cols() == k,
+              "panel_factor_wy W/Y shape mismatch");
+
+  if (kind == PanelKind::Tsqr && m >= k) {
+    Status st = tsqr_panel(panel, w, y);
+    if (st.ok()) return st;
+    if (!is_recoverable(st)) return st;
+    // Graceful degradation: the TSQR/reconstruction path lost the panel but
+    // did not touch it, so the slower-but-sturdier blocked Householder QR can
+    // redo the factorization from the original data.
+    recovery::note("sbr.panel",
+                   "TSQR reconstruction failed (" + st.to_string() +
+                       "); retried panel with blocked Householder QR");
+    set_zero(w);
+    set_zero(y);
+  }
+  return blocked_qr_panel(panel, w, y);
 }
 
 }  // namespace tcevd::sbr

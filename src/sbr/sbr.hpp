@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/common/matrix.hpp"
+#include "src/common/status.hpp"
 #include "src/tensorcore/engine.hpp"
 
 namespace tcevd::sbr {
@@ -74,17 +75,26 @@ struct SbrResult {
   std::vector<WyBlock> blocks; ///< WY blocks (sbr_wy only; for FormW / tests)
 };
 
-/// Conventional ZY-based SBR (baseline).
-SbrResult sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOptions& opt);
+/// Conventional ZY-based SBR (baseline). Panel failures that survive the
+/// internal TSQR -> BlockedQr fallback propagate as a non-ok Status.
+StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                           const SbrOptions& opt);
 
 /// WY-based recursive SBR (paper Algorithm 1).
-SbrResult sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOptions& opt);
+StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                           const SbrOptions& opt);
 
 /// Factor `panel` (m x k, m >= 2) into (I - W Y^T) [R; 0]; writes [R; 0]
 /// back into `panel` and fills w, y (m x k). Shared by both SBR variants and
 /// benchmarked on its own for paper Figure 8.
-void panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
-                     MatrixView<float> y);
+///
+/// The TSQR path degrades gracefully: if TSQR or the WY reconstruction
+/// reports a recoverable failure (singular reconstruction LU, injected
+/// fault, non-finite panel output), the routine retries with blocked
+/// Householder QR and notes the event in the ambient recovery scope. A
+/// failure of the blocked path itself (non-finite input) is terminal.
+Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
+                       MatrixView<float> y);
 
 /// Merge the per-block reflectors into one (W, Y) pair with n rows so that
 /// Q = I - W Y^T equals the product of all blocks, using the recursive

@@ -40,10 +40,10 @@ struct WyContext {
 
 /// Process the big block starting at global offset s; returns the number of
 /// columns reduced (0 when the active matrix is already banded).
-index_t process_block(WyContext& ctx, index_t s) {
+StatusOr<index_t> process_block(WyContext& ctx, index_t s) {
   const index_t na = ctx.n - s;  // active size
   const index_t b = ctx.b;
-  if (na - b < 2) return 0;
+  if (na - b < 2) return index_t{0};
 
   auto& eng = *ctx.engine;
   auto A = ctx.A;
@@ -108,7 +108,7 @@ index_t process_block(WyContext& ctx, index_t s) {
     // Panel QR: global rows [s+c+b, n) x cols [s+c, s+c+b).
     auto panel = A.sub(s + c + b, s + c, m, b);
     Matrix<float> w(m, b), y(m, b);
-    panel_factor_wy(ctx.panel_kind, panel, w.view(), y.view());
+    TCEVD_RETURN_IF_ERROR(panel_factor_wy(ctx.panel_kind, panel, w.view(), y.view()));
     for (index_t j = 0; j < b; ++j)  // mirror the finalized band columns
       for (index_t r = 0; r < m; ++r) A(s + c + j, s + c + b + r) = A(s + c + b + r, s + c + j);
 
@@ -138,7 +138,7 @@ index_t process_block(WyContext& ctx, index_t s) {
     cols_done = c + b;
   }
 
-  if (cols_done == 0) return 0;
+  if (cols_done == 0) return index_t{0};
 
   // Full trailing update: rows/cols [cols_done, na) — OA coords [cols_done-b, mt).
   const index_t t0 = cols_done - b;  // OA-coordinate offset
@@ -187,7 +187,8 @@ index_t process_block(WyContext& ctx, index_t s) {
 
 }  // namespace
 
-SbrResult sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOptions& opt) {
+StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                           const SbrOptions& opt) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "sbr_wy requires a square symmetric matrix");
   const index_t b = opt.bandwidth;
@@ -211,9 +212,10 @@ SbrResult sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOpti
 
   index_t s = 0;
   for (;;) {
-    const index_t done = process_block(ctx, s);
-    if (done == 0) break;
-    s += done;
+    StatusOr<index_t> done = process_block(ctx, s);
+    if (!done.ok()) return done.status();
+    if (*done == 0) break;
+    s += *done;
   }
 
   if (opt.accumulate_q) {

@@ -16,7 +16,8 @@
 
 namespace tcevd::sbr {
 
-SbrResult sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOptions& opt) {
+StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                           const SbrOptions& opt) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "sbr_zy requires a square symmetric matrix");
   const index_t b = opt.bandwidth;
@@ -39,7 +40,7 @@ SbrResult sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine, const SbrOpti
     auto panel = A.sub(i + b, i, m, b);
 
     Matrix<float> w(m, b), y(m, b);
-    panel_factor_wy(opt.panel, panel, w.view(), y.view());
+    TCEVD_RETURN_IF_ERROR(panel_factor_wy(opt.panel, panel, w.view(), y.view()));
 
     // Mirror the finalized band columns into the upper triangle.
     for (index_t j = 0; j < b; ++j)

@@ -29,9 +29,10 @@ SvdResult svd_via_evd(ConstMatrixView<float> a, tc::GemmEngine& engine,
   evd::EvdOptions eopt = opt.evd;
   eopt.vectors = opt.vectors;
   eopt.bandwidth = std::min<index_t>(eopt.bandwidth, std::max<index_t>(n - 1, 1));
-  auto eres = evd::solve(g.view(), engine, eopt);
-  out.converged = eres.converged;
+  StatusOr<evd::EvdResult> eres_or = evd::solve(g.view(), engine, eopt);
+  out.converged = eres_or.ok();
   if (!out.converged) return out;
+  const evd::EvdResult& eres = *eres_or;
 
   // sigma_i = sqrt(max(lambda, 0)), reported descending.
   out.sigma.resize(static_cast<std::size_t>(n));

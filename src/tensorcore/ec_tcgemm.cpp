@@ -1,8 +1,23 @@
 #include "src/tensorcore/ec_tcgemm.hpp"
 
+#include <cmath>
+
+#include "src/common/fault.hpp"
+
 namespace tcevd::tc {
 
 namespace {
+
+/// True when rounding a finite fp32 operand to the TC format overflowed to
+/// +-inf (fp16 saturation). NaN/Inf already present in the input is passed
+/// through untouched — that is the caller's upstream problem, not a
+/// precision loss of this GEMM.
+bool head_saturated(ConstMatrixView<float> x, ConstMatrixView<float> head) {
+  for (index_t j = 0; j < x.cols(); ++j)
+    for (index_t i = 0; i < x.rows(); ++i)
+      if (!std::isfinite(head(i, j)) && std::isfinite(x(i, j))) return true;
+  return false;
+}
 
 /// Materialize op(X) as a fresh column-major matrix (no rounding).
 Matrix<float> materialize_op(blas::Trans trans, ConstMatrixView<float> x) {
@@ -34,8 +49,8 @@ void ec_split(ConstMatrixView<float> x, MatrixView<float> head, MatrixView<float
     }
 }
 
-void ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
-               ConstMatrixView<float> b, float beta, MatrixView<float> c, TcPrecision prec) {
+Status ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+                 ConstMatrixView<float> b, float beta, MatrixView<float> c, TcPrecision prec) {
   Matrix<float> ax = materialize_op(transa, a);
   Matrix<float> bx = materialize_op(transb, b);
 
@@ -47,6 +62,13 @@ void ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixV
   Matrix<float> ah(m, k), da(m, k), bh(k, n), db(k, n);
   ec_split(ax.view(), ah.view(), da.view(), prec);
   ec_split(bx.view(), bh.view(), db.view(), prec);
+
+  // Saturation screen: report PrecisionLoss before C is written so the
+  // caller can redo the full alpha/beta update in fp32.
+  if (fault::should_fire(fault::Site::EcTcSaturate))
+    return fault_injected_error(fault::site_name(fault::Site::EcTcSaturate));
+  if (head_saturated(ax.view(), ah.view()) || head_saturated(bx.view(), bh.view()))
+    return precision_loss_error("ec_tcgemm: operand exceeds the fp16 range (head saturated)");
 
   // Head product: C0 = Ah * Bh (fp32 accumulate — the main TC GEMM).
   Matrix<float> c0(m, n);
@@ -64,6 +86,7 @@ void ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixV
       const float corrected = c0(i, j) + c1(i, j) * inv_s;
       c(i, j) = alpha * corrected + ((beta == 0.0f) ? 0.0f : beta * c(i, j));
     }
+  return ok_status();
 }
 
 }  // namespace tcevd::tc

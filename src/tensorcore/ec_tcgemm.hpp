@@ -17,6 +17,7 @@
 
 #include "src/blas/blas.hpp"
 #include "src/common/matrix.hpp"
+#include "src/common/status.hpp"
 #include "src/tensorcore/mma_tile.hpp"
 
 namespace tcevd::tc {
@@ -29,9 +30,14 @@ inline constexpr float kEcScale = 2048.0f;
 /// C = alpha * op(A) * op(B) + beta * C with error-corrected Tensor Core
 /// numerics (three TC GEMMs + fp32 fixups). Accuracy is close to one fp32
 /// SGEMM; cost is ~3x the TC flops (still faster than SGEMM on real HW).
-void ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
-               ConstMatrixView<float> b, float beta, MatrixView<float> c,
-               TcPrecision prec = TcPrecision::Fp16);
+///
+/// fp16 saturation (a finite fp32 operand beyond fp16's 65504 max rounds to
+/// +-inf in the head split) is detected *before* C is touched and reported
+/// as PrecisionLoss, so callers can re-run the identical GEMM — beta
+/// accumulation included — in fp32. Shape mismatches stay TCEVD_CHECK.
+Status ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+                 ConstMatrixView<float> b, float beta, MatrixView<float> c,
+                 TcPrecision prec = TcPrecision::Fp16);
 
 /// Decompose x into head (round to prec) and scaled residual
 /// round(kEcScale * (x - head)). Exposed for tests.

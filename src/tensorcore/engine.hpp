@@ -92,13 +92,19 @@ class TcEngine final : public GemmEngine {
   std::string name_;
 };
 
-/// Error-corrected Tensor Core GEMM.
+/// Error-corrected Tensor Core GEMM. A GEMM whose operands exceed the fp16
+/// range (or hit the ec_tcgemm.saturate fault site) is transparently re-run
+/// with a full-precision fp32 GEMM; each such event is counted here and
+/// noted in the ambient recovery scope.
 class EcTcEngine final : public GemmEngine {
  public:
   explicit EcTcEngine(TcPrecision prec = TcPrecision::Fp16)
       : prec_(prec), name_(prec == TcPrecision::Fp16 ? "ectc-fp16" : "ectc-tf32") {}
 
   const std::string& name() const noexcept override { return name_; }
+
+  /// Number of GEMM calls that fell back to fp32 since construction.
+  long fp32_fallbacks() const noexcept { return fp32_fallbacks_; }
 
  protected:
   void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
@@ -107,6 +113,7 @@ class EcTcEngine final : public GemmEngine {
  private:
   TcPrecision prec_;
   std::string name_;
+  long fp32_fallbacks_ = 0;
 };
 
 }  // namespace tcevd::tc

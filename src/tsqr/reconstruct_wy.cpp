@@ -1,6 +1,9 @@
 #include "src/tsqr/reconstruct_wy.hpp"
 
+#include <cmath>
+
 #include "src/blas/blas.hpp"
+#include "src/common/fault.hpp"
 #include "src/lapack/lu.hpp"
 
 namespace tcevd::tsqr {
@@ -8,12 +11,14 @@ namespace tcevd::tsqr {
 namespace {
 
 template <typename T>
-void reconstruct_impl(ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
-                      std::vector<T>& signs) {
+Status reconstruct_impl(ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
+                        std::vector<T>& signs) {
   const index_t m = q.rows();
   const index_t n = q.cols();
   TCEVD_CHECK(w.rows() == m && w.cols() == n && y.rows() == m && y.cols() == n,
               "reconstruct_wy output shape mismatch");
+  if (fault::should_fire(fault::Site::ReconstructSingular))
+    return fault_injected_error(fault::site_name(fault::Site::ReconstructSingular));
 
   // Signed LU (Ballard et al., Algorithm "LU with on-the-fly sign choice"):
   // eliminate A = S - Q column by column, choosing each S_jj = +-1 only when
@@ -31,7 +36,11 @@ void reconstruct_impl(ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
     signs[static_cast<std::size_t>(j)] = s;
     a(j, j) += s;
     const T pivot = a(j, j);
-    TCEVD_CHECK(pivot != T{}, "reconstruct_wy: zero pivot (Q not orthonormal?)");
+    // Orthonormal Q guarantees |pivot| = 1 + |updated Q_jj| >= 1; a pivot far
+    // below that bound means Q degenerated upstream (saturated fp16 GEMM,
+    // poisoned panel) and the LU is no longer trustworthy.
+    if (std::abs(static_cast<double>(pivot)) < 1e-3)
+      return singular_panel_error("reconstruct_wy: near-zero pivot (Q not orthonormal?)", j);
     const T inv = T{1} / pivot;
     for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
     for (index_t c = j + 1; c < n; ++c) {
@@ -58,18 +67,19 @@ void reconstruct_impl(ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
   }
   blas::trsm(blas::Side::Right, blas::Uplo::Lower, blas::Trans::Yes, blas::Diag::Unit, T{1},
              ConstMatrixView<T>(y.sub(0, 0, n, n)), w);
+  return ok_status();
 }
 
 }  // namespace
 
-void reconstruct_wy(ConstMatrixView<float> q, MatrixView<float> w, MatrixView<float> y,
-                    std::vector<float>& signs) {
-  reconstruct_impl(q, w, y, signs);
+Status reconstruct_wy(ConstMatrixView<float> q, MatrixView<float> w, MatrixView<float> y,
+                      std::vector<float>& signs) {
+  return reconstruct_impl(q, w, y, signs);
 }
 
-void reconstruct_wy(ConstMatrixView<double> q, MatrixView<double> w, MatrixView<double> y,
-                    std::vector<double>& signs) {
-  reconstruct_impl(q, w, y, signs);
+Status reconstruct_wy(ConstMatrixView<double> q, MatrixView<double> w, MatrixView<double> y,
+                      std::vector<double>& signs) {
+  return reconstruct_impl(q, w, y, signs);
 }
 
 }  // namespace tcevd::tsqr

@@ -20,16 +20,22 @@
 #include <vector>
 
 #include "src/common/matrix.hpp"
+#include "src/common/status.hpp"
 
 namespace tcevd::tsqr {
 
 /// Reconstruct (W, Y) from explicit Q (m x n, orthonormal columns) so that
 /// I - W Y^T == Q * diag(signs). `signs` receives the n diagonal entries of
 /// S (each +-1); apply them to the rows of your R factor.
-void reconstruct_wy(ConstMatrixView<float> q, MatrixView<float> w, MatrixView<float> y,
-                    std::vector<float>& signs);
+///
+/// Ballard et al. prove the signed LU cannot break down when Q is
+/// orthonormal (|pivot| >= 1); a pivot far below that bound means Q lost
+/// orthonormality upstream and reports SingularPanel with the offending
+/// column in detail(). Shape violations remain programmer errors.
+Status reconstruct_wy(ConstMatrixView<float> q, MatrixView<float> w, MatrixView<float> y,
+                      std::vector<float>& signs);
 
-void reconstruct_wy(ConstMatrixView<double> q, MatrixView<double> w, MatrixView<double> y,
-                    std::vector<double>& signs);
+Status reconstruct_wy(ConstMatrixView<double> q, MatrixView<double> w, MatrixView<double> y,
+                      std::vector<double>& signs);
 
 }  // namespace tcevd::tsqr

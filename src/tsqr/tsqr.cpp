@@ -1,5 +1,6 @@
 #include "src/tsqr/tsqr.hpp"
 
+#include <cmath>
 #include <vector>
 
 #include "src/blas/blas.hpp"
@@ -62,26 +63,33 @@ void tsqr_rec(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
 }
 
 template <typename T>
-void tsqr_impl(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
-               const TsqrOptions& opts) {
+Status tsqr_impl(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
+                 const TsqrOptions& opts) {
   TCEVD_CHECK(a.rows() >= a.cols(), "tsqr requires a tall matrix (m >= n)");
   TCEVD_CHECK(q.rows() == a.rows() && q.cols() == a.cols(), "tsqr Q shape mismatch");
   TCEVD_CHECK(r.rows() == a.cols() && r.cols() == a.cols(), "tsqr R shape mismatch");
+  if (opts.screen_input) {
+    for (index_t j = 0; j < a.cols(); ++j)
+      for (index_t i = 0; i < a.rows(); ++i)
+        if (!std::isfinite(static_cast<double>(a(i, j))))
+          return invalid_input_error("tsqr: non-finite entry in input panel");
+  }
   TsqrOptions o = opts;
   o.leaf_rows = std::max(o.leaf_rows, a.cols());
   tsqr_rec<T>(a, q, r, o);
+  return ok_status();
 }
 
 }  // namespace
 
-void tsqr_factor(ConstMatrixView<float> a, MatrixView<float> q, MatrixView<float> r,
-                 const TsqrOptions& opts) {
-  tsqr_impl(a, q, r, opts);
+Status tsqr_factor(ConstMatrixView<float> a, MatrixView<float> q, MatrixView<float> r,
+                   const TsqrOptions& opts) {
+  return tsqr_impl(a, q, r, opts);
 }
 
-void tsqr_factor(ConstMatrixView<double> a, MatrixView<double> q, MatrixView<double> r,
-                 const TsqrOptions& opts) {
-  tsqr_impl(a, q, r, opts);
+Status tsqr_factor(ConstMatrixView<double> a, MatrixView<double> q, MatrixView<double> r,
+                   const TsqrOptions& opts) {
+  return tsqr_impl(a, q, r, opts);
 }
 
 }  // namespace tcevd::tsqr

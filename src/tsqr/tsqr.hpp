@@ -9,6 +9,7 @@
 #pragma once
 
 #include "src/common/matrix.hpp"
+#include "src/common/status.hpp"
 
 namespace tcevd::tsqr {
 
@@ -16,15 +17,19 @@ struct TsqrOptions {
   /// Row count below which a block is factorized directly. Must be >= the
   /// panel width; the default mimics a GPU block of 256 rows.
   index_t leaf_rows = 256;
+  /// Reject non-finite input with InvalidInput instead of silently
+  /// propagating NaN/Inf through the tree (cheap O(mn) scan).
+  bool screen_input = true;
 };
 
 /// Factor a (m x n, m >= n) into Q (m x n, orthonormal columns) * R (n x n,
-/// upper triangular). `a` is not modified.
-void tsqr_factor(ConstMatrixView<float> a, MatrixView<float> q, MatrixView<float> r,
-                 const TsqrOptions& opts = {});
+/// upper triangular). `a` is not modified. Shape violations are programmer
+/// errors (TCEVD_CHECK); non-finite input reports InvalidInput.
+Status tsqr_factor(ConstMatrixView<float> a, MatrixView<float> q, MatrixView<float> r,
+                   const TsqrOptions& opts = {});
 
 /// Double-precision variant (used by reference pipelines and tests).
-void tsqr_factor(ConstMatrixView<double> a, MatrixView<double> q, MatrixView<double> r,
-                 const TsqrOptions& opts = {});
+Status tsqr_factor(ConstMatrixView<double> a, MatrixView<double> q, MatrixView<double> r,
+                   const TsqrOptions& opts = {});
 
 }  // namespace tcevd::tsqr

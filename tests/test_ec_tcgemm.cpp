@@ -51,7 +51,7 @@ TEST(EcTcGemm, RecoversNearFp32Accuracy) {
 
   Matrix<float> c_tc(n, n), c_ec(n, n);
   tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
-  tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view());
+  ASSERT_TRUE(tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view()).ok());
 
   Matrix<float> cd_f(n, n);
   convert_matrix<double, float>(cd.view(), cd_f.view());
@@ -69,7 +69,7 @@ TEST(EcTcGemm, AlphaBetaHandled) {
   auto c = test::random_matrix_f(n, n, 7);
   Matrix<float> c_ref = c;
   blas::gemm(Trans::No, Trans::No, 1.5f, a.view(), b.view(), -0.5f, c_ref.view());
-  tc::ec_tcgemm(Trans::No, Trans::No, 1.5f, a.view(), b.view(), -0.5f, c.view());
+  ASSERT_TRUE(tc::ec_tcgemm(Trans::No, Trans::No, 1.5f, a.view(), b.view(), -0.5f, c.view()).ok());
   EXPECT_LT(test::rel_diff<float>(c.view(), c_ref.view()), 1e-5);
 }
 
@@ -89,7 +89,7 @@ TEST_P(EcTransTest, Transposes) {
   auto a = test::random_matrix_f(am, an, 8);
   auto b = test::random_matrix_f(bm, bn, 9);
   Matrix<float> c_ec(m, n), c_ref(m, n);
-  tc::ec_tcgemm(p.ta, p.tb, 1.0f, a.view(), b.view(), 0.0f, c_ec.view());
+  ASSERT_TRUE(tc::ec_tcgemm(p.ta, p.tb, 1.0f, a.view(), b.view(), 0.0f, c_ec.view()).ok());
   blas::gemm(p.ta, p.tb, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
   EXPECT_LT(test::rel_diff<float>(c_ec.view(), c_ref.view()), 1e-5);
 }
@@ -112,7 +112,7 @@ TEST(EcTcGemm, ScalingHandlesSmallMagnitudes) {
       b(i, j) = static_cast<float>(rng.normal());
     }
   Matrix<float> c_ec(n, n), c_tc(n, n), c_ref(n, n);
-  tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view());
+  ASSERT_TRUE(tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view()).ok());
   tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_tc.view());
   blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
   EXPECT_LT(test::rel_diff<float>(c_ec.view(), c_ref.view()),
@@ -124,8 +124,9 @@ TEST(EcTcGemm, Tf32VariantAlsoAccurate) {
   auto a = test::random_matrix_f(n, n, 11);
   auto b = test::random_matrix_f(n, n, 12);
   Matrix<float> c_ec(n, n), c_ref(n, n);
-  tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view(),
-                TcPrecision::Tf32);
+  ASSERT_TRUE(tc::ec_tcgemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ec.view(),
+                            TcPrecision::Tf32)
+                  .ok());
   blas::gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c_ref.view());
   EXPECT_LT(test::rel_diff<float>(c_ec.view(), c_ref.view()), 1e-6);
 }

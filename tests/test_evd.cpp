@@ -20,7 +20,7 @@ std::vector<double> dbl_reference(ConstMatrixView<float> a) {
   const index_t n = a.rows();
   Matrix<double> ad(n, n);
   convert_matrix<float, double>(a, ad.view());
-  return evd::reference_eigenvalues(ad.view());
+  return *evd::reference_eigenvalues(ad.view());
 }
 
 struct EvdCase {
@@ -40,7 +40,7 @@ TEST_P(EvdPipelineTest, EigenvaluesMatchReferenceFp32) {
   opt.bandwidth = p.b;
   opt.big_block = 4 * p.b;
   tc::Fp32Engine eng;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   ASSERT_EQ(static_cast<index_t>(res.eigenvalues.size()), p.n);
 
@@ -73,7 +73,7 @@ TEST(Evd, VectorsDiagonalize) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   tc::Fp32Engine eng;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(orthogonality_error<float>(res.vectors.view()), 1e-6);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), 1e-5);
@@ -88,7 +88,7 @@ TEST(Evd, VectorsViaQlAlsoDiagonalize) {
   opt.bandwidth = 8;
   opt.big_block = 16;
   tc::Fp32Engine eng;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), 1e-5);
 }
@@ -100,7 +100,7 @@ TEST(Evd, OneStageVectors) {
   opt.vectors = true;
   opt.reduction = Reduction::OneStage;
   tc::Fp32Engine eng;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), 1e-5);
 }
@@ -113,7 +113,7 @@ TEST(Evd, TensorCorePipelineWithinTcEpsilon) {
   opt.bandwidth = 16;
   opt.big_block = 32;
   tc::TcEngine eng(tc::TcPrecision::Fp16);
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   auto ref = dbl_reference(a.view());
   std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
@@ -131,8 +131,8 @@ TEST(Evd, EcTcBeatsPlainTc) {
 
   tc::TcEngine tc_eng(tc::TcPrecision::Fp16);
   tc::EcTcEngine ec_eng(tc::TcPrecision::Fp16);
-  auto r1 = evd::solve(a.view(), tc_eng, opt);
-  auto r2 = evd::solve(a.view(), ec_eng, opt);
+  auto r1 = *evd::solve(a.view(), tc_eng, opt);
+  auto r2 = *evd::solve(a.view(), ec_eng, opt);
   ASSERT_TRUE(r1.converged && r2.converged);
   std::vector<double> g1(r1.eigenvalues.begin(), r1.eigenvalues.end());
   std::vector<double> g2(r2.eigenvalues.begin(), r2.eigenvalues.end());
@@ -146,7 +146,7 @@ TEST(Evd, TimingsPopulated) {
   EvdOptions opt;
   opt.bandwidth = 8;
   tc::Fp32Engine eng;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   EXPECT_GT(res.timings.reduction_s, 0.0);
   EXPECT_GT(res.timings.solver_s, 0.0);
   EXPECT_GE(res.timings.total_s,
@@ -162,7 +162,7 @@ TEST(Evd, KnownSpectrumRecovered) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   tc::Fp32Engine eng;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
   EXPECT_LT(eigenvalue_error(spectrum.data(), got.data(), n), 1e-6);

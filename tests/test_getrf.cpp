@@ -18,7 +18,7 @@ TEST(Getrf, ReconstructsWithPivoting) {
   a(0, 0) = 0.0;  // force an immediate pivot
   auto f = a;
   std::vector<index_t> piv;
-  EXPECT_EQ(lapack::getrf(f.view(), piv), -1);
+  EXPECT_TRUE(lapack::getrf(f.view(), piv).ok());
 
   // Rebuild P A and compare against L U.
   Matrix<double> l(n, n), u(n, n);
@@ -49,7 +49,7 @@ TEST(Getrf, SolveRoundTrip) {
 
   auto f = a;
   std::vector<index_t> piv;
-  ASSERT_EQ(lapack::getrf(f.view(), piv), -1);
+  ASSERT_TRUE(lapack::getrf(f.view(), piv).ok());
   lapack::getrs<double>(Trans::No, f.view(), piv, b.view());
   EXPECT_LT(test::rel_diff<double>(b.view(), x_true.view()), 1e-10);
 }
@@ -65,7 +65,7 @@ TEST(Getrf, TransposedSolve) {
 
   auto f = a;
   std::vector<index_t> piv;
-  ASSERT_EQ(lapack::getrf(f.view(), piv), -1);
+  ASSERT_TRUE(lapack::getrf(f.view(), piv).ok());
   lapack::getrs<double>(Trans::Yes, f.view(), piv, b.view());
   EXPECT_LT(test::rel_diff<double>(b.view(), x_true.view()), 1e-10);
 }
@@ -73,7 +73,10 @@ TEST(Getrf, TransposedSolve) {
 TEST(Getrf, ReportsSingularity) {
   Matrix<double> a(3, 3);  // all zeros
   std::vector<index_t> piv;
-  EXPECT_EQ(lapack::getrf(a.view(), piv), 0);
+  Status st = lapack::getrf(a.view(), piv);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::SingularPanel);
+  EXPECT_EQ(st.detail(), 0);  // first zero pivot is column 0
 }
 
 TEST(Getrf, HandlesIllConditionedShift) {
@@ -95,7 +98,7 @@ TEST(Getrf, HandlesIllConditionedShift) {
   auto f = a;
   for (index_t i = 0; i < n; ++i) f(i, i) -= lambda;
   std::vector<index_t> piv;
-  lapack::getrf(f.view(), piv);  // may or may not flag exact singularity
+  (void)lapack::getrf(f.view(), piv);  // may or may not flag exact singularity
   Matrix<double> rhs(n, 1);
   for (index_t i = 0; i < n; ++i) rhs(i, 0) = v[static_cast<std::size_t>(i)];
   lapack::getrs<double>(Trans::No, f.view(), piv, rhs.view());

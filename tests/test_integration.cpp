@@ -50,7 +50,7 @@ TEST_P(FullPipelineTest, GeoMatrixWithVectors) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = evd::solve(a.view(), *eng, opt);
+  auto res = *evd::solve(a.view(), *eng, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), tol);
   EXPECT_LT(orthogonality_error<float>(res.vectors.view()), tol);
@@ -77,7 +77,7 @@ TEST(Workflow, TcSolveThenRefineSelected) {
   opt.bandwidth = 16;
   opt.big_block = 64;
   opt.vectors = true;
-  auto coarse = evd::solve(a.view(), eng, opt);
+  auto coarse = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(coarse.converged);
 
   const index_t k = 4;  // refine the k largest pairs
@@ -100,8 +100,8 @@ TEST(Workflow, PartialMatchesFullOnTc) {
   opt.bandwidth = 8;
   opt.big_block = 32;
 
-  auto full = evd::solve(a.view(), eng, opt);
-  auto part = evd::solve_selected(a.view(), eng, opt, 0, 9);
+  auto full = *evd::solve(a.view(), eng, opt);
+  auto part = *evd::solve_selected(a.view(), eng, opt, 0, 9);
   for (index_t i = 0; i < 10; ++i)
     EXPECT_NEAR(part.eigenvalues[static_cast<std::size_t>(i)],
                 full.eigenvalues[static_cast<std::size_t>(i)], 2e-3);
@@ -146,7 +146,7 @@ TEST(Workflow, LowRankReconstructionAccuracyChain) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
 
   std::vector<float> lam(res.eigenvalues.end() - r, res.eigenvalues.end());

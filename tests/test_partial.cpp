@@ -19,9 +19,9 @@ TEST(Partial, SelectedValuesMatchFullSolve) {
   opt.bandwidth = 8;
   opt.big_block = 32;
 
-  auto full = evd::solve(a.view(), eng, opt);
+  auto full = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(full.converged);
-  auto part = evd::solve_selected(a.view(), eng, opt, 10, 19);
+  auto part = *evd::solve_selected(a.view(), eng, opt, 10, 19);
   ASSERT_TRUE(part.converged);
   ASSERT_EQ(part.eigenvalues.size(), 10u);
   for (index_t i = 0; i < 10; ++i)
@@ -38,7 +38,7 @@ TEST(Partial, VectorsAreEigenvectorsOfA) {
   opt.bandwidth = 8;
   opt.big_block = 32;
 
-  auto part = evd::solve_selected(a.view(), eng, opt, n - 5, n - 1, /*vectors=*/true);
+  auto part = *evd::solve_selected(a.view(), eng, opt, n - 5, n - 1, /*vectors=*/true);
   ASSERT_TRUE(part.converged);
   ASSERT_EQ(part.vectors.cols(), 5);
   EXPECT_LT(evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view()), 1e-4);
@@ -53,9 +53,9 @@ TEST(Partial, ExtremeEndsAndSinglePair) {
   opt.bandwidth = 8;
   opt.big_block = 16;
 
-  auto full = evd::solve(a.view(), eng, opt);
-  auto lo = evd::solve_selected(a.view(), eng, opt, 0, 0, true);
-  auto hi = evd::solve_selected(a.view(), eng, opt, n - 1, n - 1, true);
+  auto full = *evd::solve(a.view(), eng, opt);
+  auto lo = *evd::solve_selected(a.view(), eng, opt, 0, 0, true);
+  auto hi = *evd::solve_selected(a.view(), eng, opt, n - 1, n - 1, true);
   EXPECT_NEAR(lo.eigenvalues[0], full.eigenvalues.front(), 2e-4);
   EXPECT_NEAR(hi.eigenvalues[0], full.eigenvalues.back(), 2e-4);
   EXPECT_LT(evd::eigenpair_residual(a.view(), lo.eigenvalues, lo.vectors.view()), 1e-4);
@@ -70,7 +70,7 @@ TEST(Partial, TensorCoreEngineWorks) {
   opt.bandwidth = 8;
   opt.big_block = 32;
 
-  auto part = evd::solve_selected(a.view(), eng, opt, n - 3, n - 1, true);
+  auto part = *evd::solve_selected(a.view(), eng, opt, n - 3, n - 1, true);
   ASSERT_TRUE(part.converged);
   // TC numerics: residual bounded by TC eps.
   EXPECT_LT(evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view()), 1e-2);
@@ -82,7 +82,7 @@ TEST(Partial, OneStageReductionPath) {
   tc::Fp32Engine eng;
   evd::EvdOptions opt;
   opt.reduction = evd::Reduction::OneStage;
-  auto part = evd::solve_selected(a.view(), eng, opt, 0, 4, true);
+  auto part = *evd::solve_selected(a.view(), eng, opt, 0, 4, true);
   ASSERT_TRUE(part.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view()), 1e-4);
 }
@@ -94,7 +94,7 @@ TEST(Partial, ZyReductionPath) {
   evd::EvdOptions opt;
   opt.reduction = evd::Reduction::TwoStageZy;
   opt.bandwidth = 8;
-  auto part = evd::solve_selected(a.view(), eng, opt, 20, 24, true);
+  auto part = *evd::solve_selected(a.view(), eng, opt, 20, 24, true);
   ASSERT_TRUE(part.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view()), 1e-4);
 }

@@ -60,7 +60,7 @@ TEST_P(TraceConsistencyTest, FormWTraceMatchesImplementation) {
   sbr::SbrOptions opt;
   opt.bandwidth = b;
   opt.big_block = nb;
-  auto res = sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), eng, opt);
   if (res.blocks.empty()) GTEST_SKIP();
   eng.set_recording(true);
   (void)sbr::form_q(res.blocks, n, eng);

@@ -39,7 +39,7 @@ TEST_P(TraceInvariantTest, EigenvalueSumEqualsTrace) {
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged) << "seed " << seed;
 
   double sum = 0.0;
@@ -60,7 +60,7 @@ TEST_P(TraceInvariantTest, FrobeniusNormEqualsEigenvalueNorm) {
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 16;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
 
   double s = 0.0;
@@ -91,7 +91,7 @@ TEST_P(SbrConfigSweep, BandStructureAndSpectrumInvariant) {
   sbr::SbrOptions opt;
   opt.bandwidth = b;
   opt.big_block = b * nb_mult;
-  auto res = sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), eng, opt);
 
   // Structure: exactly banded.
   EXPECT_EQ(sbr::band_violation<float>(res.band.view(), b), 0.0) << "seed " << seed;
@@ -119,8 +119,8 @@ TEST(Determinism, SbrWyIsBitwiseReproducible) {
   sbr::SbrOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
-  auto r1 = sbr::sbr_wy(a.view(), e1, opt);
-  auto r2 = sbr::sbr_wy(a.view(), e2, opt);
+  auto r1 = *sbr::sbr_wy(a.view(), e1, opt);
+  auto r2 = *sbr::sbr_wy(a.view(), e2, opt);
   EXPECT_EQ(frobenius_diff<float>(r1.band.view(), r2.band.view()), 0.0);
 }
 
@@ -130,8 +130,8 @@ TEST(Determinism, EvdIsBitwiseReproducible) {
   tc::Fp32Engine e1, e2;
   evd::EvdOptions opt;
   opt.bandwidth = 8;
-  auto r1 = evd::solve(a.view(), e1, opt);
-  auto r2 = evd::solve(a.view(), e2, opt);
+  auto r1 = *evd::solve(a.view(), e1, opt);
+  auto r2 = *evd::solve(a.view(), e2, opt);
   for (index_t i = 0; i < n; ++i)
     EXPECT_EQ(r1.eigenvalues[static_cast<std::size_t>(i)],
               r2.eigenvalues[static_cast<std::size_t>(i)]);
@@ -152,8 +152,8 @@ TEST(ShiftInvariance, DiagonalShiftMovesSpectrum) {
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
-  auto r1 = evd::solve(a.view(), eng, opt);
-  auto r2 = evd::solve(shifted.view(), eng, opt);
+  auto r1 = *evd::solve(a.view(), eng, opt);
+  auto r2 = *evd::solve(shifted.view(), eng, opt);
   for (index_t i = 0; i < n; ++i)
     EXPECT_NEAR(r2.eigenvalues[static_cast<std::size_t>(i)],
                 r1.eigenvalues[static_cast<std::size_t>(i)] + c, 1e-3);
@@ -169,8 +169,8 @@ TEST(ShiftInvariance, NegationFlipsAndReversesSpectrum) {
   tc::Fp32Engine eng;
   evd::EvdOptions opt;
   opt.bandwidth = 8;
-  auto r1 = evd::solve(a.view(), eng, opt);
-  auto r2 = evd::solve(neg.view(), eng, opt);
+  auto r1 = *evd::solve(a.view(), eng, opt);
+  auto r2 = *evd::solve(neg.view(), eng, opt);
   for (index_t i = 0; i < n; ++i)
     EXPECT_NEAR(r2.eigenvalues[static_cast<std::size_t>(i)],
                 -r1.eigenvalues[static_cast<std::size_t>(n - 1 - i)], 1e-3);
@@ -192,14 +192,14 @@ TEST_P(EngineOrderingTest, BackwardErrorOrdering) {
 
   Matrix<double> ad(n, n);
   convert_matrix<float, double>(a.view(), ad.view());
-  auto ref = evd::reference_eigenvalues(ad.view());
+  auto ref = *evd::reference_eigenvalues(ad.view());
 
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
 
   auto err_for = [&](tc::GemmEngine& eng) {
-    auto res = evd::solve(a.view(), eng, opt);
+    auto res = *evd::solve(a.view(), eng, opt);
     std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
     return eigenvalue_error(ref.data(), got.data(), n);
   };
@@ -230,13 +230,13 @@ TEST_P(MatrixClassSweep, TcPipelineBounded) {
   auto ad = matgen::generate(row.type, n, row.cond, rng);
   Matrix<float> a(n, n);
   convert_matrix<double, float>(ad.view(), a.view());
-  auto ref = evd::reference_eigenvalues(ad.view());
+  auto ref = *evd::reference_eigenvalues(ad.view());
 
   tc::TcEngine eng(tc::TcPrecision::Fp16);
   evd::EvdOptions opt;
   opt.bandwidth = 16;
   opt.big_block = 32;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
   // Paper Table 4 bound: E_s under the TC machine eps.
@@ -256,7 +256,7 @@ TEST(Degenerate, ZeroMatrix) {
   tc::Fp32Engine eng;
   evd::EvdOptions opt;
   opt.bandwidth = 8;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   for (float v : res.eigenvalues) EXPECT_EQ(v, 0.0f);
 }
@@ -268,7 +268,7 @@ TEST(Degenerate, IdentityMatrix) {
   tc::TcEngine eng;
   evd::EvdOptions opt;
   opt.bandwidth = 4;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   for (float v : res.eigenvalues) EXPECT_NEAR(v, 1.0f, 1e-5f);
 }
@@ -288,7 +288,7 @@ TEST(Degenerate, RankOneMatrix) {
   tc::Fp32Engine eng;
   evd::EvdOptions opt;
   opt.bandwidth = 8;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.eigenvalues.back(), xn2, 1e-3 * xn2);
   for (index_t i = 0; i + 1 < n; ++i)
@@ -301,11 +301,11 @@ TEST(Degenerate, TinyMatrices) {
     tc::Fp32Engine eng;
     evd::EvdOptions opt;
     opt.bandwidth = 1;
-    auto res = evd::solve(a.view(), eng, opt);
+    auto res = *evd::solve(a.view(), eng, opt);
     ASSERT_TRUE(res.converged) << n;
     Matrix<double> ad(n, n);
     convert_matrix<float, double>(a.view(), ad.view());
-    auto ref = evd::reference_eigenvalues(ad.view());
+    auto ref = *evd::reference_eigenvalues(ad.view());
     for (index_t i = 0; i < n; ++i)
       EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(i)],
                   ref[static_cast<std::size_t>(i)], 1e-4)
@@ -319,11 +319,11 @@ TEST(Degenerate, HugeBandwidthClampedToMatrix) {
   tc::Fp32Engine eng;
   evd::EvdOptions opt;
   opt.bandwidth = 1000;  // clamped internally to n-1
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
   Matrix<double> ad(n, n);
   convert_matrix<float, double>(a.view(), ad.view());
-  auto ref = evd::reference_eigenvalues(ad.view());
+  auto ref = *evd::reference_eigenvalues(ad.view());
   for (index_t i = 0; i < n; ++i)
     EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)],
                 1e-4);

@@ -30,14 +30,14 @@ TEST(Refine, RecoversDoubleAccuracyFromTcPairs) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
 
   // Refine every pair.
   auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
 
   const double anorm = frobenius_norm<double>(ad.view());
-  auto ref = evd::reference_eigenvalues(ad.view());
+  auto ref = *evd::reference_eigenvalues(ad.view());
   double before = 0.0, after = 0.0;
   for (index_t i = 0; i < n; ++i) {
     before = std::max(before, std::abs(double(res.eigenvalues[static_cast<std::size_t>(i)]) -
@@ -63,7 +63,7 @@ TEST(Refine, AlreadyAccuratePairsConvergeImmediately) {
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.vectors = true;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
 
   auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
@@ -80,7 +80,7 @@ TEST(Refine, SubsetOfPairs) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   ASSERT_TRUE(res.converged);
 
   // Refine only the 3 largest pairs (the low-rank use case).
@@ -101,7 +101,7 @@ TEST(Refine, VectorsStayNormalized) {
   evd::EvdOptions opt;
   opt.bandwidth = 4;
   opt.vectors = true;
-  auto res = evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), eng, opt);
   auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
   for (index_t j = 0; j < n; ++j) {
     double nrm = 0.0;

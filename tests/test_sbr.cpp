@@ -41,7 +41,7 @@ std::vector<double> reference_eigs(ConstMatrixView<float> a) {
   convert_matrix<float, double>(a, ad.view());
   std::vector<double> d, e, tau;
   lapack::sytrd(ad.view(), d, e, tau);
-  lapack::sterf(d, e);
+  TCEVD_CHECK(lapack::sterf(d, e).ok(), "sterf reference failed");
   return d;
 }
 
@@ -67,7 +67,7 @@ TEST_P(SbrCorrectnessTest, Fp32ReducesAndIsBackwardStable) {
   opt.panel = p.panel;
   opt.accumulate_q = true;
   tc::Fp32Engine eng;
-  auto res = p.wy ? sbr::sbr_wy(a.view(), eng, opt) : sbr::sbr_zy(a.view(), eng, opt);
+  auto res = p.wy ? *sbr::sbr_wy(a.view(), eng, opt) : *sbr::sbr_zy(a.view(), eng, opt);
 
   // Exactly banded (panel zeros are written, not computed).
   EXPECT_EQ(sbr::band_violation<float>(res.band.view(), p.b), 0.0);
@@ -105,8 +105,8 @@ TEST(Sbr, ZyWithSyr2kMatchesTwoGemmPath) {
   o1.bandwidth = b;
   SbrOptions o2 = o1;
   o2.zy_use_syr2k = true;
-  auto r1 = sbr::sbr_zy(a.view(), eng, o1);
-  auto r2 = sbr::sbr_zy(a.view(), eng, o2);
+  auto r1 = *sbr::sbr_zy(a.view(), eng, o1);
+  auto r2 = *sbr::sbr_zy(a.view(), eng, o2);
   // Same algorithm, different kernels: results agree to fp32 roundoff.
   EXPECT_LT(test::rel_diff<float>(r1.band.view(), r2.band.view()), 1e-5);
 }
@@ -121,8 +121,8 @@ TEST(Sbr, WyAndZyProduceSameBandUpToSigns) {
   zy.bandwidth = b;
   SbrOptions wy = zy;
   wy.big_block = 32;
-  auto rz = sbr::sbr_zy(a.view(), eng, zy);
-  auto rw = sbr::sbr_wy(a.view(), eng, wy);
+  auto rz = *sbr::sbr_zy(a.view(), eng, zy);
+  auto rw = *sbr::sbr_wy(a.view(), eng, wy);
   auto ez = band_eigs(rz.band.view());
   auto ew = band_eigs(rw.band.view());
   EXPECT_LT(eigenvalue_error(ez.data(), ew.data(), n) * n, 1e-5);
@@ -136,7 +136,7 @@ TEST(Sbr, TensorCoreEngineKeepsTcEpsilonAccuracy) {
   opt.bandwidth = b;
   opt.big_block = 32;
   opt.accumulate_q = true;
-  auto res = sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), eng, opt);
   EXPECT_EQ(sbr::band_violation<float>(res.band.view(), b), 0.0);
   // Paper Table 3: errors bounded by the TC machine eps ~ 1e-4 (after the
   // 1/N normalization they report ~1e-4; unnormalized stays ~b*eps16).
@@ -158,8 +158,8 @@ TEST(Sbr, EcTcEngineRecoversFp32Accuracy) {
 
   tc::TcEngine tc_eng(tc::TcPrecision::Fp16);
   tc::EcTcEngine ec_eng(tc::TcPrecision::Fp16);
-  auto r_tc = sbr::sbr_wy(a.view(), tc_eng, opt);
-  auto r_ec = sbr::sbr_wy(a.view(), ec_eng, opt);
+  auto r_tc = *sbr::sbr_wy(a.view(), tc_eng, opt);
+  auto r_ec = *sbr::sbr_wy(a.view(), ec_eng, opt);
 
   const double err_tc = sbr_backward_error(a.view(), r_tc.q.view(), r_tc.band.view());
   const double err_ec = sbr_backward_error(a.view(), r_ec.q.view(), r_ec.band.view());
@@ -210,8 +210,8 @@ TEST(Sbr, CachedOaVariantMatchesLiteral) {
   lit.big_block = 32;
   SbrOptions cached = lit;
   cached.wy_cache_oa_product = true;
-  auto r1 = sbr::sbr_wy(a.view(), e1, lit);
-  auto r2 = sbr::sbr_wy(a.view(), e2, cached);
+  auto r1 = *sbr::sbr_wy(a.view(), e1, lit);
+  auto r2 = *sbr::sbr_wy(a.view(), e2, cached);
   EXPECT_LT(test::rel_diff<float>(r1.band.view(), r2.band.view()), 1e-4);
 }
 
@@ -223,7 +223,7 @@ TEST(Sbr, FormWMatchesProgressiveAccumulation) {
   wy.bandwidth = b;
   wy.big_block = 32;
   wy.accumulate_q = true;  // uses form_q internally
-  auto rw = sbr::sbr_wy(a.view(), eng, wy);
+  auto rw = *sbr::sbr_wy(a.view(), eng, wy);
 
   // Progressive reference: apply blocks one by one to the identity.
   Matrix<float> q(n, n);
@@ -246,7 +246,7 @@ TEST(Sbr, PanelFactorBothKindsAgree) {
   for (auto kind : {PanelKind::Tsqr, PanelKind::BlockedQr}) {
     Matrix<float> panel = a;
     Matrix<float> w(m, k), y(m, k);
-    sbr::panel_factor_wy(kind, panel.view(), w.view(), y.view());
+    ASSERT_TRUE(sbr::panel_factor_wy(kind, panel.view(), w.view(), y.view()).ok());
     // panel now holds [R; 0]; (I - W Y^T) [R; 0] must equal A.
     Matrix<float> rebuilt(m, k);
     copy_matrix<float>(ConstMatrixView<float>(panel.view()), rebuilt.view());
@@ -265,7 +265,7 @@ TEST(Sbr, ShortPanelFallback) {
   auto a = test::random_matrix_f(m, k, 23);
   Matrix<float> panel = a;
   Matrix<float> w(m, k), y(m, k);
-  sbr::panel_factor_wy(PanelKind::Tsqr, panel.view(), w.view(), y.view());
+  ASSERT_TRUE(sbr::panel_factor_wy(PanelKind::Tsqr, panel.view(), w.view(), y.view()).ok());
   Matrix<float> rebuilt(m, k);
   copy_matrix<float>(ConstMatrixView<float>(panel.view()), rebuilt.view());
   Matrix<float> ytr(m, k);
@@ -307,7 +307,7 @@ TEST(Sbr, AlreadyBandedInputPreservedUpToSigns) {
   SbrOptions opt;
   opt.bandwidth = b;
   opt.big_block = 16;
-  auto res = sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), eng, opt);
   EXPECT_EQ(sbr::band_violation<float>(res.band.view(), b), 0.0);
   for (index_t i = 0; i < n; ++i) EXPECT_NEAR(res.band(i, i), a(i, i), 1e-4);
   auto ref = reference_eigs(a.view());

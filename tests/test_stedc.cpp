@@ -34,7 +34,7 @@ void check_eigensystem(const std::vector<double>& d0, const std::vector<double>&
   Matrix<double> z(n, n);
   set_identity(z.view());
   auto zv = z.view();
-  ASSERT_TRUE(lapack::stedc<double>(d, e, &zv));
+  ASSERT_TRUE(lapack::stedc<double>(d, e, &zv).ok());
 
   // Ascending.
   for (index_t i = 1; i < n; ++i)
@@ -57,7 +57,7 @@ void check_eigensystem(const std::vector<double>& d0, const std::vector<double>&
   // Eigenvalues cross-checked against implicit QL.
   auto ds = d0;
   auto es = e0;
-  ASSERT_TRUE(lapack::steqr<double>(ds, es, nullptr));
+  ASSERT_TRUE(lapack::steqr<double>(ds, es, nullptr).ok());
   for (index_t i = 0; i < n; ++i)
     EXPECT_NEAR(d[static_cast<std::size_t>(i)], ds[static_cast<std::size_t>(i)], tol * scale);
 }
@@ -84,7 +84,7 @@ TEST(Stedc, LaplacianKnownSpectrum) {
   std::vector<double> e(static_cast<std::size_t>(n - 1), -1.0);
   auto dc = d;
   auto ec = e;
-  ASSERT_TRUE(lapack::stedc<double>(dc, ec, nullptr));
+  ASSERT_TRUE(lapack::stedc<double>(dc, ec, nullptr).ok());
   for (index_t k = 1; k <= n; ++k) {
     const double ref = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));
     EXPECT_NEAR(dc[static_cast<std::size_t>(k - 1)], ref, 1e-12);
@@ -149,7 +149,7 @@ TEST(Stedc, FloatInterfaceConverts) {
   Matrix<float> z(n, n);
   set_identity(z.view());
   auto zv = z.view();
-  ASSERT_TRUE(lapack::stedc<float>(d, e, &zv));
+  ASSERT_TRUE(lapack::stedc<float>(d, e, &zv).ok());
   EXPECT_LT(orthogonality_residual<float>(z.view()), 1e-4);
   for (index_t k = 1; k <= n; ++k) {
     const double ref = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));

@@ -42,7 +42,7 @@ TEST(Stein, AllEigenvectorsOfRandomTridiagonal) {
   for (auto& v : e) v = rng.normal();
   auto eigs = lapack::stebz<double>(d, e, 0, n - 1, 1e-14);
   Matrix<double> z(n, n);
-  ASSERT_TRUE(lapack::stein<double>(d, e, eigs, z.view()));
+  ASSERT_TRUE(lapack::stein<double>(d, e, eigs, z.view()).ok());
   check_eigenvectors(d, e, eigs, z.view(), 1e-10);
 }
 
@@ -52,7 +52,7 @@ TEST(Stein, SelectedSubset) {
   std::vector<double> e(static_cast<std::size_t>(n - 1), -1.0);
   auto eigs = lapack::stebz<double>(d, e, 10, 19, 1e-14);
   Matrix<double> z(n, 10);
-  ASSERT_TRUE(lapack::stein<double>(d, e, eigs, z.view()));
+  ASSERT_TRUE(lapack::stein<double>(d, e, eigs, z.view()).ok());
   check_eigenvectors(d, e, eigs, z.view(), 1e-10);
   // Laplacian eigenvector k is sin((k+1) pi i / (n+1)): check index 10's
   // sign-change count (= index).
@@ -73,7 +73,7 @@ TEST(Stein, ClusteredEigenvaluesStayOrthogonal) {
   for (auto& v : e) v = 1e-10 * rng.normal();
   auto eigs = lapack::stebz<double>(d, e, 0, n - 1, 1e-15);
   Matrix<double> z(n, n);
-  ASSERT_TRUE(lapack::stein<double>(d, e, eigs, z.view()));
+  ASSERT_TRUE(lapack::stein<double>(d, e, eigs, z.view()).ok());
   EXPECT_LT(orthogonality_residual<double>(z.view()), 1e-8 * n);
 }
 
@@ -86,14 +86,14 @@ TEST(Stein, MatchesSteqrUpToSign) {
 
   auto eigs = lapack::stebz<double>(d, e, 0, n - 1, 1e-14);
   Matrix<double> z1(n, n);
-  ASSERT_TRUE(lapack::stein<double>(d, e, eigs, z1.view()));
+  ASSERT_TRUE(lapack::stein<double>(d, e, eigs, z1.view()).ok());
 
   auto d2 = d;
   auto e2 = e;
   Matrix<double> z2(n, n);
   set_identity(z2.view());
   auto z2v = z2.view();
-  ASSERT_TRUE(lapack::steqr<double>(d2, e2, &z2v));
+  ASSERT_TRUE(lapack::steqr<double>(d2, e2, &z2v).ok());
 
   for (index_t j = 0; j < n; ++j) {
     double dot = 0.0;
@@ -108,7 +108,7 @@ TEST(Stein, FloatPrecision) {
   std::vector<float> e(static_cast<std::size_t>(n - 1), -1.0f);
   auto eigs = lapack::stebz<float>(d, e, 0, 4);
   Matrix<float> z(n, 5);
-  ASSERT_TRUE(lapack::stein<float>(d, e, eigs, z.view()));
+  ASSERT_TRUE(lapack::stein<float>(d, e, eigs, z.view()).ok());
   EXPECT_LT(orthogonality_residual<float>(z.view()), 1e-4);
 }
 
