@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/bulge/bulge_chasing.hpp"
 #include "src/common/rng.hpp"
@@ -34,11 +35,12 @@ int main() {
     std::printf("%6s | %10s | %12s\n", "b", "sbr (ms)", "bulge (ms)");
     for (index_t b : {4, 8, 16, 32, 64}) {
       tc::Fp32Engine eng;
+      Context ctx(eng);
       sbr::SbrOptions opt;
       opt.bandwidth = b;
       opt.big_block = 4 * b;
       sbr::SbrResult res;
-      const double t1 = bench::time_once_s([&] { res = *sbr::sbr_wy(a.view(), eng, opt); });
+      const double t1 = bench::time_once_s([&] { res = *sbr::sbr_wy(a.view(), ctx, opt); });
       const double t2 = bench::time_once_s(
           [&] { (void)bulge::bulge_chase<float>(res.band.view(), b, nullptr); });
       std::printf("%6lld | %10.1f | %12.1f\n", static_cast<long long>(b), t1 * 1e3,
@@ -57,12 +59,13 @@ int main() {
     make_symmetric(a.view());
     auto run = [&](evd::TriSolver solver, const char* name) {
       tc::Fp32Engine eng;
+      Context ctx(eng);
       evd::EvdOptions opt;
       opt.bandwidth = 16;
       opt.big_block = 64;
       opt.solver = solver;
       evd::EvdResult res;
-      const double t = bench::time_once_s([&] { res = *evd::solve(a.view(), eng, opt); });
+      const double t = bench::time_once_s([&] { res = *evd::solve(a.view(), ctx, opt); });
       std::printf("%-16s total %8.1f ms (solver %7.1f ms)\n", name, t * 1e3,
                   res.timings.solver_s * 1e3);
     };
@@ -119,16 +122,17 @@ int main() {
     fill_normal(rng, a.view());
     make_symmetric(a.view());
     tc::TcEngine eng(tc::TcPrecision::Fp16);
+    Context ctx(eng);
     evd::EvdOptions opt;
     opt.bandwidth = 16;
     opt.big_block = 64;
     opt.vectors = true;
-    auto res = *evd::solve(a.view(), eng, opt);
+    auto res = *evd::solve(a.view(), ctx, opt);
     std::vector<float> lam(res.eigenvalues.end() - 4, res.eigenvalues.end());
     auto vk = res.vectors.sub(0, n - 4, n, 4);
     evd::RefineResult refined;
     const double t = bench::time_once_s(
-        [&] { refined = evd::refine_eigenpairs(a.view(), lam, ConstMatrixView<float>(vk)); });
+        [&] { refined = evd::refine_eigenpairs(ctx, a.view(), lam, ConstMatrixView<float>(vk)); });
     double worst = 0.0;
     for (double r : refined.residuals) worst = std::max(worst, r);
     std::printf("refine 4 pairs: %.1f ms, %d RQI steps, worst residual %.1e\n", t * 1e3,

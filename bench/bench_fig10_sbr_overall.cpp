@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
 #include "src/common/rng.hpp"
 #include "src/perfmodel/a100_model.hpp"
 #include "src/perfmodel/shape_trace.hpp"
@@ -81,17 +82,21 @@ int main() {
     magma.zy_use_syr2k = true;
 
     tc::TcEngine e_tc;
+    Context c_tc(e_tc);
     tc::EcTcEngine e_ec;
+    Context c_ec(e_ec);
     tc::TcEngine e_tc2;
+    Context c_tc2(e_tc2);
     tc::Fp32Engine e_fp;
+    Context c_fp(e_fp);
     std::printf("WY  tc-fp16  : %8.1f\n",
-                1e3 * bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), e_tc, wy); }));
+                1e3 * bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), c_tc, wy); }));
     std::printf("WY  ectc-fp16: %8.1f\n",
-                1e3 * bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), e_ec, wy); }));
+                1e3 * bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), c_ec, wy); }));
     std::printf("ZY  tc-fp16  : %8.1f\n",
-                1e3 * bench::time_once_s([&] { (void)sbr::sbr_zy(a.view(), e_tc2, zy); }));
+                1e3 * bench::time_once_s([&] { (void)sbr::sbr_zy(a.view(), c_tc2, zy); }));
     std::printf("ZY  fp32+syr2k (MAGMA-like): %8.1f\n",
-                1e3 * bench::time_once_s([&] { (void)sbr::sbr_zy(a.view(), e_fp, magma); }));
+                1e3 * bench::time_once_s([&] { (void)sbr::sbr_zy(a.view(), c_fp, magma); }));
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
 #include "src/common/rng.hpp"
 #include "src/evd/evd.hpp"
 #include "src/perfmodel/a100_model.hpp"
@@ -88,12 +89,13 @@ int main() {
 
     auto run = [&](evd::Reduction red, const char* name) {
       tc::Fp32Engine eng;
+      Context ctx(eng);
       evd::EvdOptions opt;
       opt.reduction = red;
       opt.bandwidth = 16;
       opt.big_block = 64;
       evd::EvdResult res;
-      const double t = bench::time_once_s([&] { res = *evd::solve(a.view(), eng, opt); });
+      const double t = bench::time_once_s([&] { res = *evd::solve(a.view(), ctx, opt); });
       std::printf("%-22s total %7.1f ms (reduce %6.1f, bulge %6.1f, solver %6.1f)\n", name,
                   t * 1e3, res.timings.reduction_s * 1e3, res.timings.bulge_s * 1e3,
                   res.timings.solver_s * 1e3);

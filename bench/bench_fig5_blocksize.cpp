@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
 #include "src/common/timer.hpp"
 #include "src/common/rng.hpp"
 #include "src/perfmodel/a100_model.hpp"
@@ -66,11 +67,12 @@ int main() {
     std::printf("%8s %12s\n", "nb", "time (ms)");
     for (index_t nb : {16, 32, 64, 128, 256}) {
       tc::TcEngine eng;
+      Context ctx(eng);
       sbr::SbrOptions opt;
       opt.bandwidth = 16;
       opt.big_block = nb;
       const double t =
-          bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), eng, opt); });
+          bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), ctx, opt); });
       std::printf("%8lld %12.1f\n", static_cast<long long>(nb), t * 1e3);
     }
     std::printf("(on CPU larger nb costs more everywhere — there is no Tensor Core\n"

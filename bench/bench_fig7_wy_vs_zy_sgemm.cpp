@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
 #include "src/common/rng.hpp"
 #include "src/perfmodel/a100_model.hpp"
 #include "src/perfmodel/shape_trace.hpp"
@@ -36,13 +37,14 @@ int main() {
     fill_normal(rng, a.view());
     make_symmetric(a.view());
     tc::Fp32Engine e1, e2;
+    Context c1(e1), c2(e2);
     sbr::SbrOptions wy;
     wy.bandwidth = 16;
     wy.big_block = 64;
     sbr::SbrOptions zy;
     zy.bandwidth = 16;
-    const double twy = bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), e1, wy); });
-    const double tzy = bench::time_once_s([&] { (void)sbr::sbr_zy(a.view(), e2, zy); });
+    const double twy = bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), c1, wy); });
+    const double tzy = bench::time_once_s([&] { (void)sbr::sbr_zy(a.view(), c2, zy); });
     std::printf("%8lld | %10.1f | %10.1f | %8.2f\n", static_cast<long long>(n), twy * 1e3,
                 tzy * 1e3, tzy / twy);
   }

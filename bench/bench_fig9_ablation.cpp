@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
 #include "src/common/rng.hpp"
 #include "src/perfmodel/a100_model.hpp"
 #include "src/perfmodel/shape_trace.hpp"
@@ -77,11 +78,12 @@ int main() {
     make_symmetric(a.view());
     for (auto kind : {sbr::PanelKind::Tsqr, sbr::PanelKind::BlockedQr}) {
       tc::Fp32Engine eng;
+      Context ctx(eng);
       sbr::SbrOptions opt;
       opt.bandwidth = 16;
       opt.big_block = 64;
       opt.panel = kind;
-      const double t = bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), eng, opt); });
+      const double t = bench::time_once_s([&] { (void)sbr::sbr_wy(a.view(), ctx, opt); });
       std::printf("WY-SBR, %-10s panel: %8.1f ms\n",
                   kind == sbr::PanelKind::Tsqr ? "TSQR" : "blockedQR", t * 1e3);
     }

@@ -3,6 +3,7 @@
 // tridiagonal solvers, and the SBR variants at CPU-friendly sizes.
 #include <benchmark/benchmark.h>
 
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/bulge/bulge_chasing.hpp"
 #include "src/common/rng.hpp"
@@ -96,11 +97,12 @@ void BM_SbrWy(benchmark::State& state) {
   fill_normal(rng, a.view());
   make_symmetric(a.view());
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = 16;
   opt.big_block = 64;
   for (auto _ : state) {
-    auto res = *sbr::sbr_wy(a.view(), eng, opt);
+    auto res = *sbr::sbr_wy(a.view(), ctx, opt);
     benchmark::DoNotOptimize(res.band.data());
   }
 }
@@ -113,10 +115,11 @@ void BM_SbrZy(benchmark::State& state) {
   fill_normal(rng, a.view());
   make_symmetric(a.view());
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = 16;
   for (auto _ : state) {
-    auto res = *sbr::sbr_zy(a.view(), eng, opt);
+    auto res = *sbr::sbr_zy(a.view(), ctx, opt);
     benchmark::DoNotOptimize(res.band.data());
   }
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/common/norms.hpp"
 #include "src/matgen/matgen.hpp"
@@ -51,11 +52,12 @@ int main() {
   for (const auto& row : matgen::paper_accuracy_rows()) {
     auto a = matgen::generate_f(row.type, n, row.cond, rng);
     tc::TcEngine eng(tc::TcPrecision::Fp16);
+    Context ctx(eng);
     sbr::SbrOptions opt;
     opt.bandwidth = b;
     opt.big_block = nb;
     opt.accumulate_q = true;
-    auto res = *sbr::sbr_wy(a.view(), eng, opt);
+    auto res = *sbr::sbr_wy(a.view(), ctx, opt);
     const double eb = backward_error_normalized(a.view(), res.q.view(), res.band.view());
     const double eo = orthogonality_error<float>(res.q.view());
     std::printf("%-20s %14.2e %14.2e\n", matgen::matrix_type_name(row.type, row.cond).c_str(),

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 #include "src/matgen/matgen.hpp"
@@ -37,9 +38,11 @@ int main() {
     opt.big_block = 64;
 
     tc::TcEngine tc_eng(tc::TcPrecision::Fp16);
+    Context tc_ctx(tc_eng);
     tc::Fp32Engine fp_eng;
-    auto r_tc = *evd::solve(a.view(), tc_eng, opt);
-    auto r_fp = *evd::solve(a.view(), fp_eng, opt);
+    Context fp_ctx(fp_eng);
+    auto r_tc = *evd::solve(a.view(), tc_ctx, opt);
+    auto r_fp = *evd::solve(a.view(), fp_ctx, opt);
 
     std::vector<double> g_tc(r_tc.eigenvalues.begin(), r_tc.eigenvalues.end());
     std::vector<double> g_fp(r_fp.eigenvalues.begin(), r_fp.eigenvalues.end());

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
@@ -43,11 +44,12 @@ int main() {
 
   // Tensor-Core EVD with eigenvectors.
   tc::TcEngine engine(tc::TcPrecision::Fp16);
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.bandwidth = 16;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = *evd::solve(cov.view(), engine, opt);
+  auto res = *evd::solve(cov.view(), ctx, opt);
   if (!res.converged) return 1;
 
   // Eigenvalues ascend; the top `rank` should dominate.

@@ -6,6 +6,7 @@
 //   build/examples/mixed_precision_tour
 #include <cstdio>
 
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/common/norms.hpp"
 #include "src/matgen/matgen.hpp"
@@ -51,7 +52,8 @@ int main() {
               static_cast<long long>(n));
   std::printf("%-12s %16s %16s\n", "engine", "E_b = |A-QBQ'|/|A|", "E_o = |I-Q'Q|/N");
   for (auto* eng : engines) {
-    auto res = *sbr::sbr_wy(a.view(), *eng, opt);
+    Context ctx(*eng);
+    auto res = *sbr::sbr_wy(a.view(), ctx, opt);
     std::printf("%-12s %16.2e %16.2e\n", eng->name().c_str(),
                 backward_err(a.view(), res.q.view(), res.band.view()),
                 orthogonality_error<float>(res.q.view()));

@@ -11,6 +11,7 @@
 //   build/examples/partial_spectrum
 #include <cstdio>
 
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 #include "src/evd/partial.hpp"
@@ -25,18 +26,19 @@ int main() {
   auto a = matgen::generate_f(matgen::MatrixType::Geo, n, 1e4, rng);
 
   tc::TcEngine engine(tc::TcPrecision::Fp16);
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.bandwidth = 16;
   opt.big_block = 64;
 
   // Selected solve: indices n-k .. n-1 are the k largest eigenvalues.
-  auto part = *evd::solve_selected(a.view(), engine, opt, n - k, n - 1, /*vectors=*/true);
+  auto part = *evd::solve_selected(a.view(), ctx, opt, n - k, n - 1, /*vectors=*/true);
   if (!part.converged) return 1;
   const double res_coarse =
       evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view());
 
   // Refine.
-  auto refined = evd::refine_eigenpairs(a.view(), part.eigenvalues, part.vectors.view());
+  auto refined = evd::refine_eigenpairs(ctx, a.view(), part.eigenvalues, part.vectors.view());
 
   Matrix<double> ad(n, n);
   convert_matrix<float, double>(a.view(), ad.view());

@@ -5,6 +5,7 @@
 //   build/examples/quickstart
 #include <cstdio>
 
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 #include "src/matgen/matgen.hpp"
@@ -23,6 +24,7 @@ int main() {
   // 2. Pick the numerics: the emulated Tensor Core (fp16 operands, fp32
   //    accumulate). Swap in Fp32Engine or EcTcEngine to change precision.
   tc::TcEngine engine(tc::TcPrecision::Fp16);
+  Context ctx(engine);
 
   // 3. Configure and run the two-stage EVD (WY-based SBR -> bulge chasing
   //    -> divide & conquer), requesting eigenvectors.
@@ -32,7 +34,7 @@ int main() {
   opt.bandwidth = 16;
   opt.big_block = 64;
   opt.vectors = true;
-  evd::EvdResult res = *evd::solve(a.view(), engine, opt);
+  evd::EvdResult res = *evd::solve(a.view(), ctx, opt);
   if (!res.converged) {
     std::printf("eigensolver failed to converge\n");
     return 1;

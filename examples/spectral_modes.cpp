@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <numbers>
 
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 
@@ -39,11 +40,12 @@ int main() {
   }
 
   tc::Fp32Engine engine;  // engineering answer: plain fp32
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = *evd::solve(k.view(), engine, opt);
+  auto res = *evd::solve(k.view(), ctx, opt);
   if (!res.converged) return 1;
 
   std::printf("lowest 5 vibrational frequencies (omega = sqrt(lambda)):\n");

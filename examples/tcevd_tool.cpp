@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 #include "src/matgen/matgen.hpp"
@@ -114,7 +115,8 @@ int main(int argc, char** argv) {
               matgen::matrix_type_name(type, cond).c_str(), (long long)n,
               engine->name().c_str(), (long long)opt.bandwidth, (long long)opt.big_block);
 
-  auto res_or = evd::solve(a.view(), *engine, opt);
+  Context ctx(*engine);
+  auto res_or = evd::solve(a.view(), ctx, opt);
   if (!res_or.ok()) {
     std::fprintf(stderr, "eigensolver failed: %s\n", res_or.status().to_string().c_str());
     return 1;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/context.hpp"
 #include "src/sbr/band.hpp"
 
 namespace tcevd::bulge {
@@ -87,5 +88,11 @@ BulgeResult<T> bulge_chase(MatrixView<T> a, index_t bw, MatrixView<T>* q) {
 template BulgeResult<float> bulge_chase<float>(MatrixView<float>, index_t, MatrixView<float>*);
 template BulgeResult<double> bulge_chase<double>(MatrixView<double>, index_t,
                                                  MatrixView<double>*);
+
+BulgeResult<float> bulge_chase(Context& ctx, MatrixView<float> a, index_t bw,
+                               MatrixView<float>* q) {
+  StageTimer stage(ctx.telemetry(), "bulge.chase");
+  return bulge_chase<float>(a, bw, q);
+}
 
 }  // namespace tcevd::bulge

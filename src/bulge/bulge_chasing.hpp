@@ -14,6 +14,10 @@
 
 #include "src/common/matrix.hpp"
 
+namespace tcevd {
+class Context;
+}  // namespace tcevd
+
 namespace tcevd::bulge {
 
 template <typename T>
@@ -33,5 +37,11 @@ extern template BulgeResult<float> bulge_chase<float>(MatrixView<float>, index_t
                                                       MatrixView<float>*);
 extern template BulgeResult<double> bulge_chase<double>(MatrixView<double>, index_t,
                                                         MatrixView<double>*);
+
+/// Context-aware entry point: same rotation-level algorithm (no GEMMs, no
+/// scratch matrices), but the elapsed time lands on the context's telemetry
+/// under stage "bulge.chase".
+BulgeResult<float> bulge_chase(Context& ctx, MatrixView<float> a, index_t bw,
+                               MatrixView<float>* q = nullptr);
 
 }  // namespace tcevd::bulge

@@ -1,0 +1,32 @@
+#include "src/common/context.hpp"
+
+namespace tcevd {
+
+double Telemetry::recorded_flops() const noexcept {
+  double total = 0.0;
+  for (const auto& s : shapes_) total += s.flops();
+  return total;
+}
+
+void Telemetry::record_stage(std::string_view stage, double seconds) {
+  for (auto& s : stages_) {
+    if (s.name == stage) {
+      s.seconds += seconds;
+      ++s.calls;
+      return;
+    }
+  }
+  stages_.push_back(StageStat{std::string(stage), seconds, 1});
+}
+
+double Telemetry::stage_seconds(std::string_view stage) const noexcept {
+  for (const auto& s : stages_)
+    if (s.name == stage) return s.seconds;
+  return 0.0;
+}
+
+void Telemetry::record_recovery(const RecoveryLog& log) {
+  recovery_.insert(recovery_.end(), log.begin(), log.end());
+}
+
+}  // namespace tcevd

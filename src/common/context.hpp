@@ -1,0 +1,146 @@
+// Execution context threaded through every pipeline layer.
+//
+// A Context bundles the three pieces of per-solve state that used to hide in
+// engine members and thread-locals:
+//
+//   * the GemmEngine executing every level-3 update (borrowed and shareable
+//     across contexts, or owned by this context),
+//   * a bump-pointer workspace arena the hot paths check their temporaries
+//     out of (see src/common/workspace.hpp) — size it up front with the
+//     workspace_query APIs for allocation-free steady state,
+//   * a telemetry sink: GEMM shape recording (moved off the engine, where it
+//     raced between concurrent callers), per-stage wall-clock timers, and an
+//     aggregated recovery log of every graceful-degradation event taken by
+//     calls on this context.
+//
+// Thread-safety contract: one Context per thread. Engines are stateless
+// (their one diagnostic counter is atomic) and may be shared by any number
+// of contexts; the Context itself — arena, telemetry — must not be. This is
+// the shape concurrent/batched solve() needs: N threads, N contexts, one
+// engine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/blas/blas.hpp"
+#include "src/common/matrix.hpp"
+#include "src/common/recovery.hpp"
+#include "src/common/timer.hpp"
+#include "src/common/workspace.hpp"
+#include "src/tensorcore/engine.hpp"
+
+namespace tcevd {
+
+/// Per-context instrumentation: GEMM shapes, stage timers, recovery events.
+class Telemetry {
+ public:
+  // --- GEMM shape recording (paper Table 1 / Figs. 5-7 measurements) ------
+  void set_recording(bool on) noexcept { recording_ = on; }
+  bool recording() const noexcept { return recording_; }
+  void record_gemm(const tc::GemmShape& shape) {
+    if (recording_) shapes_.push_back(shape);
+  }
+  const std::vector<tc::GemmShape>& recorded() const noexcept { return shapes_; }
+  void clear_recorded() noexcept { shapes_.clear(); }
+  /// Hardware flops of the recorded stream — EngineKind-aware, so EC-TC
+  /// GEMMs count their three TC products (GemmShape::flops()).
+  double recorded_flops() const noexcept;
+
+  // --- per-stage wall-clock timers ----------------------------------------
+  struct StageStat {
+    std::string name;
+    double seconds = 0.0;
+    long calls = 0;
+  };
+  /// Accumulate `seconds` under `stage` (same stage adds up across calls).
+  void record_stage(std::string_view stage, double seconds);
+  const std::vector<StageStat>& stages() const noexcept { return stages_; }
+  /// Total seconds recorded under `stage` (0.0 if never recorded).
+  double stage_seconds(std::string_view stage) const noexcept;
+  void clear_stages() noexcept { stages_.clear(); }
+
+  // --- recovery aggregation -----------------------------------------------
+  /// Degradation events accumulated across every call on this context (each
+  /// driver call still returns its own per-call log, e.g. EvdResult::recovery).
+  void record_recovery(const RecoveryLog& log);
+  const RecoveryLog& recovery() const noexcept { return recovery_; }
+  void clear_recovery() noexcept { recovery_.clear(); }
+
+ private:
+  bool recording_ = false;
+  std::vector<tc::GemmShape> shapes_;
+  std::vector<StageStat> stages_;
+  RecoveryLog recovery_;
+};
+
+/// RAII stage timer: records elapsed wall time into a Telemetry sink on
+/// destruction (or at an explicit stop(), which also returns the seconds).
+class StageTimer {
+ public:
+  StageTimer(Telemetry& telemetry, std::string_view stage)
+      : telemetry_(&telemetry), stage_(stage) {}
+  ~StageTimer() { stop(); }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Stop and record (idempotent); returns the elapsed seconds.
+  double stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      seconds_ = timer_.seconds();
+      telemetry_->record_stage(stage_, seconds_);
+    }
+    return seconds_;
+  }
+
+ private:
+  Telemetry* telemetry_;
+  std::string stage_;
+  Timer timer_;
+  bool stopped_ = false;
+  double seconds_ = 0.0;
+};
+
+class Context {
+ public:
+  /// Borrow `engine` (it must outlive the context). Engines are shareable:
+  /// many contexts — one per thread — may borrow the same engine.
+  explicit Context(tc::GemmEngine& engine) : engine_(&engine) {}
+
+  /// Take ownership of `engine`.
+  explicit Context(std::unique_ptr<tc::GemmEngine> engine)
+      : engine_(engine.get()), owned_(std::move(engine)) {
+    TCEVD_CHECK(engine_ != nullptr, "Context requires a non-null engine");
+  }
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  tc::GemmEngine& engine() noexcept { return *engine_; }
+  const tc::GemmEngine& engine() const noexcept { return *engine_; }
+  Workspace& workspace() noexcept { return workspace_; }
+  Telemetry& telemetry() noexcept { return telemetry_; }
+  const Telemetry& telemetry() const noexcept { return telemetry_; }
+
+  /// C = alpha * op(A) * op(B) + beta * C through the engine, recording the
+  /// shape (tagged with the engine's kind) when telemetry recording is on.
+  void gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+            ConstMatrixView<float> b, float beta, MatrixView<float> c) {
+    if (telemetry_.recording()) {
+      const index_t k = (transa == blas::Trans::No) ? a.cols() : a.rows();
+      telemetry_.record_gemm(tc::GemmShape{c.rows(), c.cols(), k, engine_->kind()});
+    }
+    engine_->gemm(transa, transb, alpha, a, b, beta, c);
+  }
+
+ private:
+  tc::GemmEngine* engine_;
+  std::unique_ptr<tc::GemmEngine> owned_;
+  Workspace workspace_;
+  Telemetry telemetry_;
+};
+
+}  // namespace tcevd

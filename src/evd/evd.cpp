@@ -4,6 +4,7 @@
 
 #include "src/blas/blas.hpp"
 #include "src/bulge/bulge_chasing.hpp"
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/common/timer.hpp"
 #include "src/lapack/stein.hpp"
@@ -18,8 +19,8 @@ namespace {
 
 using blas::Trans;
 
-Status run_tri_solver(TriSolver solver, std::vector<float>& d, std::vector<float>& e,
-                      MatrixView<float>* z) {
+Status run_tri_solver(Workspace& ws, TriSolver solver, std::vector<float>& d,
+                      std::vector<float>& e, MatrixView<float>* z) {
   switch (solver) {
     case TriSolver::Ql:
       return lapack::steqr<float>(d, e, z);
@@ -31,12 +32,13 @@ Status run_tri_solver(TriSolver solver, std::vector<float>& d, std::vector<float
       if (z != nullptr) {
         // Vectors via inverse iteration on the bisection values, then fold
         // into the accumulated orthogonal factor: z := z * S.
-        Matrix<float> s(n, n);
-        TCEVD_RETURN_IF_ERROR(lapack::stein<float>(d, e, eigs, s.view()));
-        Matrix<float> tmp(z->rows(), n);
+        auto scope = ws.scope();
+        auto s = scope.matrix<float>(n, n);
+        TCEVD_RETURN_IF_ERROR(lapack::stein<float>(d, e, eigs, s));
+        auto tmp = scope.matrix<float>(z->rows(), n);
         blas::gemm<float>(Trans::No, Trans::No, 1.0f, ConstMatrixView<float>(*z),
-                          ConstMatrixView<float>(s.view()), 0.0f, tmp.view());
-        copy_matrix<float>(ConstMatrixView<float>(tmp.view()), *z);
+                          ConstMatrixView<float>(s), 0.0f, tmp);
+        copy_matrix<float>(ConstMatrixView<float>(tmp), *z);
       }
       std::copy(eigs.begin(), eigs.end(), d.begin());
       return ok_status();
@@ -74,12 +76,14 @@ const char* tri_solver_name(TriSolver solver) noexcept {
   return "?";
 }
 
-StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
-                          const EvdOptions& opt) {
+StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "evd::solve requires a square symmetric matrix");
 
   if (opt.screen_input) TCEVD_RETURN_IF_ERROR(screen_input(a, opt.asymmetry_tol));
+
+  ctx.workspace().reserve(workspace_query(n, opt));
+  auto solve_scope = ctx.workspace().scope();
 
   EvdResult result;
   recovery::Scope rscope;  // collects degradation events from every layer
@@ -90,15 +94,17 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
 
   if (opt.reduction == Reduction::OneStage) {
     Timer t;
-    Matrix<float> work(n, n);
-    copy_matrix(a, work.view());
+    auto scope = ctx.workspace().scope();
+    auto work = scope.matrix<float>(n, n);
+    copy_matrix(a, work);
     std::vector<float> tau;
-    lapack::sytrd_blocked(work.view(), d, e, tau, std::min<index_t>(opt.bandwidth, n));
+    lapack::sytrd_blocked(work, d, e, tau, std::min<index_t>(opt.bandwidth, n));
     if (opt.vectors) {
       q = Matrix<float>(n, n);
-      lapack::orgtr<float>(work.view(), tau, q.view());
+      lapack::orgtr<float>(work, tau, q.view());
     }
     result.timings.reduction_s = t.seconds();
+    ctx.telemetry().record_stage("evd.reduction", result.timings.reduction_s);
   } else {
     sbr::SbrOptions sopt;
     sopt.bandwidth = std::min(opt.bandwidth, n - 1);
@@ -110,11 +116,12 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
 
     Timer t;
     StatusOr<sbr::SbrResult> sres_or = (opt.reduction == Reduction::TwoStageWy)
-                                          ? sbr::sbr_wy(a, engine, sopt)
-                                          : sbr::sbr_zy(a, engine, sopt);
+                                          ? sbr::sbr_wy(a, ctx, sopt)
+                                          : sbr::sbr_zy(a, ctx, sopt);
     if (!sres_or.ok()) return sres_or.status();
     sbr::SbrResult& sres = *sres_or;
     result.timings.reduction_s = t.seconds();
+    ctx.telemetry().record_stage("evd.reduction", result.timings.reduction_s);
 
     t.reset();
     if (opt.compact_second_stage && !opt.vectors) {
@@ -124,11 +131,12 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
     } else {
       MatrixView<float> qv = sres.q.view();
       MatrixView<float>* qp = opt.vectors ? &qv : nullptr;
-      auto tri = bulge::bulge_chase<float>(sres.band.view(), sopt.bandwidth, qp);
+      auto tri = bulge::bulge_chase(ctx, sres.band.view(), sopt.bandwidth, qp);
       d = std::move(tri.d);
       e = std::move(tri.e);
     }
     result.timings.bulge_s = t.seconds();
+    ctx.telemetry().record_stage("evd.bulge", result.timings.bulge_s);
     if (opt.vectors) q = std::move(sres.q);
   }
 
@@ -139,17 +147,17 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
   // The solvers destroy d/e (and fold rotations into q), so keep restore
   // points for the fallback chain.
   std::vector<float> d0, e0;
-  Matrix<float> q0;
+  MatrixView<float> q0;
   if (opt.allow_fallbacks) {
     d0 = d;
     e0 = e;
     if (opt.vectors) {
-      q0 = Matrix<float>(q.rows(), q.cols());
-      copy_matrix<float>(ConstMatrixView<float>(q.view()), q0.view());
+      q0 = solve_scope.matrix<float>(q.rows(), q.cols());
+      copy_matrix<float>(ConstMatrixView<float>(q.view()), q0);
     }
   }
 
-  Status sst = run_tri_solver(opt.solver, d, e, zp);
+  Status sst = run_tri_solver(ctx.workspace(), opt.solver, d, e, zp);
   if (!sst.ok() && opt.allow_fallbacks && is_recoverable(sst)) {
     TriSolver tried = opt.solver;
     for (TriSolver fb :
@@ -157,16 +165,17 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
       if (fb == opt.solver) continue;
       d = d0;
       e = e0;
-      if (opt.vectors) copy_matrix<float>(ConstMatrixView<float>(q0.view()), q.view());
+      if (opt.vectors) copy_matrix<float>(ConstMatrixView<float>(q0), q.view());
       recovery::note("evd.solver", std::string(tri_solver_name(tried)) + " failed (" +
                                        sst.to_string() + "); retrying with " +
                                        tri_solver_name(fb));
-      sst = run_tri_solver(fb, d, e, zp);
+      sst = run_tri_solver(ctx.workspace(), fb, d, e, zp);
       if (sst.ok() || !is_recoverable(sst)) break;
       tried = fb;
     }
   }
   result.timings.solver_s = ts.seconds();
+  ctx.telemetry().record_stage("evd.solver", result.timings.solver_s);
   if (!sst.ok()) return sst;
   result.converged = true;
 
@@ -174,7 +183,33 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
   if (opt.vectors) result.vectors = std::move(q);
   result.timings.total_s = total.seconds();
   result.recovery = rscope.take();
+  ctx.telemetry().record_recovery(result.recovery);
   return result;
+}
+
+// Deprecated compatibility overload: cold private workspace, no telemetry.
+StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                          const EvdOptions& opt) {
+  Context ctx(engine);
+  return solve(a, ctx, opt);
+}
+
+std::size_t workspace_query(index_t n, const EvdOptions& opt) {
+  if (n <= 0) return 0;
+  sbr::SbrOptions sopt;
+  sopt.bandwidth = std::min(opt.bandwidth, std::max<index_t>(n - 1, 1));
+  sopt.big_block = std::max(opt.big_block, sopt.bandwidth);
+  sopt.big_block -= sopt.big_block % sopt.bandwidth;
+  sopt.panel = opt.panel;
+
+  const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  // Reduction stage: SBR arena peak, or the one-stage n x n scratch.
+  std::size_t bytes = std::max(sbr::workspace_query(n, sopt), nn * sizeof(float));
+  // Solver-fallback restore point (q0) + bisection inverse-iteration S and
+  // the z*S product buffer.
+  bytes += 3 * nn * sizeof(float);
+  bytes += 64 * Workspace::kAlignment;  // per-checkout alignment slop
+  return bytes;
 }
 
 StatusOr<std::vector<double>> reference_eigenvalues(ConstMatrixView<double> a) {

@@ -8,6 +8,7 @@
 // baseline the two-stage method is measured against.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "src/common/matrix.hpp"
@@ -15,6 +16,10 @@
 #include "src/common/status.hpp"
 #include "src/sbr/sbr.hpp"
 #include "src/tensorcore/engine.hpp"
+
+namespace tcevd {
+class Context;
+}  // namespace tcevd
 
 namespace tcevd::evd {
 
@@ -74,15 +79,29 @@ struct EvdResult {
   RecoveryLog recovery;
 };
 
-/// Full single-precision EVD with the engine supplying every SBR GEMM.
+/// Full single-precision EVD with the context's engine supplying every SBR
+/// GEMM and its workspace arena supplying every scratch matrix. On entry the
+/// arena is pre-sized with workspace_query, so the *second* solve of the
+/// same shape on a given Context performs zero arena growth (see the
+/// steady-state test); per-stage wall time and the aggregated recovery log
+/// additionally land on the context's telemetry.
 ///
 /// Failure semantics: invalid input (NaN/Inf/asymmetric) is InvalidInput;
 /// recoverable numerical trouble first walks the documented fallbacks
 /// (TSQR -> blocked QR panels, fp32 GEMM retry, solver chain) and only
 /// propagates if every fallback is exhausted. A returned EvdResult is
 /// always converged; `recovery` says what it took.
+StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt);
+
+/// Deprecated: wraps a temporary Context (cold workspace, no telemetry)
+/// around the bare engine.
 StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
                           const EvdOptions& opt);
+
+/// Peak workspace-arena bytes one solve of size n needs (LAPACK-lwork
+/// style, conservative — covers the SBR stage, the one-stage scratch, the
+/// solver-fallback restore point, and the bisection/inverse-iteration path).
+std::size_t workspace_query(index_t n, const EvdOptions& opt);
 
 /// Double-precision reference eigenvalues (one-stage sytrd + QL), the stand-
 /// in for "LAPACK dsyevd" ground truth in the accuracy tables. Reports

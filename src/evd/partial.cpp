@@ -2,18 +2,23 @@
 
 #include "src/blas/blas.hpp"
 #include "src/bulge/bulge_chasing.hpp"
+#include "src/common/context.hpp"
 #include "src/lapack/stein.hpp"
 #include "src/lapack/sytrd.hpp"
 #include "src/lapack/tridiag.hpp"
 
 namespace tcevd::evd {
 
-StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
+StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, Context& ctx,
                                        const EvdOptions& opt, index_t il, index_t iu,
                                        bool vectors) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "solve_selected requires a square symmetric matrix");
   TCEVD_CHECK(0 <= il && il <= iu && iu < n, "selected index range invalid");
+
+  ctx.workspace().reserve(workspace_query(n, opt));
+  auto solve_scope = ctx.workspace().scope();
+  StageTimer stage(ctx.telemetry(), "evd.partial");
 
   PartialResult out;
   recovery::Scope rscope;
@@ -21,13 +26,14 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine&
   Matrix<float> q;  // accumulated orthogonal factor (only when vectors)
 
   if (opt.reduction == Reduction::OneStage) {
-    Matrix<float> work(n, n);
-    copy_matrix(a, work.view());
+    auto scope = ctx.workspace().scope();
+    auto work = scope.matrix<float>(n, n);
+    copy_matrix(a, work);
     std::vector<float> tau;
-    lapack::sytrd(work.view(), d, e, tau);
+    lapack::sytrd(work, d, e, tau);
     if (vectors) {
       q = Matrix<float>(n, n);
-      lapack::orgtr<float>(work.view(), tau, q.view());
+      lapack::orgtr<float>(work, tau, q.view());
     }
   } else {
     sbr::SbrOptions sopt;
@@ -37,13 +43,13 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine&
     sopt.panel = opt.panel;
     sopt.accumulate_q = vectors;
     StatusOr<sbr::SbrResult> sres_or = (opt.reduction == Reduction::TwoStageWy)
-                                           ? sbr::sbr_wy(a, engine, sopt)
-                                           : sbr::sbr_zy(a, engine, sopt);
+                                           ? sbr::sbr_wy(a, ctx, sopt)
+                                           : sbr::sbr_zy(a, ctx, sopt);
     if (!sres_or.ok()) return sres_or.status();
     sbr::SbrResult& sres = *sres_or;
     MatrixView<float> qv = sres.q.view();
     MatrixView<float>* qp = vectors ? &qv : nullptr;
-    auto tri = bulge::bulge_chase<float>(sres.band.view(), sopt.bandwidth, qp);
+    auto tri = bulge::bulge_chase(ctx, sres.band.view(), sopt.bandwidth, qp);
     d = std::move(tri.d);
     e = std::move(tri.e);
     if (vectors) q = std::move(sres.q);
@@ -55,8 +61,8 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine&
 
   if (vectors) {
     // Tridiagonal eigenvectors by inverse iteration, then back-transform.
-    Matrix<float> z(n, nev);
-    Status st = lapack::stein<float>(d, e, out.eigenvalues, z.view());
+    auto z = solve_scope.matrix<float>(n, nev);
+    Status st = lapack::stein<float>(d, e, out.eigenvalues, z);
     if (!st.ok() && opt.allow_fallbacks && is_recoverable(st)) {
       // Inverse iteration stagnated on at least one vector. Solve the full
       // tridiagonal problem with QL instead and keep the selected columns —
@@ -65,9 +71,10 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine&
       recovery::note("evd.partial", "stein failed (" + st.to_string() +
                                         "); recomputed selected vectors with full QL solve");
       std::vector<float> dq = d, eq = e;
-      Matrix<float> zfull(n, n);
-      set_identity(zfull.view());
-      MatrixView<float> zfv = zfull.view();
+      auto ql_scope = ctx.workspace().scope();
+      auto zfull = ql_scope.matrix<float>(n, n);
+      set_identity(zfull);
+      MatrixView<float> zfv = zfull;
       TCEVD_RETURN_IF_ERROR(lapack::steqr<float>(dq, eq, &zfv));
       // steqr returns ascending eigenvalues, so columns il..iu line up with
       // the bisection selection.
@@ -80,11 +87,20 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine&
     }
     out.vectors = Matrix<float>(n, nev);
     blas::gemm(blas::Trans::No, blas::Trans::No, 1.0f, ConstMatrixView<float>(q.view()),
-               ConstMatrixView<float>(z.view()), 0.0f, out.vectors.view());
+               ConstMatrixView<float>(z), 0.0f, out.vectors.view());
   }
   out.converged = true;
   out.recovery = rscope.take();
+  ctx.telemetry().record_recovery(out.recovery);
   return out;
+}
+
+// Deprecated compatibility overload: cold private workspace, no telemetry.
+StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                                       const EvdOptions& opt, index_t il, index_t iu,
+                                       bool vectors) {
+  Context ctx(engine);
+  return solve_selected(a, ctx, opt, il, iu, vectors);
 }
 
 }  // namespace tcevd::evd

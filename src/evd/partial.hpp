@@ -30,6 +30,12 @@ struct PartialResult {
 /// vectors are recomputed with the full QL solver instead; only when that
 /// also fails does the error propagate. The index range is a contract
 /// (TCEVD_CHECK).
+StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, Context& ctx,
+                                       const EvdOptions& opt, index_t il, index_t iu,
+                                       bool vectors = false);
+
+/// Deprecated: wraps a temporary Context (cold workspace, no telemetry)
+/// around the bare engine.
 StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
                                        const EvdOptions& opt, index_t il, index_t iu,
                                        bool vectors = false);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/blas/blas.hpp"
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/lapack/getrf.hpp"
 
@@ -107,6 +108,20 @@ RefineResult refine_eigenpairs(ConstMatrixView<float> a, const std::vector<float
   convert_matrix<float, double>(v0, vd.view());
   std::vector<double> ld(lambda0.begin(), lambda0.end());
   return refine_eigenpairs(ad.view(), ld, vd.view(), opt);
+}
+
+RefineResult refine_eigenpairs(Context& ctx, ConstMatrixView<double> a,
+                               const std::vector<double>& lambda0, ConstMatrixView<double> v0,
+                               const RefineOptions& opt) {
+  StageTimer stage(ctx.telemetry(), "evd.refine");
+  return refine_eigenpairs(a, lambda0, v0, opt);
+}
+
+RefineResult refine_eigenpairs(Context& ctx, ConstMatrixView<float> a,
+                               const std::vector<float>& lambda0, ConstMatrixView<float> v0,
+                               const RefineOptions& opt) {
+  StageTimer stage(ctx.telemetry(), "evd.refine");
+  return refine_eigenpairs(a, lambda0, v0, opt);
 }
 
 }  // namespace tcevd::evd

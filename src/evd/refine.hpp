@@ -18,6 +18,10 @@
 
 #include "src/common/matrix.hpp"
 
+namespace tcevd {
+class Context;
+}  // namespace tcevd
+
 namespace tcevd::evd {
 
 struct RefineOptions {
@@ -41,5 +45,16 @@ RefineResult refine_eigenpairs(ConstMatrixView<double> a, const std::vector<doub
 /// Convenience overload taking the float pipeline's output directly.
 RefineResult refine_eigenpairs(ConstMatrixView<float> a, const std::vector<float>& lambda0,
                                ConstMatrixView<float> v0, const RefineOptions& opt = {});
+
+/// Context-aware entry points: identical double-precision refinement (the
+/// auxiliary LU/GEMV work stays on the heap — it is fp64 and off the TC hot
+/// path), but elapsed time lands on the context's telemetry under stage
+/// "evd.refine".
+RefineResult refine_eigenpairs(Context& ctx, ConstMatrixView<double> a,
+                               const std::vector<double>& lambda0, ConstMatrixView<double> v0,
+                               const RefineOptions& opt = {});
+RefineResult refine_eigenpairs(Context& ctx, ConstMatrixView<float> a,
+                               const std::vector<float>& lambda0, ConstMatrixView<float> v0,
+                               const RefineOptions& opt = {});
 
 }  // namespace tcevd::evd

@@ -2,8 +2,10 @@
 #include <limits>
 #include <vector>
 
+#include "src/common/context.hpp"
 #include "src/common/fault.hpp"
 #include "src/common/recovery.hpp"
+#include "src/common/workspace.hpp"
 #include "src/lapack/qr.hpp"
 #include "src/sbr/sbr.hpp"
 #include "src/tsqr/reconstruct_wy.hpp"
@@ -23,13 +25,16 @@ bool all_finite(ConstMatrixView<float> m) {
 /// TSQR + signed-LU Householder reconstruction (paper Sec. 5.1/5.2). The
 /// panel is only overwritten on success, so a failure leaves it intact for
 /// the blocked-QR retry.
-Status tsqr_panel(MatrixView<float> panel, MatrixView<float> w, MatrixView<float> y) {
+Status tsqr_panel(Workspace& arena, MatrixView<float> panel, MatrixView<float> w,
+                  MatrixView<float> y) {
   const index_t m = panel.rows();
   const index_t k = panel.cols();
-  Matrix<float> q(m, k), r(k, k);
-  TCEVD_RETURN_IF_ERROR(tsqr::tsqr_factor(panel, q.view(), r.view()));
+  auto scope = arena.scope();
+  auto q = scope.matrix<float>(m, k);
+  auto r = scope.matrix<float>(k, k);
+  TCEVD_RETURN_IF_ERROR(tsqr::tsqr_factor(arena, panel, q, r));
   std::vector<float> signs;
-  TCEVD_RETURN_IF_ERROR(tsqr::reconstruct_wy(q.view(), w, y, signs));
+  TCEVD_RETURN_IF_ERROR(tsqr::reconstruct_wy(arena, ConstMatrixView<float>(q), w, y, signs));
   if (fault::should_fire(fault::Site::PanelNan))
     w(0, 0) = std::numeric_limits<float>::quiet_NaN();
   if (!all_finite(w) || !all_finite(y))
@@ -43,18 +48,20 @@ Status tsqr_panel(MatrixView<float> panel, MatrixView<float> w, MatrixView<float
 /// Blocked Householder QR path (also the fallback for short panels where
 /// TSQR's m >= k precondition fails, and the recovery path when TSQR
 /// reconstruction degrades).
-Status blocked_qr_panel(MatrixView<float> panel, MatrixView<float> w, MatrixView<float> y) {
+Status blocked_qr_panel(Workspace& arena, MatrixView<float> panel, MatrixView<float> w,
+                        MatrixView<float> y) {
   const index_t m = panel.rows();
   const index_t k = panel.cols();
   if (!all_finite(panel))
     return invalid_input_error("panel_factor_wy: non-finite entry in input panel");
-  Matrix<float> work(m, k);
-  copy_matrix<float>(panel, work.view());
+  auto scope = arena.scope();
+  auto work = scope.matrix<float>(m, k);
+  copy_matrix<float>(panel, work);
   std::vector<float> tau;
-  lapack::geqrf(work.view(), tau, std::min<index_t>(k, 32));
+  lapack::geqrf(work, tau, std::min<index_t>(k, 32));
   const index_t nref = static_cast<index_t>(tau.size());
   if (nref == k) {
-    lapack::build_wy<float>(work.view(), tau, w, y);
+    lapack::build_wy<float>(work, tau, w, y);
   } else {
     // m < k: only m reflectors exist; pad W/Y with zero columns (those
     // columns of the panel are already upper trapezoidal).
@@ -62,7 +69,7 @@ Status blocked_qr_panel(MatrixView<float> panel, MatrixView<float> w, MatrixView
     set_zero(y);
     auto ws = w.sub(0, 0, m, nref);
     auto ys = y.sub(0, 0, m, nref);
-    lapack::build_wy<float>(work.view(), tau, ws, ys);
+    lapack::build_wy<float>(work, tau, ws, ys);
   }
   if (!all_finite(w) || !all_finite(y))
     return precision_loss_error("panel_factor_wy: non-finite W/Y from blocked Householder QR");
@@ -71,17 +78,15 @@ Status blocked_qr_panel(MatrixView<float> panel, MatrixView<float> w, MatrixView
   return ok_status();
 }
 
-}  // namespace
-
-Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
-                       MatrixView<float> y) {
+Status panel_factor_impl(Workspace& arena, PanelKind kind, MatrixView<float> panel,
+                         MatrixView<float> w, MatrixView<float> y) {
   const index_t m = panel.rows();
   const index_t k = panel.cols();
   TCEVD_CHECK(w.rows() == m && w.cols() == k && y.rows() == m && y.cols() == k,
               "panel_factor_wy W/Y shape mismatch");
 
   if (kind == PanelKind::Tsqr && m >= k) {
-    Status st = tsqr_panel(panel, w, y);
+    Status st = tsqr_panel(arena, panel, w, y);
     if (st.ok()) return st;
     if (!is_recoverable(st)) return st;
     // Graceful degradation: the TSQR/reconstruction path lost the panel but
@@ -93,7 +98,21 @@ Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float
     set_zero(w);
     set_zero(y);
   }
-  return blocked_qr_panel(panel, w, y);
+  return blocked_qr_panel(arena, panel, w, y);
+}
+
+}  // namespace
+
+Status panel_factor_wy(Context& ctx, PanelKind kind, MatrixView<float> panel,
+                       MatrixView<float> w, MatrixView<float> y) {
+  return panel_factor_impl(ctx.workspace(), kind, panel, w, y);
+}
+
+// Deprecated compatibility overload: private per-call workspace.
+Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
+                       MatrixView<float> y) {
+  Workspace arena;
+  return panel_factor_impl(arena, kind, panel, w, y);
 }
 
 }  // namespace tcevd::sbr

@@ -17,19 +17,27 @@
 //     near-square GEMMs (inner dimension grows to nb) that Tensor Cores run
 //     near peak.
 //
-// All level-3 updates go through the supplied GemmEngine, so the same code
+// All level-3 updates go through the Context's GemmEngine, so the same code
 // runs in fp32, emulated-Tensor-Core, or error-corrected TC numerics, and
-// shape recording on the engine captures exactly the GEMM mix each
-// algorithm generates. Panels are factored in fp32 (TSQR + Householder
-// reconstruction, or blocked Householder QR), as on the real GPU where only
-// the GEMMs ran on Tensor Cores.
+// shape recording on the context's telemetry sink captures exactly the GEMM
+// mix each algorithm generates. Panels are factored in fp32 (TSQR +
+// Householder reconstruction, or blocked Householder QR), as on the real GPU
+// where only the GEMMs ran on Tensor Cores. Every scratch buffer (the OA
+// copy, the P = OA*W cache, panel W/Y, merge buffers) is checked out of the
+// context's workspace arena — size it with workspace_query for an
+// allocation-free steady state.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "src/common/matrix.hpp"
 #include "src/common/status.hpp"
 #include "src/tensorcore/engine.hpp"
+
+namespace tcevd {
+class Context;
+}  // namespace tcevd
 
 namespace tcevd::sbr {
 
@@ -77,38 +85,64 @@ struct SbrResult {
 
 /// Conventional ZY-based SBR (baseline). Panel failures that survive the
 /// internal TSQR -> BlockedQr fallback propagate as a non-ok Status.
-StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
-                           const SbrOptions& opt);
+StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt);
 
 /// WY-based recursive SBR (paper Algorithm 1).
-StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
-                           const SbrOptions& opt);
+StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt);
+
+/// Peak workspace-arena bytes one sbr_wy/sbr_zy call of size n needs
+/// (LAPACK-lwork style, conservative). Reserve it on the context's arena —
+/// `ctx.workspace().reserve(workspace_query(n, opt))` — to make every solve
+/// after the first allocation-free; the drivers also reserve it themselves
+/// on entry.
+std::size_t workspace_query(index_t n, const SbrOptions& opt);
 
 /// Factor `panel` (m x k, m >= 2) into (I - W Y^T) [R; 0]; writes [R; 0]
 /// back into `panel` and fills w, y (m x k). Shared by both SBR variants and
-/// benchmarked on its own for paper Figure 8.
+/// benchmarked on its own for paper Figure 8. QR scratch comes from the
+/// context's workspace arena.
 ///
 /// The TSQR path degrades gracefully: if TSQR or the WY reconstruction
 /// reports a recoverable failure (singular reconstruction LU, injected
 /// fault, non-finite panel output), the routine retries with blocked
 /// Householder QR and notes the event in the ambient recovery scope. A
 /// failure of the blocked path itself (non-finite input) is terminal.
-Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
-                       MatrixView<float> y);
+Status panel_factor_wy(Context& ctx, PanelKind kind, MatrixView<float> panel,
+                       MatrixView<float> w, MatrixView<float> y);
 
 /// Merge the per-block reflectors into one (W, Y) pair with n rows so that
 /// Q = I - W Y^T equals the product of all blocks, using the recursive
 /// pairwise scheme of paper Algorithm 2 ("FormW"). GEMMs go through the
-/// engine. Used for the eigenvector back-transformation.
-void form_wy_product(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine,
+/// context's engine; the merge runs in place on the output buffers (only
+/// the small cross products are arena scratch). Used for the eigenvector
+/// back-transformation.
+void form_wy_product(const std::vector<WyBlock>& blocks, index_t n, Context& ctx,
                      Matrix<float>& w_out, Matrix<float>& y_out);
 
 /// Explicit Q = I - W Y^T from the merged representation.
-Matrix<float> form_q(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine);
+Matrix<float> form_q(const std::vector<WyBlock>& blocks, index_t n, Context& ctx);
 
 /// Apply Q = prod_k (I - W_k Y_k^T) to X from the left (X <- Q X) without
 /// ever forming Q — the memory-lean way to back-transform a block of
 /// eigenvectors (n x nev GEMMs instead of an n x n Q).
+void apply_wy_blocks_left(const std::vector<WyBlock>& blocks, Context& ctx,
+                          MatrixView<float> x);
+
+// ---------------------------------------------------------------------------
+// Deprecated compatibility overloads: each wraps a temporary Context around
+// the bare engine (cold workspace, no telemetry), so legacy callers keep
+// working while they migrate. New code should construct a Context.
+// ---------------------------------------------------------------------------
+
+StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                           const SbrOptions& opt);
+StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                           const SbrOptions& opt);
+Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
+                       MatrixView<float> y);
+void form_wy_product(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine,
+                     Matrix<float>& w_out, Matrix<float>& y_out);
+Matrix<float> form_q(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine);
 void apply_wy_blocks_left(const std::vector<WyBlock>& blocks, tc::GemmEngine& engine,
                           MatrixView<float> x);
 

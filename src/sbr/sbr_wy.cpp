@@ -17,7 +17,13 @@
 // this is the deliberate arithmetic overhead of Table 2 that buys GEMM
 // shapes with inner dimension up to nb. Appending a panel's reflectors uses
 // the WY update rule W <- [W | w - W (Y^T w)].
+//
+// All scratch (OA, W, Y, the P = OA*W cache, per-panel buffers) is checked
+// out of the context's workspace arena: the outer scope lives for one big
+// block, a nested scope per panel iteration. A steady-state caller therefore
+// performs zero heap allocations here once the arena is warm.
 #include "src/blas/blas.hpp"
+#include "src/common/context.hpp"
 #include "src/sbr/sbr.hpp"
 
 namespace tcevd::sbr {
@@ -26,12 +32,12 @@ namespace {
 
 using blas::Trans;
 
-struct WyContext {
+struct WyParams {
   MatrixView<float> A;  // full n x n storage
   index_t n = 0;
   index_t b = 0;
   index_t nb = 0;
-  tc::GemmEngine* engine = nullptr;
+  Context* ctx = nullptr;
   PanelKind panel_kind = PanelKind::Tsqr;
   std::vector<WyBlock>* blocks = nullptr;
   bool cache_oa = false;  // maintain P = OA*W incrementally instead of
@@ -40,30 +46,35 @@ struct WyContext {
 
 /// Process the big block starting at global offset s; returns the number of
 /// columns reduced (0 when the active matrix is already banded).
-StatusOr<index_t> process_block(WyContext& ctx, index_t s) {
-  const index_t na = ctx.n - s;  // active size
-  const index_t b = ctx.b;
+StatusOr<index_t> process_block(WyParams& prm, index_t s) {
+  const index_t na = prm.n - s;  // active size
+  const index_t b = prm.b;
   if (na - b < 2) return index_t{0};
 
-  auto& eng = *ctx.engine;
-  auto A = ctx.A;
+  Context& ctx = *prm.ctx;
+  Workspace& ws = ctx.workspace();
+  auto A = prm.A;
+
+  auto block_scope = ws.scope();
 
   // OA: copy of the active trailing matrix (rows/cols [s+b, n)).
   const index_t mt = na - b;  // reflector row support
-  Matrix<float> oa(mt, mt);
-  copy_matrix<float>(A.sub(s + b, s + b, mt, mt), oa.view());
+  auto oa = block_scope.matrix<float>(mt, mt);
+  copy_matrix<float>(A.sub(s + b, s + b, mt, mt), oa);
 
-  const index_t max_cols = std::min(ctx.nb, na);
-  Matrix<float> W(mt, max_cols);
-  Matrix<float> Y(mt, max_cols);
-  Matrix<float> P;  // cached OA*W, extended per panel (cache_oa mode only)
-  if (ctx.cache_oa) P = Matrix<float>(mt, max_cols);
+  const index_t max_cols = std::min(prm.nb, na);
+  auto W = block_scope.matrix<float>(mt, max_cols);
+  auto Y = block_scope.matrix<float>(mt, max_cols);
+  MatrixView<float> P;  // cached OA*W, extended per panel (cache_oa mode only)
+  if (prm.cache_oa) P = block_scope.matrix<float>(mt, max_cols);
 
   index_t cols_done = 0;
   for (index_t p = 0;; ++p) {
     const index_t c = p * b;                 // active column offset of this panel
-    if (c >= ctx.nb || na - c - b < 2) break;
+    if (c >= prm.nb || na - c - b < 2) break;
     const index_t m = na - c - b;            // panel rows
+
+    auto panel_scope = ws.scope();
 
     if (p > 0) {
       // Materialize the current values of columns C = [c, c+b), rows
@@ -73,42 +84,42 @@ StatusOr<index_t> process_block(WyContext& ctx, index_t s) {
 
       // P = OA * W: either the literal Algorithm-1 recompute with the full
       // accumulated W (the big near-square GEMM) or the maintained cache.
-      Matrix<float> big;
       ConstMatrixView<float> big_v;
-      if (ctx.cache_oa) {
+      if (prm.cache_oa) {
         big_v = P.sub(0, 0, mt, pb);
       } else {
-        big = Matrix<float>(mt, pb);
-        eng.gemm(Trans::No, Trans::No, 1.0f, oa.view(), Wv, 0.0f, big.view());
-        big_v = big.view();
+        auto big = panel_scope.matrix<float>(mt, pb);
+        ctx.gemm(Trans::No, Trans::No, 1.0f, oa, Wv, 0.0f, big);
+        big_v = big;
       }
 
       // M = OA(:, C') - P * Y(C', :)^T with C' = [c-b, c) in OA coordinates.
-      Matrix<float> mcol(mt, b);
-      copy_matrix<float>(oa.sub(0, c - b, mt, b), mcol.view());
-      eng.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
-               ConstMatrixView<float>(Y.sub(c - b, 0, b, pb)), 1.0f, mcol.view());
+      auto mcol = panel_scope.matrix<float>(mt, b);
+      copy_matrix<float>(oa.sub(0, c - b, mt, b), mcol);
+      ctx.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
+               ConstMatrixView<float>(Y.sub(c - b, 0, b, pb)), 1.0f, mcol);
 
       // GA = M(R', :) - Y(R', :) (W^T M) with R' = [c-b, mt) in OA coords
       // (global rows [s+c, n)), which includes the b x b diagonal block.
-      Matrix<float> wtm(pb, b);
-      eng.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol.view(), 0.0f, wtm.view());
+      auto wtm = panel_scope.matrix<float>(pb, b);
+      ctx.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol, 0.0f, wtm);
       const index_t rrows = mt - (c - b);
-      Matrix<float> ga(rrows, b);
-      copy_matrix<float>(mcol.sub(c - b, 0, rrows, b), ga.view());
-      eng.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(Y.sub(c - b, 0, rrows, pb)),
-               wtm.view(), 1.0f, ga.view());
+      auto ga = panel_scope.matrix<float>(rrows, b);
+      copy_matrix<float>(mcol.sub(c - b, 0, rrows, b), ga);
+      ctx.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(Y.sub(c - b, 0, rrows, pb)),
+               wtm, 1.0f, ga);
 
       // Write back: global rows [s+c, n) x cols [s+c, s+c+b), plus mirror.
-      copy_matrix<float>(ConstMatrixView<float>(ga.view()), A.sub(s + c, s + c, rrows, b));
+      copy_matrix<float>(ConstMatrixView<float>(ga), A.sub(s + c, s + c, rrows, b));
       for (index_t j = 0; j < b; ++j)
         for (index_t r = 0; r < rrows; ++r) A(s + c + j, s + c + r) = A(s + c + r, s + c + j);
     }
 
     // Panel QR: global rows [s+c+b, n) x cols [s+c, s+c+b).
     auto panel = A.sub(s + c + b, s + c, m, b);
-    Matrix<float> w(m, b), y(m, b);
-    TCEVD_RETURN_IF_ERROR(panel_factor_wy(ctx.panel_kind, panel, w.view(), y.view()));
+    auto w = panel_scope.matrix<float>(m, b);
+    auto y = panel_scope.matrix<float>(m, b);
+    TCEVD_RETURN_IF_ERROR(panel_factor_wy(ctx, prm.panel_kind, panel, w, y));
     for (index_t j = 0; j < b; ++j)  // mirror the finalized band columns
       for (index_t r = 0; r < m; ++r) A(s + c + j, s + c + b + r) = A(s + c + b + r, s + c + j);
 
@@ -116,22 +127,22 @@ StatusOr<index_t> process_block(WyContext& ctx, index_t s) {
     // buffer rows [c, mt) (active rows [c+b, na)).
     auto ycol = Y.sub(0, c, mt, b);
     set_zero(ycol);
-    copy_matrix<float>(ConstMatrixView<float>(y.view()), Y.sub(c, c, m, b));
+    copy_matrix<float>(ConstMatrixView<float>(y), Y.sub(c, c, m, b));
 
     auto wcol = W.sub(0, c, mt, b);
     set_zero(wcol);
-    copy_matrix<float>(ConstMatrixView<float>(w.view()), W.sub(c, c, m, b));
+    copy_matrix<float>(ConstMatrixView<float>(w), W.sub(c, c, m, b));
     if (c > 0) {
       // w' = w - W (Y^T w).
-      Matrix<float> ytw(c, b);
-      eng.gemm(Trans::Yes, Trans::No, 1.0f, ConstMatrixView<float>(Y.sub(c, 0, m, c)),
-               ConstMatrixView<float>(w.view()), 0.0f, ytw.view());
-      eng.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(W.sub(0, 0, mt, c)),
-               ytw.view(), 1.0f, wcol);
+      auto ytw = panel_scope.matrix<float>(c, b);
+      ctx.gemm(Trans::Yes, Trans::No, 1.0f, ConstMatrixView<float>(Y.sub(c, 0, m, c)),
+               ConstMatrixView<float>(w), 0.0f, ytw);
+      ctx.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(W.sub(0, 0, mt, c)),
+               ytw, 1.0f, wcol);
     }
-    if (ctx.cache_oa) {
+    if (prm.cache_oa) {
       // Extend the cache: P(:, c:c+b) = OA * w'.
-      eng.gemm(Trans::No, Trans::No, 1.0f, oa.view(), ConstMatrixView<float>(wcol), 0.0f,
+      ctx.gemm(Trans::No, Trans::No, 1.0f, oa, ConstMatrixView<float>(wcol), 0.0f,
                P.sub(0, c, mt, b));
     }
 
@@ -144,42 +155,42 @@ StatusOr<index_t> process_block(WyContext& ctx, index_t s) {
   const index_t t0 = cols_done - b;  // OA-coordinate offset
   const index_t tw = mt - t0;        // trailing width
   if (tw > 0) {
+    auto trail_scope = ws.scope();
     auto Wv = W.sub(0, 0, mt, cols_done);
 
-    Matrix<float> big;
     ConstMatrixView<float> big_v;
-    if (ctx.cache_oa) {
+    if (prm.cache_oa) {
       big_v = P.sub(0, 0, mt, cols_done);
     } else {
-      big = Matrix<float>(mt, cols_done);
-      eng.gemm(Trans::No, Trans::No, 1.0f, oa.view(), Wv, 0.0f, big.view());
-      big_v = big.view();
+      auto big = trail_scope.matrix<float>(mt, cols_done);
+      ctx.gemm(Trans::No, Trans::No, 1.0f, oa, Wv, 0.0f, big);
+      big_v = big;
     }
 
-    Matrix<float> mcol(mt, tw);
-    copy_matrix<float>(oa.sub(0, t0, mt, tw), mcol.view());
-    eng.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
-             ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)), 1.0f, mcol.view());
+    auto mcol = trail_scope.matrix<float>(mt, tw);
+    copy_matrix<float>(oa.sub(0, t0, mt, tw), mcol);
+    ctx.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
+             ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)), 1.0f, mcol);
 
-    Matrix<float> wtm(cols_done, tw);
-    eng.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol.view(), 0.0f, wtm.view());
-    Matrix<float> ga(tw, tw);
-    copy_matrix<float>(mcol.sub(t0, 0, tw, tw), ga.view());
-    eng.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)),
-             wtm.view(), 1.0f, ga.view());
+    auto wtm = trail_scope.matrix<float>(cols_done, tw);
+    ctx.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol, 0.0f, wtm);
+    auto ga = trail_scope.matrix<float>(tw, tw);
+    copy_matrix<float>(mcol.sub(t0, 0, tw, tw), ga);
+    ctx.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)),
+             wtm, 1.0f, ga);
 
-    copy_matrix<float>(ConstMatrixView<float>(ga.view()),
+    copy_matrix<float>(ConstMatrixView<float>(ga),
                        A.sub(s + cols_done, s + cols_done, tw, tw));
   }
 
-  if (ctx.blocks) {
+  if (prm.blocks) {
     WyBlock blk;
     blk.w = Matrix<float>(mt, cols_done);
     blk.y = Matrix<float>(mt, cols_done);
     copy_matrix<float>(ConstMatrixView<float>(W.sub(0, 0, mt, cols_done)), blk.w.view());
     copy_matrix<float>(ConstMatrixView<float>(Y.sub(0, 0, mt, cols_done)), blk.y.view());
     blk.row_offset = s + b;
-    ctx.blocks->push_back(std::move(blk));
+    prm.blocks->push_back(std::move(blk));
   }
 
   return cols_done;
@@ -187,8 +198,7 @@ StatusOr<index_t> process_block(WyContext& ctx, index_t s) {
 
 }  // namespace
 
-StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
-                           const SbrOptions& opt) {
+StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "sbr_wy requires a square symmetric matrix");
   const index_t b = opt.bandwidth;
@@ -196,32 +206,70 @@ StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
   const index_t nb = std::max(opt.big_block, b);
   TCEVD_CHECK(nb % b == 0, "sbr_wy big_block must be a multiple of bandwidth");
 
+  ctx.workspace().reserve(workspace_query(n, opt));
+  StageTimer stage(ctx.telemetry(), "sbr.wy");
+
   SbrResult result;
   result.band = Matrix<float>(n, n);
   copy_matrix(a, result.band.view());
 
-  WyContext ctx;
-  ctx.A = result.band.view();
-  ctx.n = n;
-  ctx.b = b;
-  ctx.nb = nb;
-  ctx.engine = &engine;
-  ctx.panel_kind = opt.panel;
-  ctx.blocks = &result.blocks;
-  ctx.cache_oa = opt.wy_cache_oa_product;
+  WyParams prm;
+  prm.A = result.band.view();
+  prm.n = n;
+  prm.b = b;
+  prm.nb = nb;
+  prm.ctx = &ctx;
+  prm.panel_kind = opt.panel;
+  prm.blocks = &result.blocks;
+  prm.cache_oa = opt.wy_cache_oa_product;
 
   index_t s = 0;
   for (;;) {
-    StatusOr<index_t> done = process_block(ctx, s);
+    StatusOr<index_t> done = process_block(prm, s);
     if (!done.ok()) return done.status();
     if (*done == 0) break;
     s += *done;
   }
 
   if (opt.accumulate_q) {
-    result.q = form_q(result.blocks, n, engine);
+    result.q = form_q(result.blocks, n, ctx);
   }
   return result;
+}
+
+std::size_t workspace_query(index_t n, const SbrOptions& opt) {
+  if (n <= 1) return 0;
+  const index_t b = std::min<index_t>(std::max<index_t>(opt.bandwidth, 1), n - 1);
+  index_t nb = std::max(opt.big_block, b);
+  nb -= nb % b;
+  const index_t mt = std::max<index_t>(n - b, 1);
+
+  // Per big block (worst case: the first, where mt is largest). Counted in
+  // floats; see process_block for the buffers these bound.
+  double f = 0.0;
+  f += double(mt) * mt;            // OA copy
+  f += 3.0 * double(mt) * nb;      // W, Y, and the P = OA*W cache
+  f += double(mt) * nb;            // literal-recompute OA*W ("big")
+  f += 2.0 * double(mt) * mt;      // trailing M and GA
+  f += double(nb) * mt;            // W^T M
+  // Panel factorization: w/y, TSQR q/r + tree scratch (one work copy per
+  // level plus six (2b x b)-ish combine buffers over ~log2 levels), the
+  // reconstruction LU copy, and the blocked-QR fallback work buffer.
+  f += 6.0 * double(mt) * b;
+  f += 8.0 * double(b) * b * 64.0;
+  // ZY-variant scratch (P, S, Z, back-transform T) is strictly smaller and
+  // also covered by the panel + trailing terms above.
+
+  // Alignment slop: every checkout rounds up to Workspace::kAlignment.
+  constexpr std::size_t kAllocSlop = 512 * Workspace::kAlignment;
+  return static_cast<std::size_t>(f) * sizeof(float) + kAllocSlop;
+}
+
+// Deprecated compatibility overload: cold private workspace, no telemetry.
+StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                           const SbrOptions& opt) {
+  Context ctx(engine);
+  return sbr_wy(a, ctx, opt);
 }
 
 }  // namespace tcevd::sbr

@@ -11,17 +11,21 @@
 // engine GEMMs, which is how a Tensor Core must execute it ("TC does not
 // support syr2k natively").
 #include "src/blas/blas.hpp"
+#include "src/common/context.hpp"
 #include "src/sbr/sbr.hpp"
 #include "src/tensorcore/tc_syr2k.hpp"
 
 namespace tcevd::sbr {
 
-StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
-                           const SbrOptions& opt) {
+StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "sbr_zy requires a square symmetric matrix");
   const index_t b = opt.bandwidth;
   TCEVD_CHECK(b >= 1 && b < n, "sbr_zy bandwidth out of range");
+
+  ctx.workspace().reserve(workspace_query(n, opt));
+  StageTimer stage(ctx.telemetry(), "sbr.zy");
+  Workspace& ws = ctx.workspace();
 
   SbrResult result;
   result.band = Matrix<float>(n, n);
@@ -39,8 +43,10 @@ StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
     const index_t m = n - i - b;  // panel rows
     auto panel = A.sub(i + b, i, m, b);
 
-    Matrix<float> w(m, b), y(m, b);
-    TCEVD_RETURN_IF_ERROR(panel_factor_wy(opt.panel, panel, w.view(), y.view()));
+    auto scope = ws.scope();
+    auto w = scope.matrix<float>(m, b);
+    auto y = scope.matrix<float>(m, b);
+    TCEVD_RETURN_IF_ERROR(panel_factor_wy(ctx, opt.panel, panel, w, y));
 
     // Mirror the finalized band columns into the upper triangle.
     for (index_t j = 0; j < b; ++j)
@@ -49,45 +55,52 @@ StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
     auto a22 = A.sub(i + b, i + b, m, m);
 
     // Z = A22 W - 1/2 Y (W^T (A22 W)).
-    Matrix<float> p(m, b);
+    auto p = scope.matrix<float>(m, b);
     if (opt.zy_use_syr2k) {
       // MAGMA-style CPU path: exploit symmetry with ssymm (half the reads).
       blas::symm(blas::Side::Left, blas::Uplo::Lower, 1.0f, ConstMatrixView<float>(a22),
-                 ConstMatrixView<float>(w.view()), 0.0f, p.view());
+                 ConstMatrixView<float>(w), 0.0f, p);
     } else {
-      engine.gemm(Trans::No, Trans::No, 1.0f, a22, w.view(), 0.0f, p.view());  // square x skinny
+      ctx.gemm(Trans::No, Trans::No, 1.0f, a22, w, 0.0f, p);  // square x skinny
     }
-    Matrix<float> s(b, b);
-    engine.gemm(Trans::Yes, Trans::No, 1.0f, w.view(), p.view(), 0.0f, s.view());
-    Matrix<float> z(m, b);
-    copy_matrix<float>(p.view(), z.view());
-    engine.gemm(Trans::No, Trans::No, -0.5f, y.view(), s.view(), 1.0f, z.view());
+    auto s = scope.matrix<float>(b, b);
+    ctx.gemm(Trans::Yes, Trans::No, 1.0f, w, p, 0.0f, s);
+    auto z = scope.matrix<float>(m, b);
+    copy_matrix<float>(ConstMatrixView<float>(p), z);
+    ctx.gemm(Trans::No, Trans::No, -0.5f, y, s, 1.0f, z);
 
     // A22 <- A22 - Y Z^T - Z Y^T.
     if (opt.zy_use_syr2k) {
-      blas::syr2k(blas::Uplo::Lower, Trans::No, -1.0f, y.view(), z.view(), 1.0f, a22);
+      blas::syr2k(blas::Uplo::Lower, Trans::No, -1.0f, y, z, 1.0f, a22);
       symmetrize_from_lower<float>(a22);
-    } else if (opt.zy_use_tc_syr2k && dynamic_cast<tc::TcEngine*>(&engine) != nullptr) {
+    } else if (opt.zy_use_tc_syr2k && dynamic_cast<tc::TcEngine*>(&ctx.engine()) != nullptr) {
       // Tensor-Core-native rank-2k (paper future work): half the tile work
       // of the two-GEMM form, same fp16-operand/fp32-accumulate numerics.
-      const auto prec = static_cast<tc::TcEngine&>(engine).precision();
-      tc::tc_syr2k(blas::Uplo::Lower, -1.0f, y.view(), z.view(), 1.0f, a22, prec);
+      const auto prec = static_cast<tc::TcEngine&>(ctx.engine()).precision();
+      tc::tc_syr2k(blas::Uplo::Lower, -1.0f, y, z, 1.0f, a22, prec);
       symmetrize_from_lower<float>(a22);
     } else {
-      engine.gemm(Trans::No, Trans::Yes, -1.0f, y.view(), z.view(), 1.0f, a22);  // outer
-      engine.gemm(Trans::No, Trans::Yes, -1.0f, z.view(), y.view(), 1.0f, a22);  // outer
+      ctx.gemm(Trans::No, Trans::Yes, -1.0f, y, z, 1.0f, a22);  // outer
+      ctx.gemm(Trans::No, Trans::Yes, -1.0f, z, y, 1.0f, a22);  // outer
     }
 
     if (opt.accumulate_q) {
       // Q(:, i+b:n) <- Q(:, i+b:n) (I - W Y^T)   (progressive back-transform)
       auto qr = result.q.sub(0, i + b, n, m);
-      Matrix<float> t(n, b);
-      engine.gemm(Trans::No, Trans::No, 1.0f, qr, w.view(), 0.0f, t.view());
-      engine.gemm(Trans::No, Trans::Yes, -1.0f, t.view(), y.view(), 1.0f, qr);
+      auto t = scope.matrix<float>(n, b);
+      ctx.gemm(Trans::No, Trans::No, 1.0f, qr, w, 0.0f, t);
+      ctx.gemm(Trans::No, Trans::Yes, -1.0f, t, y, 1.0f, qr);
     }
   }
 
   return result;
+}
+
+// Deprecated compatibility overload: cold private workspace, no telemetry.
+StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                           const SbrOptions& opt) {
+  Context ctx(engine);
+  return sbr_zy(a, ctx, opt);
 }
 
 }  // namespace tcevd::sbr

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/blas/blas.hpp"
+#include "src/common/context.hpp"
 #include "src/common/rng.hpp"
 #include "src/lapack/bidiag.hpp"
 
@@ -12,24 +13,25 @@ namespace tcevd::svd {
 
 using blas::Trans;
 
-SvdResult svd_via_evd(ConstMatrixView<float> a, tc::GemmEngine& engine,
-                      const SvdOptions& opt) {
+SvdResult svd_via_evd(ConstMatrixView<float> a, Context& ctx, const SvdOptions& opt) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   TCEVD_CHECK(m >= n, "svd_via_evd requires m >= n (transpose the input)");
 
+  StageTimer stage(ctx.telemetry(), "svd.via_evd");
   SvdResult out;
 
   // Gram matrix G = A^T A under the engine's numerics.
-  Matrix<float> g(n, n);
-  engine.gemm(Trans::Yes, Trans::No, 1.0f, a, a, 0.0f, g.view());
-  make_symmetric(g.view());
+  auto scope = ctx.workspace().scope();
+  auto g = scope.matrix<float>(n, n);
+  ctx.gemm(Trans::Yes, Trans::No, 1.0f, a, a, 0.0f, g);
+  make_symmetric(g);
 
   // Symmetric eigensolve (ascending eigenvalues).
   evd::EvdOptions eopt = opt.evd;
   eopt.vectors = opt.vectors;
   eopt.bandwidth = std::min<index_t>(eopt.bandwidth, std::max<index_t>(n - 1, 1));
-  StatusOr<evd::EvdResult> eres_or = evd::solve(g.view(), engine, eopt);
+  StatusOr<evd::EvdResult> eres_or = evd::solve(ConstMatrixView<float>(g), ctx, eopt);
   out.converged = eres_or.ok();
   if (!out.converged) return out;
   const evd::EvdResult& eres = *eres_or;
@@ -55,8 +57,8 @@ SvdResult svd_via_evd(ConstMatrixView<float> a, tc::GemmEngine& engine,
             (out.sigma.empty() ? 0.0f : out.sigma.front());
 
   out.u = Matrix<float>(m, n);
-  engine.gemm(Trans::No, Trans::No, 1.0f, a, ConstMatrixView<float>(out.v.view()), 0.0f,
-              out.u.view());
+  ctx.gemm(Trans::No, Trans::No, 1.0f, a, ConstMatrixView<float>(out.v.view()), 0.0f,
+           out.u.view());
   std::vector<index_t> deficient;
   for (index_t j = 0; j < n; ++j) {
     const float s = out.sigma[static_cast<std::size_t>(j)];
@@ -94,6 +96,13 @@ SvdResult svd_via_evd(ConstMatrixView<float> a, tc::GemmEngine& engine,
     }
   }
   return out;
+}
+
+// Deprecated compatibility overload: cold private workspace, no telemetry.
+SvdResult svd_via_evd(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                      const SvdOptions& opt) {
+  Context ctx(engine);
+  return svd_via_evd(a, ctx, opt);
 }
 
 template <typename T>

@@ -36,7 +36,12 @@ struct SvdOptions {
 };
 
 /// SVD of a (m >= n required; transpose the input otherwise). All heavy
-/// matrix products run through `engine`.
+/// matrix products run through the context's engine; the Gram matrix comes
+/// from its workspace arena.
+SvdResult svd_via_evd(ConstMatrixView<float> a, Context& ctx, const SvdOptions& opt = {});
+
+/// Deprecated: wraps a temporary Context (cold workspace, no telemetry)
+/// around the bare engine.
 SvdResult svd_via_evd(ConstMatrixView<float> a, tc::GemmEngine& engine,
                       const SvdOptions& opt = {});
 

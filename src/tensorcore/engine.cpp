@@ -4,20 +4,13 @@
 
 namespace tcevd::tc {
 
-void GemmEngine::gemm(blas::Trans transa, blas::Trans transb, float alpha,
-                      ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
-                      MatrixView<float> c) {
-  if (recording_) {
-    const index_t k = (transa == blas::Trans::No) ? a.cols() : a.rows();
-    shapes_.push_back(GemmShape{c.rows(), c.cols(), k});
+const char* engine_kind_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::Fp32: return "fp32";
+    case EngineKind::Tc: return "tc";
+    case EngineKind::EcTc: return "ectc";
   }
-  do_gemm(transa, transb, alpha, a, b, beta, c);
-}
-
-double GemmEngine::recorded_flops() const noexcept {
-  double total = 0.0;
-  for (const auto& s : shapes_) total += s.flops();
-  return total;
+  return "?";
 }
 
 void Fp32Engine::do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
@@ -40,7 +33,7 @@ void EcTcEngine::do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
   // ec_tcgemm reports saturation before touching C, so the identical update
   // (beta accumulation included) can be replayed at full fp32 precision —
   // the per-block CUDA-core fallback a real GPU implementation would take.
-  ++fp32_fallbacks_;
+  fp32_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   recovery::note("ec_tcgemm", st.to_string() + "; re-ran block with fp32 GEMM");
   blas::gemm(transa, transb, alpha, a, b, beta, c);
 }

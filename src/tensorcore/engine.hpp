@@ -7,14 +7,16 @@
 //   * TcEngine    — emulated Tensor Core GEMM, fp16 or TF32 operands
 //   * EcTcEngine  — error-corrected Tensor Core GEMM (Fig. 10 blue line)
 //
-// Every call is also recorded (shape + engine) when recording is enabled, so
-// tests can verify that the WY algorithm really generates squarer GEMMs than
-// the ZY algorithm — the paper's central claim — and benches can feed the
-// recorded shapes into the A100 performance model.
+// Engines are stateless apart from diagnostics and are shareable across
+// threads/Contexts: do_gemm touches only its arguments, and the only mutable
+// member (EcTcEngine's fallback counter) is atomic. Per-call instrumentation
+// — GEMM shape recording, stage timers — lives on tcevd::Context's telemetry
+// sink (src/common/context.hpp), not here, so two concurrent solves sharing
+// one engine never race on recording state.
 #pragma once
 
+#include <atomic>
 #include <string>
-#include <vector>
 
 #include "src/blas/blas.hpp"
 #include "src/common/matrix.hpp"
@@ -23,13 +25,36 @@
 
 namespace tcevd::tc {
 
+/// Numerics family of an engine — recorded with every GEMM shape so flop
+/// aggregation can account for engines that issue several Tensor Core
+/// products per logical GEMM.
+enum class EngineKind {
+  Fp32,  ///< one fp32 SGEMM per call
+  Tc,    ///< one Tensor Core GEMM per call
+  EcTc,  ///< error-corrected: three TC GEMMs per call (head*head + cross terms)
+};
+
+/// Hardware products issued per logical GEMM under each engine kind.
+constexpr double engine_cost_factor(EngineKind kind) noexcept {
+  return kind == EngineKind::EcTc ? 3.0 : 1.0;
+}
+
+const char* engine_kind_name(EngineKind kind) noexcept;
+
 /// One recorded GEMM: C(m x n) += op(A) * op(B) with inner dimension k.
 struct GemmShape {
   index_t m = 0;
   index_t n = 0;
   index_t k = 0;
+  /// Engine that executed the call (default Fp32 — cost factor 1 — so shape
+  /// traces built from bare {m, n, k} aggregates keep their meaning).
+  EngineKind engine = EngineKind::Fp32;
 
-  double flops() const noexcept { return 2.0 * double(m) * double(n) * double(k); }
+  /// Useful arithmetic of the logical GEMM, independent of engine.
+  double logical_flops() const noexcept { return 2.0 * double(m) * double(n) * double(k); }
+  /// Flops actually issued to the hardware: EC-TC runs three TC products per
+  /// logical GEMM, so its shapes cost 3x (paper Sec. 6.3 accounting).
+  double flops() const noexcept { return logical_flops() * engine_cost_factor(engine); }
   /// Smallest dimension — the "skinniness" measure from paper Table 1.
   index_t min_dim() const noexcept { return std::min(m, std::min(n, k)); }
 };
@@ -41,30 +66,28 @@ class GemmEngine {
   /// Human-readable engine name ("fp32", "tc-fp16", ...).
   virtual const std::string& name() const noexcept = 0;
 
-  /// C = alpha * op(A) * op(B) + beta * C under this engine's numerics.
-  void gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
-            ConstMatrixView<float> b, float beta, MatrixView<float> c);
+  /// Numerics family (drives the recorded-shape cost factor).
+  virtual EngineKind kind() const noexcept = 0;
 
-  /// Shape recording (off by default).
-  void set_recording(bool on) noexcept { recording_ = on; }
-  const std::vector<GemmShape>& recorded() const noexcept { return shapes_; }
-  void clear_recorded() noexcept { shapes_.clear(); }
-  double recorded_flops() const noexcept;
+  /// C = alpha * op(A) * op(B) + beta * C under this engine's numerics.
+  /// Prefer Context::gemm, which also records the shape into the context's
+  /// telemetry sink; calling the engine directly performs no recording.
+  void gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
+            ConstMatrixView<float> b, float beta, MatrixView<float> c) {
+    do_gemm(transa, transb, alpha, a, b, beta, c);
+  }
 
  protected:
   virtual void do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
                        ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
                        MatrixView<float> c) = 0;
-
- private:
-  bool recording_ = false;
-  std::vector<GemmShape> shapes_;
 };
 
 /// Plain fp32 GEMM (cuBLAS-SGEMM stand-in).
 class Fp32Engine final : public GemmEngine {
  public:
   const std::string& name() const noexcept override { return name_; }
+  EngineKind kind() const noexcept override { return EngineKind::Fp32; }
 
  protected:
   void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
@@ -81,6 +104,7 @@ class TcEngine final : public GemmEngine {
       : prec_(prec), name_(prec == TcPrecision::Fp16 ? "tc-fp16" : "tc-tf32") {}
 
   const std::string& name() const noexcept override { return name_; }
+  EngineKind kind() const noexcept override { return EngineKind::Tc; }
   TcPrecision precision() const noexcept { return prec_; }
 
  protected:
@@ -102,9 +126,11 @@ class EcTcEngine final : public GemmEngine {
       : prec_(prec), name_(prec == TcPrecision::Fp16 ? "ectc-fp16" : "ectc-tf32") {}
 
   const std::string& name() const noexcept override { return name_; }
+  EngineKind kind() const noexcept override { return EngineKind::EcTc; }
 
-  /// Number of GEMM calls that fell back to fp32 since construction.
-  long fp32_fallbacks() const noexcept { return fp32_fallbacks_; }
+  /// Number of GEMM calls that fell back to fp32 since construction. Atomic:
+  /// the engine may be shared by concurrent Contexts.
+  long fp32_fallbacks() const noexcept { return fp32_fallbacks_.load(std::memory_order_relaxed); }
 
  protected:
   void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
@@ -113,7 +139,7 @@ class EcTcEngine final : public GemmEngine {
  private:
   TcPrecision prec_;
   std::string name_;
-  long fp32_fallbacks_ = 0;
+  std::atomic<long> fp32_fallbacks_{0};
 };
 
 }  // namespace tcevd::tc

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "src/blas/blas.hpp"
+#include "src/common/context.hpp"
 #include "src/common/fault.hpp"
+#include "src/common/workspace.hpp"
 #include "src/lapack/lu.hpp"
 
 namespace tcevd::tsqr {
@@ -11,7 +13,7 @@ namespace tcevd::tsqr {
 namespace {
 
 template <typename T>
-Status reconstruct_impl(ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
+Status reconstruct_impl(Workspace& ws, ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
                         std::vector<T>& signs) {
   const index_t m = q.rows();
   const index_t n = q.cols();
@@ -27,7 +29,8 @@ Status reconstruct_impl(ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
   // down. A static sign choice from the original diagonal of Q does not work:
   // the updated diagonal can flip sign during elimination.
   signs.assign(static_cast<std::size_t>(n), T{1});
-  Matrix<T> a(m, n);
+  auto scope = ws.scope();
+  auto a = scope.matrix<T>(m, n);
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < m; ++i) a(i, j) = -q(i, j);
 
@@ -72,14 +75,36 @@ Status reconstruct_impl(ConstMatrixView<T> q, MatrixView<T> w, MatrixView<T> y,
 
 }  // namespace
 
+Status reconstruct_wy(Context& ctx, ConstMatrixView<float> q, MatrixView<float> w,
+                      MatrixView<float> y, std::vector<float>& signs) {
+  return reconstruct_impl(ctx.workspace(), q, w, y, signs);
+}
+
+Status reconstruct_wy(Context& ctx, ConstMatrixView<double> q, MatrixView<double> w,
+                      MatrixView<double> y, std::vector<double>& signs) {
+  return reconstruct_impl(ctx.workspace(), q, w, y, signs);
+}
+
+Status reconstruct_wy(Workspace& ws, ConstMatrixView<float> q, MatrixView<float> w,
+                      MatrixView<float> y, std::vector<float>& signs) {
+  return reconstruct_impl(ws, q, w, y, signs);
+}
+
+Status reconstruct_wy(Workspace& ws, ConstMatrixView<double> q, MatrixView<double> w,
+                      MatrixView<double> y, std::vector<double>& signs) {
+  return reconstruct_impl(ws, q, w, y, signs);
+}
+
 Status reconstruct_wy(ConstMatrixView<float> q, MatrixView<float> w, MatrixView<float> y,
                       std::vector<float>& signs) {
-  return reconstruct_impl(q, w, y, signs);
+  Workspace ws;
+  return reconstruct_impl(ws, q, w, y, signs);
 }
 
 Status reconstruct_wy(ConstMatrixView<double> q, MatrixView<double> w, MatrixView<double> y,
                       std::vector<double>& signs) {
-  return reconstruct_impl(q, w, y, signs);
+  Workspace ws;
+  return reconstruct_impl(ws, q, w, y, signs);
 }
 
 }  // namespace tcevd::tsqr

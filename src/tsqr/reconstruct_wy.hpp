@@ -22,6 +22,11 @@
 #include "src/common/matrix.hpp"
 #include "src/common/status.hpp"
 
+namespace tcevd {
+class Context;
+class Workspace;
+}  // namespace tcevd
+
 namespace tcevd::tsqr {
 
 /// Reconstruct (W, Y) from explicit Q (m x n, orthonormal columns) so that
@@ -32,9 +37,23 @@ namespace tcevd::tsqr {
 /// orthonormal (|pivot| >= 1); a pivot far below that bound means Q lost
 /// orthonormality upstream and reports SingularPanel with the offending
 /// column in detail(). Shape violations remain programmer errors.
+///
+/// The LU scratch copy comes from the context's workspace arena (or the
+/// given Workspace); the plain overloads allocate a private arena per call
+/// and remain for standalone/reference use.
+Status reconstruct_wy(Context& ctx, ConstMatrixView<float> q, MatrixView<float> w,
+                      MatrixView<float> y, std::vector<float>& signs);
+Status reconstruct_wy(Context& ctx, ConstMatrixView<double> q, MatrixView<double> w,
+                      MatrixView<double> y, std::vector<double>& signs);
+
+Status reconstruct_wy(Workspace& ws, ConstMatrixView<float> q, MatrixView<float> w,
+                      MatrixView<float> y, std::vector<float>& signs);
+Status reconstruct_wy(Workspace& ws, ConstMatrixView<double> q, MatrixView<double> w,
+                      MatrixView<double> y, std::vector<double>& signs);
+
+/// Deprecated: self-allocating compatibility forms.
 Status reconstruct_wy(ConstMatrixView<float> q, MatrixView<float> w, MatrixView<float> y,
                       std::vector<float>& signs);
-
 Status reconstruct_wy(ConstMatrixView<double> q, MatrixView<double> w, MatrixView<double> y,
                       std::vector<double>& signs);
 

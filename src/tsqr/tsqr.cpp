@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "src/blas/blas.hpp"
+#include "src/common/context.hpp"
+#include "src/common/workspace.hpp"
 #include "src/lapack/qr.hpp"
 
 namespace tcevd::tsqr {
@@ -12,58 +14,60 @@ namespace {
 
 /// Leaf: ordinary Householder QR producing explicit Q and R.
 template <typename T>
-void leaf_qr(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r) {
+void leaf_qr(Workspace& ws, ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r) {
   const index_t m = a.rows();
   const index_t n = a.cols();
-  Matrix<T> work(m, n);
-  copy_matrix(a, work.view());
+  auto scope = ws.scope();
+  auto work = scope.matrix<T>(m, n);
+  copy_matrix(a, work);
   std::vector<T> tau;
-  lapack::geqr2(work.view(), tau);
+  lapack::geqr2(work, tau);
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < n; ++i) r(i, j) = (i <= j) ? work(i, j) : T{};
-  lapack::orgqr(work.view(), tau, q);
+  lapack::orgqr(work, tau, q);
 }
 
 /// Recursive TSQR: split rows, factor halves, combine [R1; R2] and fold the
 /// combining Q back into the children's Qs.
 template <typename T>
-void tsqr_rec(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
+void tsqr_rec(Workspace& ws, ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
               const TsqrOptions& opts) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   if (m <= std::max(opts.leaf_rows, 2 * n)) {
-    leaf_qr(a, q, r);
+    leaf_qr(ws, a, q, r);
     return;
   }
   const index_t mh = m / 2;
 
-  Matrix<T> r1(n, n);
-  Matrix<T> r2(n, n);
-  tsqr_rec<T>(a.sub(0, 0, mh, n), q.sub(0, 0, mh, n), r1.view(), opts);
-  tsqr_rec<T>(a.sub(mh, 0, m - mh, n), q.sub(mh, 0, m - mh, n), r2.view(), opts);
+  auto scope = ws.scope();
+  auto r1 = scope.matrix<T>(n, n);
+  auto r2 = scope.matrix<T>(n, n);
+  tsqr_rec<T>(ws, a.sub(0, 0, mh, n), q.sub(0, 0, mh, n), r1, opts);
+  tsqr_rec<T>(ws, a.sub(mh, 0, m - mh, n), q.sub(mh, 0, m - mh, n), r2, opts);
 
   // Combine: QR of the stacked (2n x n) R factors.
-  Matrix<T> stacked(2 * n, n);
-  copy_matrix<T>(r1.view(), stacked.sub(0, 0, n, n));
-  copy_matrix<T>(r2.view(), stacked.sub(n, 0, n, n));
-  Matrix<T> qc(2 * n, n);
-  leaf_qr<T>(stacked.view(), qc.view(), r);
+  auto stacked = scope.matrix<T>(2 * n, n);
+  copy_matrix<T>(r1, stacked.sub(0, 0, n, n));
+  copy_matrix<T>(r2, stacked.sub(n, 0, n, n));
+  auto qc = scope.matrix<T>(2 * n, n);
+  leaf_qr<T>(ws, stacked, qc, r);
 
   // Q_top *= Qc(0:n, :), Q_bottom *= Qc(n:2n, :).
-  Matrix<T> tmp_top(mh, n);
+  auto tmp_top = scope.matrix<T>(mh, n);
   blas::gemm<T>(blas::Trans::No, blas::Trans::No, T{1}, ConstMatrixView<T>(q.sub(0, 0, mh, n)),
-             ConstMatrixView<T>(qc.sub(0, 0, n, n)), T{}, tmp_top.view());
-  copy_matrix<T>(tmp_top.view(), q.sub(0, 0, mh, n));
+                ConstMatrixView<T>(qc.sub(0, 0, n, n)), T{}, tmp_top);
+  copy_matrix<T>(ConstMatrixView<T>(tmp_top), q.sub(0, 0, mh, n));
 
-  Matrix<T> tmp_bot(m - mh, n);
+  auto tmp_bot = scope.matrix<T>(m - mh, n);
   blas::gemm<T>(blas::Trans::No, blas::Trans::No, T{1},
-             ConstMatrixView<T>(q.sub(mh, 0, m - mh, n)), ConstMatrixView<T>(qc.sub(n, 0, n, n)),
-             T{}, tmp_bot.view());
-  copy_matrix<T>(tmp_bot.view(), q.sub(mh, 0, m - mh, n));
+                ConstMatrixView<T>(q.sub(mh, 0, m - mh, n)),
+                ConstMatrixView<T>(qc.sub(n, 0, n, n)), T{}, tmp_bot);
+  copy_matrix<T>(ConstMatrixView<T>(tmp_bot), q.sub(mh, 0, m - mh, n));
 }
 
 template <typename T>
-Status tsqr_impl(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
+Status tsqr_impl(Workspace& ws, ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
                  const TsqrOptions& opts) {
   TCEVD_CHECK(a.rows() >= a.cols(), "tsqr requires a tall matrix (m >= n)");
   TCEVD_CHECK(q.rows() == a.rows() && q.cols() == a.cols(), "tsqr Q shape mismatch");
@@ -76,20 +80,42 @@ Status tsqr_impl(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r,
   }
   TsqrOptions o = opts;
   o.leaf_rows = std::max(o.leaf_rows, a.cols());
-  tsqr_rec<T>(a, q, r, o);
+  tsqr_rec<T>(ws, a, q, r, o);
   return ok_status();
 }
 
 }  // namespace
 
+Status tsqr_factor(Context& ctx, ConstMatrixView<float> a, MatrixView<float> q,
+                   MatrixView<float> r, const TsqrOptions& opts) {
+  return tsqr_impl(ctx.workspace(), a, q, r, opts);
+}
+
+Status tsqr_factor(Context& ctx, ConstMatrixView<double> a, MatrixView<double> q,
+                   MatrixView<double> r, const TsqrOptions& opts) {
+  return tsqr_impl(ctx.workspace(), a, q, r, opts);
+}
+
+Status tsqr_factor(Workspace& ws, ConstMatrixView<float> a, MatrixView<float> q,
+                   MatrixView<float> r, const TsqrOptions& opts) {
+  return tsqr_impl(ws, a, q, r, opts);
+}
+
+Status tsqr_factor(Workspace& ws, ConstMatrixView<double> a, MatrixView<double> q,
+                   MatrixView<double> r, const TsqrOptions& opts) {
+  return tsqr_impl(ws, a, q, r, opts);
+}
+
 Status tsqr_factor(ConstMatrixView<float> a, MatrixView<float> q, MatrixView<float> r,
                    const TsqrOptions& opts) {
-  return tsqr_impl(a, q, r, opts);
+  Workspace ws;
+  return tsqr_impl(ws, a, q, r, opts);
 }
 
 Status tsqr_factor(ConstMatrixView<double> a, MatrixView<double> q, MatrixView<double> r,
                    const TsqrOptions& opts) {
-  return tsqr_impl(a, q, r, opts);
+  Workspace ws;
+  return tsqr_impl(ws, a, q, r, opts);
 }
 
 }  // namespace tcevd::tsqr

@@ -6,10 +6,19 @@
 // factors are re-factorized up the tree, and the explicit Q is assembled on
 // the way back down. The output is an explicit orthonormal Q plus R — the
 // Householder (WY) form is recovered afterwards by reconstruct_wy.
+//
+// Tree temporaries come from a workspace arena: pass a Context (pipeline
+// callers) or a bare Workspace; the self-allocating overloads remain for
+// standalone/reference use and simply spin up a private arena per call.
 #pragma once
 
 #include "src/common/matrix.hpp"
 #include "src/common/status.hpp"
+
+namespace tcevd {
+class Context;
+class Workspace;
+}  // namespace tcevd
 
 namespace tcevd::tsqr {
 
@@ -24,11 +33,22 @@ struct TsqrOptions {
 
 /// Factor a (m x n, m >= n) into Q (m x n, orthonormal columns) * R (n x n,
 /// upper triangular). `a` is not modified. Shape violations are programmer
-/// errors (TCEVD_CHECK); non-finite input reports InvalidInput.
+/// errors (TCEVD_CHECK); non-finite input reports InvalidInput. Tree
+/// temporaries are checked out of the context's workspace arena.
+Status tsqr_factor(Context& ctx, ConstMatrixView<float> a, MatrixView<float> q,
+                   MatrixView<float> r, const TsqrOptions& opts = {});
+Status tsqr_factor(Context& ctx, ConstMatrixView<double> a, MatrixView<double> q,
+                   MatrixView<double> r, const TsqrOptions& opts = {});
+
+/// Workspace-only forms (no engine involved — TSQR runs in scalar fp32/fp64).
+Status tsqr_factor(Workspace& ws, ConstMatrixView<float> a, MatrixView<float> q,
+                   MatrixView<float> r, const TsqrOptions& opts = {});
+Status tsqr_factor(Workspace& ws, ConstMatrixView<double> a, MatrixView<double> q,
+                   MatrixView<double> r, const TsqrOptions& opts = {});
+
+/// Deprecated: self-allocating compatibility forms (private arena per call).
 Status tsqr_factor(ConstMatrixView<float> a, MatrixView<float> q, MatrixView<float> r,
                    const TsqrOptions& opts = {});
-
-/// Double-precision variant (used by reference pipelines and tests).
 Status tsqr_factor(ConstMatrixView<double> a, MatrixView<double> q, MatrixView<double> r,
                    const TsqrOptions& opts = {});
 

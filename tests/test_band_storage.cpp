@@ -1,6 +1,7 @@
 // Compact band storage and the band-native bulge chase.
 #include <gtest/gtest.h>
 
+#include "src/common/context.hpp"
 #include "src/bulge/bulge_chasing.hpp"
 #include "src/evd/evd.hpp"
 #include "src/lapack/tridiag.hpp"
@@ -103,10 +104,11 @@ TEST(BandChase, AfterSbrPipeline) {
   const index_t n = 96, bw = 8;
   auto a = test::random_symmetric<float>(n, 9);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = bw;
   opt.big_block = 32;
-  auto res = *sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), ctx, opt);
 
   auto band = sbr::BandMatrix<float>::from_full(ConstMatrixView<float>(res.band.view()), bw);
   std::vector<float> d, e;

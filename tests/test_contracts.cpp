@@ -4,6 +4,7 @@
 // are NOT contracts — they return Status and are covered in test_fault.cpp.
 #include <gtest/gtest.h>
 
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/evd/evd.hpp"
 #include "src/evd/partial.hpp"
@@ -37,25 +38,28 @@ TEST_F(ContractsDeath, TrsmNonSquareTriangularAborts) {
 TEST_F(ContractsDeath, SbrNonSquareAborts) {
   Matrix<float> a(10, 12);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
-  EXPECT_DEATH((void)sbr::sbr_wy(a.view(), eng, opt), "square");
+  EXPECT_DEATH((void)sbr::sbr_wy(a.view(), ctx, opt), "square");
 }
 
 TEST_F(ContractsDeath, SbrBandwidthOutOfRangeAborts) {
   auto a = test::random_symmetric<float>(8, 1);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = 8;  // must be < n
-  EXPECT_DEATH((void)sbr::sbr_wy(a.view(), eng, opt), "bandwidth");
+  EXPECT_DEATH((void)sbr::sbr_wy(a.view(), ctx, opt), "bandwidth");
 }
 
 TEST_F(ContractsDeath, SbrBigBlockNotMultipleAborts) {
   auto a = test::random_symmetric<float>(64, 2);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 12;  // not a multiple of 8
-  EXPECT_DEATH((void)sbr::sbr_wy(a.view(), eng, opt), "multiple");
+  EXPECT_DEATH((void)sbr::sbr_wy(a.view(), ctx, opt), "multiple");
 }
 
 TEST_F(ContractsDeath, TsqrWideInputAborts) {
@@ -70,14 +74,16 @@ TEST_F(ContractsDeath, TsqrWideInputAborts) {
 TEST_F(ContractsDeath, PartialBadRangeAborts) {
   auto a = test::random_symmetric<float>(16, 4);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
-  EXPECT_DEATH((void)evd::solve_selected(a.view(), eng, opt, 5, 2), "range");
+  EXPECT_DEATH((void)evd::solve_selected(a.view(), ctx, opt, 5, 2), "range");
 }
 
 TEST_F(ContractsDeath, SvdWideInputAborts) {
   Matrix<float> a(4, 9);
   tc::Fp32Engine eng;
-  EXPECT_DEATH((void)svd::svd_via_evd(a.view(), eng), "m >= n");
+  Context ctx(eng);
+  EXPECT_DEATH((void)svd::svd_via_evd(a.view(), ctx), "m >= n");
 }
 
 TEST_F(ContractsDeath, MatrixNegativeDimensionAborts) {

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 #include "src/matgen/matgen.hpp"
@@ -40,7 +41,8 @@ TEST_P(EvdPipelineTest, EigenvaluesMatchReferenceFp32) {
   opt.bandwidth = p.b;
   opt.big_block = 4 * p.b;
   tc::Fp32Engine eng;
-  auto res = *evd::solve(a.view(), eng, opt);
+  Context ctx(eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   ASSERT_EQ(static_cast<index_t>(res.eigenvalues.size()), p.n);
 
@@ -73,7 +75,8 @@ TEST(Evd, VectorsDiagonalize) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   tc::Fp32Engine eng;
-  auto res = *evd::solve(a.view(), eng, opt);
+  Context ctx(eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(orthogonality_error<float>(res.vectors.view()), 1e-6);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), 1e-5);
@@ -88,7 +91,8 @@ TEST(Evd, VectorsViaQlAlsoDiagonalize) {
   opt.bandwidth = 8;
   opt.big_block = 16;
   tc::Fp32Engine eng;
-  auto res = *evd::solve(a.view(), eng, opt);
+  Context ctx(eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), 1e-5);
 }
@@ -100,7 +104,8 @@ TEST(Evd, OneStageVectors) {
   opt.vectors = true;
   opt.reduction = Reduction::OneStage;
   tc::Fp32Engine eng;
-  auto res = *evd::solve(a.view(), eng, opt);
+  Context ctx(eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), 1e-5);
 }
@@ -113,7 +118,8 @@ TEST(Evd, TensorCorePipelineWithinTcEpsilon) {
   opt.bandwidth = 16;
   opt.big_block = 32;
   tc::TcEngine eng(tc::TcPrecision::Fp16);
-  auto res = *evd::solve(a.view(), eng, opt);
+  Context ctx(eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   auto ref = dbl_reference(a.view());
   std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
@@ -131,8 +137,9 @@ TEST(Evd, EcTcBeatsPlainTc) {
 
   tc::TcEngine tc_eng(tc::TcPrecision::Fp16);
   tc::EcTcEngine ec_eng(tc::TcPrecision::Fp16);
-  auto r1 = *evd::solve(a.view(), tc_eng, opt);
-  auto r2 = *evd::solve(a.view(), ec_eng, opt);
+  Context tc_ctx(tc_eng), ec_ctx(ec_eng);
+  auto r1 = *evd::solve(a.view(), tc_ctx, opt);
+  auto r2 = *evd::solve(a.view(), ec_ctx, opt);
   ASSERT_TRUE(r1.converged && r2.converged);
   std::vector<double> g1(r1.eigenvalues.begin(), r1.eigenvalues.end());
   std::vector<double> g2(r2.eigenvalues.begin(), r2.eigenvalues.end());
@@ -146,7 +153,8 @@ TEST(Evd, TimingsPopulated) {
   EvdOptions opt;
   opt.bandwidth = 8;
   tc::Fp32Engine eng;
-  auto res = *evd::solve(a.view(), eng, opt);
+  Context ctx(eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
   EXPECT_GT(res.timings.reduction_s, 0.0);
   EXPECT_GT(res.timings.solver_s, 0.0);
   EXPECT_GE(res.timings.total_s,
@@ -162,7 +170,8 @@ TEST(Evd, KnownSpectrumRecovered) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   tc::Fp32Engine eng;
-  auto res = *evd::solve(a.view(), eng, opt);
+  Context ctx(eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
   EXPECT_LT(eigenvalue_error(spectrum.data(), got.data(), n), 1e-6);

@@ -2,6 +2,7 @@
 // engine-native TC syr2k in ZY-SBR, and block-reflector application.
 #include <gtest/gtest.h>
 
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
@@ -17,12 +18,13 @@ TEST(CompactSecondStage, SameEigenvaluesAsFullStorage) {
   const index_t n = 96;
   auto a = test::random_symmetric<float>(n, 1);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
-  auto full = *evd::solve(a.view(), eng, opt);
+  auto full = *evd::solve(a.view(), ctx, opt);
   opt.compact_second_stage = true;
-  auto compact = *evd::solve(a.view(), eng, opt);
+  auto compact = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(full.converged && compact.converged);
   for (index_t i = 0; i < n; ++i)
     EXPECT_NEAR(full.eigenvalues[static_cast<std::size_t>(i)],
@@ -33,12 +35,13 @@ TEST(CompactSecondStage, IgnoredWhenVectorsRequested) {
   const index_t n = 48;
   auto a = test::random_symmetric<float>(n, 2);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 16;
   opt.compact_second_stage = true;
   opt.vectors = true;  // falls back to the full-storage chase + Q
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), 1e-5);
 }
@@ -52,8 +55,9 @@ TEST(ZyTcSyr2k, MatchesTwoGemmTrailingUpdate) {
   native.zy_use_tc_syr2k = true;
 
   tc::TcEngine e1(tc::TcPrecision::Fp16), e2(tc::TcPrecision::Fp16);
-  auto r1 = *sbr::sbr_zy(a.view(), e1, two);
-  auto r2 = *sbr::sbr_zy(a.view(), e2, native);
+  Context c1(e1), c2(e2);
+  auto r1 = *sbr::sbr_zy(a.view(), c1, two);
+  auto r2 = *sbr::sbr_zy(a.view(), c2, native);
   // Same numerics family, but each panel's rounding differences compound
   // through the reflectors, so the two band forms drift at a multiple of the
   // TC eps (they remain orthogonally similar — spectrum check below).
@@ -75,9 +79,10 @@ TEST(ZyTcSyr2k, FallsBackSilentlyOnNonTcEngine) {
   opt.bandwidth = b;
   opt.zy_use_tc_syr2k = true;  // fp32 engine: option must be a no-op
   tc::Fp32Engine e1, e2;
-  auto r1 = *sbr::sbr_zy(a.view(), e1, opt);
+  Context c1(e1), c2(e2);
+  auto r1 = *sbr::sbr_zy(a.view(), c1, opt);
   opt.zy_use_tc_syr2k = false;
-  auto r2 = *sbr::sbr_zy(a.view(), e2, opt);
+  auto r2 = *sbr::sbr_zy(a.view(), c2, opt);
   EXPECT_EQ(frobenius_diff<float>(r1.band.view(), r2.band.view()), 0.0);
 }
 
@@ -85,21 +90,22 @@ TEST(ApplyWyBlocks, MatchesExplicitQMultiplication) {
   const index_t n = 96, b = 8;
   auto a = test::random_symmetric<float>(n, 5);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = b;
   opt.big_block = 32;
-  auto res = *sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), ctx, opt);
   ASSERT_FALSE(res.blocks.empty());
 
   auto x = test::random_matrix_f(n, 7, 6);
   // Reference: explicit Q times X.
-  auto q = sbr::form_q(res.blocks, n, eng);
+  auto q = sbr::form_q(res.blocks, n, ctx);
   Matrix<float> qx(n, 7);
   blas::gemm(Trans::No, Trans::No, 1.0f, ConstMatrixView<float>(q.view()),
              ConstMatrixView<float>(x.view()), 0.0f, qx.view());
   // In-place block application.
   Matrix<float> x2 = x;
-  sbr::apply_wy_blocks_left(res.blocks, eng, x2.view());
+  sbr::apply_wy_blocks_left(res.blocks, ctx, x2.view());
   EXPECT_LT(test::rel_diff<float>(x2.view(), qx.view()), 1e-5);
 }
 
@@ -108,14 +114,15 @@ TEST(ApplyWyBlocks, PreservesNorms) {
   const index_t n = 80;
   auto a = test::random_symmetric<float>(n, 7);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 16;
-  auto res = *sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), ctx, opt);
   auto x = test::random_matrix_f(n, 3, 8);
   std::vector<double> norms;
   for (index_t j = 0; j < 3; ++j) norms.push_back(blas::nrm2(n, &x(0, j), 1));
-  sbr::apply_wy_blocks_left(res.blocks, eng, x.view());
+  sbr::apply_wy_blocks_left(res.blocks, ctx, x.view());
   for (index_t j = 0; j < 3; ++j)
     EXPECT_NEAR(blas::nrm2(n, &x(0, j), 1), norms[static_cast<std::size_t>(j)], 1e-4);
 }

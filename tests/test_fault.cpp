@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/common/fault.hpp"
 #include "src/common/recovery.hpp"
@@ -140,7 +141,8 @@ TEST_F(FaultTest, SolveRejectsNonFiniteInput) {
   a(3, 4) = std::numeric_limits<float>::quiet_NaN();
   a(4, 3) = std::numeric_limits<float>::quiet_NaN();
   tc::Fp32Engine engine;
-  auto res = evd::solve(ConstMatrixView<float>(a.view()), engine, {});
+  Context ctx(engine);
+  auto res = evd::solve(ConstMatrixView<float>(a.view()), ctx, {});
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), ErrorCode::InvalidInput);
 }
@@ -149,7 +151,8 @@ TEST_F(FaultTest, SolveRejectsAsymmetricInput) {
   auto a = test::random_symmetric<float>(32, 7);
   a(3, 4) += 10.0f;  // gross asymmetry
   tc::Fp32Engine engine;
-  auto res = evd::solve(ConstMatrixView<float>(a.view()), engine, {});
+  Context ctx(engine);
+  auto res = evd::solve(ConstMatrixView<float>(a.view()), ctx, {});
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), ErrorCode::InvalidInput);
 }
@@ -159,9 +162,10 @@ TEST_F(FaultTest, ScreeningCanBeDisabled) {
   a(3, 4) += 1e-2f;  // beyond the default tolerance but harmless
   a(4, 3) += 1e-2f;
   tc::Fp32Engine engine;
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.screen_input = false;
-  EXPECT_TRUE(evd::solve(ConstMatrixView<float>(a.view()), engine, opt).ok());
+  EXPECT_TRUE(evd::solve(ConstMatrixView<float>(a.view()), ctx, opt).ok());
 }
 
 // --- Per-layer fallbacks ---------------------------------------------------
@@ -203,6 +207,7 @@ TEST_F(FaultTest, EcTcEngineRetriesSaturatedBlockInFp32) {
   set_zero(c.view());
   set_zero(ref.view());
   tc::EcTcEngine engine;
+  Context ctx(engine);
   recovery::Scope scope;
   engine.gemm(blas::Trans::No, blas::Trans::No, 1.0f, ConstMatrixView<float>(a.view()),
               ConstMatrixView<float>(b.view()), 0.0f, c.view());
@@ -246,10 +251,11 @@ TEST_P(FaultSiteEvd, WilkinsonSolveRecovers) {
 
   fault::arm(sc.site, 1);
   tc::EcTcEngine engine;
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.solver = sc.solver;
   opt.vectors = true;
-  auto res = evd::solve(ConstMatrixView<float>(a.view()), engine, opt);
+  auto res = evd::solve(ConstMatrixView<float>(a.view()), ctx, opt);
   ASSERT_TRUE(res.ok()) << res.status().to_string();
   EXPECT_EQ(fault::fired(sc.site), 1) << "site never reached by this configuration";
   EXPECT_FALSE(res->recovery.empty());
@@ -282,9 +288,10 @@ TEST_F(FaultTest, ClusteredSolveRecoversFromPanelNan) {
 
   fault::arm(fault::Site::PanelNan, 1);
   tc::EcTcEngine engine;
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.vectors = true;
-  auto res = evd::solve(ConstMatrixView<float>(a.view()), engine, opt);
+  auto res = evd::solve(ConstMatrixView<float>(a.view()), ctx, opt);
   ASSERT_TRUE(res.ok()) << res.status().to_string();
   EXPECT_EQ(fault::fired(fault::Site::PanelNan), 1);
   EXPECT_FALSE(res->recovery.empty());
@@ -301,10 +308,11 @@ TEST_F(FaultTest, SolverChainFallsBackFromDc) {
   auto a = test::random_symmetric<float>(n, 21);
   fault::arm(fault::Site::SteqrExhaust, 1);
   tc::Fp32Engine engine;
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.solver = evd::TriSolver::DivideConquer;
   opt.vectors = true;
-  auto res = evd::solve(ConstMatrixView<float>(a.view()), engine, opt);
+  auto res = evd::solve(ConstMatrixView<float>(a.view()), ctx, opt);
   ASSERT_TRUE(res.ok()) << res.status().to_string();
   bool solver_fallback_logged = false;
   for (const auto& ev : res->recovery)
@@ -317,10 +325,11 @@ TEST_F(FaultTest, FallbacksCanBeDisabled) {
   auto a = test::random_symmetric<float>(n, 22);
   fault::arm(fault::Site::SteqrExhaust, 1);
   tc::Fp32Engine engine;
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.solver = evd::TriSolver::Ql;
   opt.allow_fallbacks = false;
-  auto res = evd::solve(ConstMatrixView<float>(a.view()), engine, opt);
+  auto res = evd::solve(ConstMatrixView<float>(a.view()), ctx, opt);
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), ErrorCode::FaultInjected);
 }
@@ -329,10 +338,11 @@ TEST_F(FaultTest, BisectionSolverComputesVectors) {
   const index_t n = 64;
   auto a = test::random_symmetric<float>(n, 23);
   tc::Fp32Engine engine;
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.solver = evd::TriSolver::Bisection;
   opt.vectors = true;
-  auto res = evd::solve(ConstMatrixView<float>(a.view()), engine, opt);
+  auto res = evd::solve(ConstMatrixView<float>(a.view()), ctx, opt);
   ASSERT_TRUE(res.ok()) << res.status().to_string();
   const double resid = evd::eigenpair_residual(ConstMatrixView<float>(a.view()),
                                                res->eigenvalues,
@@ -345,7 +355,8 @@ TEST_F(FaultTest, SolveSelectedRecoversFromSteinFailure) {
   auto a = test::random_symmetric<float>(n, 31);
   fault::arm(fault::Site::SteinStagnate, 1);
   tc::Fp32Engine engine;
-  auto res = evd::solve_selected(ConstMatrixView<float>(a.view()), engine, {}, 0, 9, true);
+  Context ctx(engine);
+  auto res = evd::solve_selected(ConstMatrixView<float>(a.view()), ctx, {}, 0, 9, true);
   ASSERT_TRUE(res.ok()) << res.status().to_string();
   EXPECT_EQ(fault::fired(fault::Site::SteinStagnate), 1);
   bool noted = false;
@@ -369,9 +380,10 @@ TEST_F(FaultTest, ReferenceEigenvaluesReturnsStatusOr) {
 TEST_F(FaultTest, CleanRunHasEmptyRecoveryLog) {
   auto a = test::random_symmetric<float>(96, 55);
   tc::EcTcEngine engine;
+  Context ctx(engine);
   evd::EvdOptions opt;
   opt.vectors = true;
-  auto res = evd::solve(ConstMatrixView<float>(a.view()), engine, opt);
+  auto res = evd::solve(ConstMatrixView<float>(a.view()), ctx, opt);
   ASSERT_TRUE(res.ok());
   EXPECT_TRUE(res->recovery.empty());
   EXPECT_EQ(engine.fp32_fallbacks(), 0);

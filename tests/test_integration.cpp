@@ -4,6 +4,7 @@
 // refine-after-TC workflow (the library's intended mixed-precision recipe).
 #include <gtest/gtest.h>
 
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 #include "src/evd/partial.hpp"
@@ -50,7 +51,8 @@ TEST_P(FullPipelineTest, GeoMatrixWithVectors) {
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = *evd::solve(a.view(), *eng, opt);
+  Context ctx(*eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), res.eigenvalues, res.vectors.view()), tol);
   EXPECT_LT(orthogonality_error<float>(res.vectors.view()), tol);
@@ -73,17 +75,18 @@ TEST(Workflow, TcSolveThenRefineSelected) {
   auto a = matgen::generate_f(matgen::MatrixType::Arith, n, 1e3, rng);
 
   tc::TcEngine eng(tc::TcPrecision::Fp16);
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 16;
   opt.big_block = 64;
   opt.vectors = true;
-  auto coarse = *evd::solve(a.view(), eng, opt);
+  auto coarse = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(coarse.converged);
 
   const index_t k = 4;  // refine the k largest pairs
   std::vector<float> lam(coarse.eigenvalues.end() - k, coarse.eigenvalues.end());
   auto vk = coarse.vectors.sub(0, n - k, n, k);
-  auto refined = evd::refine_eigenpairs(a.view(), lam, ConstMatrixView<float>(vk));
+  auto refined = evd::refine_eigenpairs(ctx, a.view(), lam, ConstMatrixView<float>(vk));
 
   Matrix<double> ad(n, n);
   convert_matrix<float, double>(a.view(), ad.view());
@@ -96,12 +99,13 @@ TEST(Workflow, PartialMatchesFullOnTc) {
   Rng rng(21);
   auto a = matgen::generate_f(matgen::MatrixType::Geo, n, 1e2, rng);
   tc::TcEngine eng(tc::TcPrecision::Fp16);
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
 
-  auto full = *evd::solve(a.view(), eng, opt);
-  auto part = *evd::solve_selected(a.view(), eng, opt, 0, 9);
+  auto full = *evd::solve(a.view(), ctx, opt);
+  auto part = *evd::solve_selected(a.view(), ctx, opt, 0, 9);
   for (index_t i = 0; i < 10; ++i)
     EXPECT_NEAR(part.eigenvalues[static_cast<std::size_t>(i)],
                 full.eigenvalues[static_cast<std::size_t>(i)], 2e-3);
@@ -114,10 +118,11 @@ TEST(Workflow, SvdOfTallMatrixThroughTcEvd) {
   fill_normal(rng, a.view());
 
   tc::EcTcEngine eng(tc::TcPrecision::Fp16);  // EC keeps the Gram route sane
+  Context ctx(eng);
   svd::SvdOptions opt;
   opt.evd.bandwidth = 8;
   opt.evd.big_block = 16;
-  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  auto res = svd::svd_via_evd(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
 
   Matrix<double> ad(m, n);
@@ -142,16 +147,17 @@ TEST(Workflow, LowRankReconstructionAccuracyChain) {
   for (index_t i = 0; i < n; ++i) a(i, i) += 0.01f;  // noise floor
 
   tc::TcEngine eng(tc::TcPrecision::Fp16);
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
 
   std::vector<float> lam(res.eigenvalues.end() - r, res.eigenvalues.end());
   auto vr = res.vectors.sub(0, n - r, n, r);
-  auto refined = evd::refine_eigenpairs(a.view(), lam, ConstMatrixView<float>(vr));
+  auto refined = evd::refine_eigenpairs(ctx, a.view(), lam, ConstMatrixView<float>(vr));
 
   Matrix<double> ad(n, n);
   convert_matrix<float, double>(a.view(), ad.view());

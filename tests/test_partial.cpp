@@ -2,6 +2,7 @@
 // iteration through the full two-stage pipeline.
 #include <gtest/gtest.h>
 
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 #include "src/evd/partial.hpp"
@@ -15,13 +16,14 @@ TEST(Partial, SelectedValuesMatchFullSolve) {
   const index_t n = 96;
   auto a = test::random_symmetric<float>(n, 1);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
 
-  auto full = *evd::solve(a.view(), eng, opt);
+  auto full = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(full.converged);
-  auto part = *evd::solve_selected(a.view(), eng, opt, 10, 19);
+  auto part = *evd::solve_selected(a.view(), ctx, opt, 10, 19);
   ASSERT_TRUE(part.converged);
   ASSERT_EQ(part.eigenvalues.size(), 10u);
   for (index_t i = 0; i < 10; ++i)
@@ -34,11 +36,12 @@ TEST(Partial, VectorsAreEigenvectorsOfA) {
   Rng rng(2);
   auto a = matgen::generate_f(matgen::MatrixType::Geo, n, 1e2, rng);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
 
-  auto part = *evd::solve_selected(a.view(), eng, opt, n - 5, n - 1, /*vectors=*/true);
+  auto part = *evd::solve_selected(a.view(), ctx, opt, n - 5, n - 1, /*vectors=*/true);
   ASSERT_TRUE(part.converged);
   ASSERT_EQ(part.vectors.cols(), 5);
   EXPECT_LT(evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view()), 1e-4);
@@ -49,13 +52,14 @@ TEST(Partial, ExtremeEndsAndSinglePair) {
   const index_t n = 64;
   auto a = test::random_symmetric<float>(n, 3);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 16;
 
-  auto full = *evd::solve(a.view(), eng, opt);
-  auto lo = *evd::solve_selected(a.view(), eng, opt, 0, 0, true);
-  auto hi = *evd::solve_selected(a.view(), eng, opt, n - 1, n - 1, true);
+  auto full = *evd::solve(a.view(), ctx, opt);
+  auto lo = *evd::solve_selected(a.view(), ctx, opt, 0, 0, true);
+  auto hi = *evd::solve_selected(a.view(), ctx, opt, n - 1, n - 1, true);
   EXPECT_NEAR(lo.eigenvalues[0], full.eigenvalues.front(), 2e-4);
   EXPECT_NEAR(hi.eigenvalues[0], full.eigenvalues.back(), 2e-4);
   EXPECT_LT(evd::eigenpair_residual(a.view(), lo.eigenvalues, lo.vectors.view()), 1e-4);
@@ -66,11 +70,12 @@ TEST(Partial, TensorCoreEngineWorks) {
   Rng rng(4);
   auto a = matgen::generate_f(matgen::MatrixType::Arith, n, 1e2, rng);
   tc::TcEngine eng(tc::TcPrecision::Fp16);
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
 
-  auto part = *evd::solve_selected(a.view(), eng, opt, n - 3, n - 1, true);
+  auto part = *evd::solve_selected(a.view(), ctx, opt, n - 3, n - 1, true);
   ASSERT_TRUE(part.converged);
   // TC numerics: residual bounded by TC eps.
   EXPECT_LT(evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view()), 1e-2);
@@ -80,9 +85,10 @@ TEST(Partial, OneStageReductionPath) {
   const index_t n = 48;
   auto a = test::random_symmetric<float>(n, 5);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.reduction = evd::Reduction::OneStage;
-  auto part = *evd::solve_selected(a.view(), eng, opt, 0, 4, true);
+  auto part = *evd::solve_selected(a.view(), ctx, opt, 0, 4, true);
   ASSERT_TRUE(part.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view()), 1e-4);
 }
@@ -91,10 +97,11 @@ TEST(Partial, ZyReductionPath) {
   const index_t n = 48;
   auto a = test::random_symmetric<float>(n, 6);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.reduction = evd::Reduction::TwoStageZy;
   opt.bandwidth = 8;
-  auto part = *evd::solve_selected(a.view(), eng, opt, 20, 24, true);
+  auto part = *evd::solve_selected(a.view(), ctx, opt, 20, 24, true);
   ASSERT_TRUE(part.converged);
   EXPECT_LT(evd::eigenpair_residual(a.view(), part.eigenvalues, part.vectors.view()), 1e-4);
 }

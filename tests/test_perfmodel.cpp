@@ -5,6 +5,7 @@
 // match the real algorithm's recorded GEMM stream *call for call*.
 #include <gtest/gtest.h>
 
+#include "src/common/context.hpp"
 #include "src/perfmodel/a100_model.hpp"
 #include "src/perfmodel/shape_trace.hpp"
 #include "src/sbr/sbr.hpp"
@@ -33,38 +34,42 @@ TEST_P(TraceConsistencyTest, WyTraceMatchesImplementation) {
   const auto [n, b, nb] = GetParam();
   auto a = test::random_symmetric<float>(n, 900 + n);
   tc::Fp32Engine eng;
-  eng.set_recording(true);
+  Context ctx(eng);
+  ctx.telemetry().set_recording(true);
   sbr::SbrOptions opt;
   opt.bandwidth = b;
   opt.big_block = nb;
   opt.wy_cache_oa_product = false;  // literal Algorithm 1
-  (void)sbr::sbr_wy(a.view(), eng, opt);
-  expect_same_shapes(perf::trace_sbr_wy(n, b, nb, /*cache_oa=*/false), eng.recorded());
+  (void)sbr::sbr_wy(a.view(), ctx, opt);
+  expect_same_shapes(perf::trace_sbr_wy(n, b, nb, /*cache_oa=*/false),
+                     ctx.telemetry().recorded());
 }
 
 TEST_P(TraceConsistencyTest, ZyTraceMatchesImplementation) {
   const auto [n, b, nb] = GetParam();
   auto a = test::random_symmetric<float>(n, 901 + n);
   tc::Fp32Engine eng;
-  eng.set_recording(true);
+  Context ctx(eng);
+  ctx.telemetry().set_recording(true);
   sbr::SbrOptions opt;
   opt.bandwidth = b;
-  (void)sbr::sbr_zy(a.view(), eng, opt);
-  expect_same_shapes(perf::trace_sbr_zy(n, b), eng.recorded());
+  (void)sbr::sbr_zy(a.view(), ctx, opt);
+  expect_same_shapes(perf::trace_sbr_zy(n, b), ctx.telemetry().recorded());
 }
 
 TEST_P(TraceConsistencyTest, FormWTraceMatchesImplementation) {
   const auto [n, b, nb] = GetParam();
   auto a = test::random_symmetric<float>(n, 902 + n);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = b;
   opt.big_block = nb;
-  auto res = *sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), ctx, opt);
   if (res.blocks.empty()) GTEST_SKIP();
-  eng.set_recording(true);
-  (void)sbr::form_q(res.blocks, n, eng);
-  expect_same_shapes(perf::trace_formw(n, b, nb), eng.recorded());
+  ctx.telemetry().set_recording(true);
+  (void)sbr::form_q(res.blocks, n, ctx);
+  expect_same_shapes(perf::trace_formw(n, b, nb), ctx.telemetry().recorded());
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, TraceConsistencyTest,
@@ -79,13 +84,15 @@ TEST_P(TraceConsistencyTest, WyCachedTraceMatchesImplementation) {
   const auto [n, b, nb] = GetParam();
   auto a = test::random_symmetric<float>(n, 904 + n);
   tc::Fp32Engine eng;
-  eng.set_recording(true);
+  Context ctx(eng);
+  ctx.telemetry().set_recording(true);
   sbr::SbrOptions opt;
   opt.bandwidth = b;
   opt.big_block = nb;
   opt.wy_cache_oa_product = true;
-  (void)sbr::sbr_wy(a.view(), eng, opt);
-  expect_same_shapes(perf::trace_sbr_wy(n, b, nb, /*cache_oa=*/true), eng.recorded());
+  (void)sbr::sbr_wy(a.view(), ctx, opt);
+  expect_same_shapes(perf::trace_sbr_wy(n, b, nb, /*cache_oa=*/true),
+                     ctx.telemetry().recorded());
 }
 
 TEST(TraceConsistency, CachedVariantDoesStrictlyFewerFlops) {
@@ -98,16 +105,17 @@ TEST(TraceConsistency, ZyBacktransformMatchesImplementation) {
   const index_t n = 96, b = 8;
   auto a = test::random_symmetric<float>(n, 903);
   tc::Fp32Engine eng;
-  eng.set_recording(true);
+  Context ctx(eng);
+  ctx.telemetry().set_recording(true);
   sbr::SbrOptions opt;
   opt.bandwidth = b;
   opt.accumulate_q = true;
-  (void)sbr::sbr_zy(a.view(), eng, opt);
+  (void)sbr::sbr_zy(a.view(), ctx, opt);
   // Recorded = ZY trailing updates + back-transform GEMMs interleaved; the
   // back-transform shapes must appear as the (4th, 5th) of every 7 calls.
   auto zy = perf::trace_sbr_zy(n, b);
   auto bt = perf::trace_zy_backtransform(n, b);
-  ASSERT_EQ(eng.recorded().size(), zy.size() + bt.size());
+  ASSERT_EQ(ctx.telemetry().recorded().size(), zy.size() + bt.size());
   std::vector<GemmShape> interleaved;
   std::size_t iz = 0, ib = 0;
   while (iz < zy.size()) {
@@ -115,7 +123,7 @@ TEST(TraceConsistency, ZyBacktransformMatchesImplementation) {
     interleaved.push_back(bt[ib++]);
     interleaved.push_back(bt[ib++]);
   }
-  expect_same_shapes(interleaved, eng.recorded());
+  expect_same_shapes(interleaved, ctx.telemetry().recorded());
 }
 
 TEST(A100Model, MatchesCalibrationPoints) {

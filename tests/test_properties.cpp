@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
@@ -36,10 +37,11 @@ TEST_P(TraceInvariantTest, EigenvalueSumEqualsTrace) {
   for (index_t i = 0; i < n; ++i) trace += a(i, i);
 
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged) << "seed " << seed;
 
   double sum = 0.0;
@@ -57,10 +59,11 @@ TEST_P(TraceInvariantTest, FrobeniusNormEqualsEigenvalueNorm) {
   make_symmetric(a.view());
 
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 16;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
 
   double s = 0.0;
@@ -88,10 +91,11 @@ TEST_P(SbrConfigSweep, BandStructureAndSpectrumInvariant) {
   make_symmetric(a.view());
 
   tc::Fp32Engine eng;
+  Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = b;
   opt.big_block = b * nb_mult;
-  auto res = *sbr::sbr_wy(a.view(), eng, opt);
+  auto res = *sbr::sbr_wy(a.view(), ctx, opt);
 
   // Structure: exactly banded.
   EXPECT_EQ(sbr::band_violation<float>(res.band.view(), b), 0.0) << "seed " << seed;
@@ -116,11 +120,12 @@ TEST(Determinism, SbrWyIsBitwiseReproducible) {
   const index_t n = 96;
   auto a = test::random_symmetric<float>(n, 42);
   tc::TcEngine e1(tc::TcPrecision::Fp16), e2(tc::TcPrecision::Fp16);
+  Context c1(e1), c2(e2);
   sbr::SbrOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
-  auto r1 = *sbr::sbr_wy(a.view(), e1, opt);
-  auto r2 = *sbr::sbr_wy(a.view(), e2, opt);
+  auto r1 = *sbr::sbr_wy(a.view(), c1, opt);
+  auto r2 = *sbr::sbr_wy(a.view(), c2, opt);
   EXPECT_EQ(frobenius_diff<float>(r1.band.view(), r2.band.view()), 0.0);
 }
 
@@ -128,10 +133,11 @@ TEST(Determinism, EvdIsBitwiseReproducible) {
   const index_t n = 64;
   auto a = test::random_symmetric<float>(n, 43);
   tc::Fp32Engine e1, e2;
+  Context c1(e1), c2(e2);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
-  auto r1 = *evd::solve(a.view(), e1, opt);
-  auto r2 = *evd::solve(a.view(), e2, opt);
+  auto r1 = *evd::solve(a.view(), c1, opt);
+  auto r2 = *evd::solve(a.view(), c2, opt);
   for (index_t i = 0; i < n; ++i)
     EXPECT_EQ(r1.eigenvalues[static_cast<std::size_t>(i)],
               r2.eigenvalues[static_cast<std::size_t>(i)]);
@@ -149,11 +155,12 @@ TEST(ShiftInvariance, DiagonalShiftMovesSpectrum) {
   for (index_t i = 0; i < n; ++i) shifted(i, i) += c;
 
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
-  auto r1 = *evd::solve(a.view(), eng, opt);
-  auto r2 = *evd::solve(shifted.view(), eng, opt);
+  auto r1 = *evd::solve(a.view(), ctx, opt);
+  auto r2 = *evd::solve(shifted.view(), ctx, opt);
   for (index_t i = 0; i < n; ++i)
     EXPECT_NEAR(r2.eigenvalues[static_cast<std::size_t>(i)],
                 r1.eigenvalues[static_cast<std::size_t>(i)] + c, 1e-3);
@@ -167,10 +174,11 @@ TEST(ShiftInvariance, NegationFlipsAndReversesSpectrum) {
     for (index_t i = 0; i < n; ++i) neg(i, j) = -a(i, j);
 
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
-  auto r1 = *evd::solve(a.view(), eng, opt);
-  auto r2 = *evd::solve(neg.view(), eng, opt);
+  auto r1 = *evd::solve(a.view(), ctx, opt);
+  auto r2 = *evd::solve(neg.view(), ctx, opt);
   for (index_t i = 0; i < n; ++i)
     EXPECT_NEAR(r2.eigenvalues[static_cast<std::size_t>(i)],
                 -r1.eigenvalues[static_cast<std::size_t>(n - 1 - i)], 1e-3);
@@ -199,7 +207,8 @@ TEST_P(EngineOrderingTest, BackwardErrorOrdering) {
   opt.big_block = 32;
 
   auto err_for = [&](tc::GemmEngine& eng) {
-    auto res = *evd::solve(a.view(), eng, opt);
+    Context ctx(eng);
+    auto res = *evd::solve(a.view(), ctx, opt);
     std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
     return eigenvalue_error(ref.data(), got.data(), n);
   };
@@ -233,10 +242,11 @@ TEST_P(MatrixClassSweep, TcPipelineBounded) {
   auto ref = *evd::reference_eigenvalues(ad.view());
 
   tc::TcEngine eng(tc::TcPrecision::Fp16);
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 16;
   opt.big_block = 32;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   std::vector<double> got(res.eigenvalues.begin(), res.eigenvalues.end());
   // Paper Table 4 bound: E_s under the TC machine eps.
@@ -254,9 +264,10 @@ TEST(Degenerate, ZeroMatrix) {
   const index_t n = 40;
   Matrix<float> a(n, n);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   for (float v : res.eigenvalues) EXPECT_EQ(v, 0.0f);
 }
@@ -266,9 +277,10 @@ TEST(Degenerate, IdentityMatrix) {
   Matrix<float> a(n, n);
   set_identity(a.view());
   tc::TcEngine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 4;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   for (float v : res.eigenvalues) EXPECT_NEAR(v, 1.0f, 1e-5f);
 }
@@ -286,9 +298,10 @@ TEST(Degenerate, RankOneMatrix) {
   for (float v : x) xn2 += double(v) * double(v);
 
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_NEAR(res.eigenvalues.back(), xn2, 1e-3 * xn2);
   for (index_t i = 0; i + 1 < n; ++i)
@@ -299,9 +312,10 @@ TEST(Degenerate, TinyMatrices) {
   for (index_t n : {2, 3, 4, 5}) {
     auto a = test::random_symmetric<float>(n, 47 + n);
     tc::Fp32Engine eng;
+    Context ctx(eng);
     evd::EvdOptions opt;
     opt.bandwidth = 1;
-    auto res = *evd::solve(a.view(), eng, opt);
+    auto res = *evd::solve(a.view(), ctx, opt);
     ASSERT_TRUE(res.converged) << n;
     Matrix<double> ad(n, n);
     convert_matrix<float, double>(a.view(), ad.view());
@@ -317,9 +331,10 @@ TEST(Degenerate, HugeBandwidthClampedToMatrix) {
   const index_t n = 24;
   auto a = test::random_symmetric<float>(n, 48);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 1000;  // clamped internally to n-1
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   Matrix<double> ad(n, n);
   convert_matrix<float, double>(a.view(), ad.view());

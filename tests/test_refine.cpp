@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
 #include "src/evd/refine.hpp"
@@ -26,15 +27,16 @@ TEST(Refine, RecoversDoubleAccuracyFromTcPairs) {
 
   // Low-precision pipeline.
   tc::TcEngine eng(tc::TcPrecision::Fp16);
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
 
   // Refine every pair.
-  auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
+  auto refined = evd::refine_eigenpairs(ctx, a.view(), res.eigenvalues, res.vectors.view());
 
   const double anorm = frobenius_norm<double>(ad.view());
   auto ref = *evd::reference_eigenvalues(ad.view());
@@ -60,13 +62,14 @@ TEST(Refine, AlreadyAccuratePairsConvergeImmediately) {
   Matrix<float> a(n, n);
   convert_matrix<double, float>(ad.view(), a.view());
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.vectors = true;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
 
-  auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
+  auto refined = evd::refine_eigenpairs(ctx, a.view(), res.eigenvalues, res.vectors.view());
   // fp32-accurate pairs need at most ~1 iteration each to hit fp64 tol.
   EXPECT_LE(refined.total_iterations, 2 * n);
   for (double r : refined.residuals) EXPECT_LT(r, 1e-9);
@@ -76,17 +79,18 @@ TEST(Refine, SubsetOfPairs) {
   const index_t n = 64;
   auto a = test::random_symmetric<float>(n, 3);
   tc::TcEngine eng(tc::TcPrecision::Fp16);
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 8;
   opt.big_block = 32;
   opt.vectors = true;
-  auto res = *evd::solve(a.view(), eng, opt);
+  auto res = *evd::solve(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
 
   // Refine only the 3 largest pairs (the low-rank use case).
   std::vector<float> lam(res.eigenvalues.end() - 3, res.eigenvalues.end());
   auto v3 = res.vectors.sub(0, n - 3, n, 3);
-  auto refined = evd::refine_eigenpairs(a.view(), lam, ConstMatrixView<float>(v3));
+  auto refined = evd::refine_eigenpairs(ctx, a.view(), lam, ConstMatrixView<float>(v3));
   ASSERT_EQ(refined.eigenvalues.size(), 3u);
   Matrix<double> ad(n, n);
   convert_matrix<float, double>(a.view(), ad.view());
@@ -98,11 +102,12 @@ TEST(Refine, VectorsStayNormalized) {
   const index_t n = 32;
   auto a = test::random_symmetric<float>(n, 4);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   evd::EvdOptions opt;
   opt.bandwidth = 4;
   opt.vectors = true;
-  auto res = *evd::solve(a.view(), eng, opt);
-  auto refined = evd::refine_eigenpairs(a.view(), res.eigenvalues, res.vectors.view());
+  auto res = *evd::solve(a.view(), ctx, opt);
+  auto refined = evd::refine_eigenpairs(ctx, a.view(), res.eigenvalues, res.vectors.view());
   for (index_t j = 0; j < n; ++j) {
     double nrm = 0.0;
     for (index_t i = 0; i < n; ++i) nrm += refined.vectors(i, j) * refined.vectors(i, j);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/blas/blas.hpp"
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/lapack/sytrd.hpp"
 #include "src/lapack/tridiag.hpp"
@@ -173,14 +174,15 @@ TEST(Sbr, WyGeneratesSquarerGemmsThanZy) {
   const index_t n = 192, b = 8, nb = 64;
   auto a = test::random_symmetric<float>(n, 17);
   tc::Fp32Engine ez, ew;
-  ez.set_recording(true);
-  ew.set_recording(true);
+  Context cz(ez), cw(ew);
+  cz.telemetry().set_recording(true);
+  cw.telemetry().set_recording(true);
   SbrOptions zy;
   zy.bandwidth = b;
   SbrOptions wy = zy;
   wy.big_block = nb;
-  (void)sbr::sbr_zy(a.view(), ez, zy);
-  (void)sbr::sbr_wy(a.view(), ew, wy);
+  (void)sbr::sbr_zy(a.view(), cz, zy);
+  (void)sbr::sbr_wy(a.view(), cw, wy);
 
   auto weighted_k = [](const std::vector<tc::GemmShape>& shapes) {
     double fl = 0.0, acc = 0.0;
@@ -190,13 +192,13 @@ TEST(Sbr, WyGeneratesSquarerGemmsThanZy) {
     }
     return acc / fl;
   };
-  const double kz = weighted_k(ez.recorded());
-  const double kw = weighted_k(ew.recorded());
+  const double kz = weighted_k(cz.telemetry().recorded());
+  const double kw = weighted_k(cw.telemetry().recorded());
   EXPECT_LE(kz, static_cast<double>(b));       // ZY never exceeds the bandwidth
   EXPECT_GT(kw, 2.0 * static_cast<double>(b)); // WY pushes toward nb
 
   // And WY does strictly more arithmetic (paper Table 2).
-  EXPECT_GT(ew.recorded_flops(), ez.recorded_flops());
+  EXPECT_GT(cw.telemetry().recorded_flops(), cz.telemetry().recorded_flops());
 }
 
 TEST(Sbr, CachedOaVariantMatchesLiteral) {

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/common/norms.hpp"
 #include "src/svd/svd.hpp"
@@ -60,10 +61,11 @@ TEST(SvdViaEvd, MatchesJacobiSingularValues) {
   convert_matrix<double, float>(ad.view(), a.view());
 
   tc::Fp32Engine eng;
+  Context ctx(eng);
   svd::SvdOptions opt;
   opt.evd.bandwidth = 8;
   opt.evd.big_block = 16;
-  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  auto res = svd::svd_via_evd(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
 
   auto ref = svd::jacobi_svd(ad.view());
@@ -76,10 +78,11 @@ TEST(SvdViaEvd, FactorizationResidualAndOrthogonality) {
   const index_t m = 80, n = 32;
   auto a = test::random_matrix_f(m, n, 3);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   svd::SvdOptions opt;
   opt.evd.bandwidth = 8;
   opt.evd.big_block = 16;
-  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  auto res = svd::svd_via_evd(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_LT(svd_residual<float>(a.view(), res.u.view(), res.sigma, res.v.view()), 1e-4);
   EXPECT_LT(orthogonality_residual<float>(res.u.view()), 1e-3 * m);
@@ -90,10 +93,11 @@ TEST(SvdViaEvd, TensorCoreEngine) {
   const index_t m = 96, n = 32;
   auto a = test::random_matrix_f(m, n, 4);
   tc::TcEngine eng(tc::TcPrecision::Fp16);
+  Context ctx(eng);
   svd::SvdOptions opt;
   opt.evd.bandwidth = 8;
   opt.evd.big_block = 16;
-  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  auto res = svd::svd_via_evd(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   // Gram route squares the condition number; TC numerics: expect ~1e-2.
   EXPECT_LT(svd_residual<float>(a.view(), res.u.view(), res.sigma, res.v.view()), 5e-2);
@@ -103,10 +107,11 @@ TEST(SvdViaEvd, ValuesOnlyMode) {
   const index_t m = 50, n = 20;
   auto a = test::random_matrix_f(m, n, 5);
   tc::Fp32Engine eng;
+  Context ctx(eng);
   svd::SvdOptions opt;
   opt.vectors = false;
   opt.evd.bandwidth = 4;
-  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  auto res = svd::svd_via_evd(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   EXPECT_EQ(res.u.rows(), 0);
   auto ad = Matrix<double>(m, n);
@@ -126,9 +131,10 @@ TEST(SvdViaEvd, RankDeficientInput) {
   blas::gemm(Trans::No, Trans::No, 1.0f, b.view(), c.view(), 0.0f, a.view());
 
   tc::Fp32Engine eng;
+  Context ctx(eng);
   svd::SvdOptions opt;
   opt.evd.bandwidth = 4;
-  auto res = svd::svd_via_evd(a.view(), eng, opt);
+  auto res = svd::svd_via_evd(a.view(), ctx, opt);
   ASSERT_TRUE(res.converged);
   for (index_t i = r; i < n; ++i)
     EXPECT_LT(res.sigma[static_cast<std::size_t>(i)], 1e-2f * res.sigma[0]);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/blas/blas.hpp"
+#include "src/common/context.hpp"
 #include "src/tensorcore/engine.hpp"
 #include "src/tensorcore/mma_tile.hpp"
 #include "src/tensorcore/tc_gemm.hpp"
@@ -173,31 +174,54 @@ TEST(TcGemm, ErrorGrowsLikeSqrtK) {
   EXPECT_LT(growth, 0.85);  // clearly sublinear (sqrt-like, not linear)
 }
 
-TEST(Engine, RecordsShapes) {
+TEST(Context, RecordsShapes) {
   tc::Fp32Engine eng;
-  eng.set_recording(true);
+  Context ctx(eng);
+  ctx.telemetry().set_recording(true);
   auto a = test::random_matrix_f(10, 6, 20);
   auto b = test::random_matrix_f(6, 8, 21);
   Matrix<float> c(10, 8);
-  eng.gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
-  ASSERT_EQ(eng.recorded().size(), 1u);
-  EXPECT_EQ(eng.recorded()[0].m, 10);
-  EXPECT_EQ(eng.recorded()[0].n, 8);
-  EXPECT_EQ(eng.recorded()[0].k, 6);
-  EXPECT_EQ(eng.recorded()[0].min_dim(), 6);
-  EXPECT_DOUBLE_EQ(eng.recorded_flops(), 2.0 * 10 * 8 * 6);
-  eng.clear_recorded();
-  EXPECT_TRUE(eng.recorded().empty());
+  ctx.gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  const auto& rec = ctx.telemetry().recorded();
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].m, 10);
+  EXPECT_EQ(rec[0].n, 8);
+  EXPECT_EQ(rec[0].k, 6);
+  EXPECT_EQ(rec[0].min_dim(), 6);
+  EXPECT_EQ(rec[0].engine, tc::EngineKind::Fp32);
+  EXPECT_DOUBLE_EQ(ctx.telemetry().recorded_flops(), 2.0 * 10 * 8 * 6);
+  ctx.telemetry().clear_recorded();
+  EXPECT_TRUE(ctx.telemetry().recorded().empty());
 }
 
-TEST(Engine, TransposedShapeRecordsInnerDim) {
+TEST(Context, TransposedShapeRecordsInnerDim) {
   tc::Fp32Engine eng;
-  eng.set_recording(true);
+  Context ctx(eng);
+  ctx.telemetry().set_recording(true);
   auto a = test::random_matrix_f(6, 10, 22);  // op(A) = A^T is 10 x 6
   auto b = test::random_matrix_f(6, 8, 23);
   Matrix<float> c(10, 8);
-  eng.gemm(Trans::Yes, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
-  EXPECT_EQ(eng.recorded()[0].k, 6);
+  ctx.gemm(Trans::Yes, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  EXPECT_EQ(ctx.telemetry().recorded()[0].k, 6);
+}
+
+TEST(Context, EcTcShapesCarryThreeXCostFactor) {
+  // One logical EC GEMM = 3 Tensor-Core products (head x head, head x
+  // residual, residual x head): flops() must charge the 3x, while
+  // logical_flops() stays the textbook 2mnk.
+  tc::EcTcEngine eng(TcPrecision::Fp16);
+  Context ctx(eng);
+  ctx.telemetry().set_recording(true);
+  auto a = test::random_matrix_f(10, 6, 24);
+  auto b = test::random_matrix_f(6, 8, 25);
+  Matrix<float> c(10, 8);
+  ctx.gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  const auto& rec = ctx.telemetry().recorded();
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].engine, tc::EngineKind::EcTc);
+  EXPECT_DOUBLE_EQ(rec[0].logical_flops(), 2.0 * 10 * 8 * 6);
+  EXPECT_DOUBLE_EQ(rec[0].flops(), 3.0 * 2.0 * 10 * 8 * 6);
+  EXPECT_DOUBLE_EQ(ctx.telemetry().recorded_flops(), 3.0 * 2.0 * 10 * 8 * 6);
 }
 
 TEST(Engine, AllEnginesAgreeToTheirPrecision) {

@@ -1,0 +1,211 @@
+// Workspace arena and Context plumbing: alignment, scope rewind, spill
+// accounting, high-water mark, and the steady-state allocation-regression
+// guarantees the Context refactor exists to provide.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/common/context.hpp"
+#include "src/common/workspace.hpp"
+#include "src/evd/evd.hpp"
+#include "src/tensorcore/engine.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+bool aligned(const void* p, std::size_t a) {
+  return reinterpret_cast<std::uintptr_t>(p) % a == 0;
+}
+
+TEST(Workspace, CheckoutsAreAligned) {
+  Workspace ws;
+  auto scope = ws.scope();
+  for (std::size_t n : {1u, 3u, 63u, 64u, 65u, 1000u}) {
+    void* p = ws.alloc_bytes(n);
+    EXPECT_TRUE(aligned(p, Workspace::kAlignment)) << "request of " << n << " bytes";
+  }
+  float* f = scope.alloc<float>(7);
+  EXPECT_TRUE(aligned(f, Workspace::kAlignment));
+}
+
+TEST(Workspace, MatrixCheckoutIsZeroInitialized) {
+  Workspace ws;
+  auto scope = ws.scope();
+  {
+    auto m = scope.matrix<float>(16, 16);
+    for (index_t j = 0; j < 16; ++j)
+      for (index_t i = 0; i < 16; ++i) m(i, j) = 42.0f;
+  }
+  // A second checkout reuses the dirtied memory and must still read zero.
+  auto scope2 = ws.scope();
+  auto m2 = scope2.matrix<float>(16, 16);
+  for (index_t j = 0; j < 16; ++j)
+    for (index_t i = 0; i < 16; ++i) EXPECT_EQ(m2(i, j), 0.0f);
+}
+
+TEST(Workspace, ScopeReleaseRewindsBump) {
+  Workspace ws;
+  ws.reserve(1 << 16);
+  const std::size_t base = ws.bytes_in_use();
+  {
+    auto scope = ws.scope();
+    (void)scope.matrix<float>(32, 32);
+    EXPECT_GT(ws.bytes_in_use(), base);
+  }
+  EXPECT_EQ(ws.bytes_in_use(), base);
+}
+
+TEST(Workspace, NestedScopesReleaseLifo) {
+  Workspace ws;
+  ws.reserve(1 << 16);
+  auto outer = ws.scope();
+  (void)outer.matrix<float>(8, 8);
+  const std::size_t after_outer = ws.bytes_in_use();
+  {
+    auto inner = ws.scope();
+    (void)inner.matrix<float>(64, 64);
+    EXPECT_GT(ws.bytes_in_use(), after_outer);
+    {
+      auto inner2 = ws.scope();
+      (void)inner2.alloc<double>(100);
+    }
+    // inner2 released, inner's checkout still live.
+    EXPECT_GT(ws.bytes_in_use(), after_outer);
+  }
+  EXPECT_EQ(ws.bytes_in_use(), after_outer);
+}
+
+TEST(Workspace, SpillAppendsBlockAndScopeReleasesIt) {
+  Workspace ws;
+  ws.reserve(1 << 12);  // deliberately tiny: the next checkout must spill
+  const std::size_t blocks0 = ws.block_count();
+  {
+    auto scope = ws.scope();
+    // Far larger than the reserved block: must spill exactly once.
+    (void)scope.alloc<float>((std::size_t{4} << 20) / sizeof(float));
+    EXPECT_EQ(ws.block_count(), blocks0 + 1);
+    EXPECT_EQ(ws.spill_count(), 1);
+  }
+  // The spill block survives the scope (capacity is sticky) and is reused:
+  // the same request again must NOT add another block.
+  const std::size_t blocks1 = ws.block_count();
+  {
+    auto scope = ws.scope();
+    (void)scope.alloc<float>((std::size_t{4} << 20) / sizeof(float));
+  }
+  EXPECT_EQ(ws.block_count(), blocks1);
+  EXPECT_EQ(ws.spill_count(), 1);
+}
+
+TEST(Workspace, SpillBlocksHaveMinimumSize) {
+  Workspace ws;  // no reserve: first alloc spills
+  auto scope = ws.scope();
+  (void)scope.alloc<float>(4);
+  EXPECT_GE(ws.capacity(), Workspace::kMinBlockBytes);
+}
+
+TEST(Workspace, HighWaterMarkTracksPeakNotCurrent) {
+  Workspace ws;
+  ws.reserve(1 << 16);
+  {
+    auto scope = ws.scope();
+    (void)scope.matrix<float>(50, 50);
+  }
+  const std::size_t hwm = ws.high_water_mark();
+  EXPECT_GE(hwm, 50u * 50u * sizeof(float));
+  EXPECT_EQ(ws.bytes_in_use(), 0u);
+  // A smaller follow-up checkout must not move the peak.
+  {
+    auto scope = ws.scope();
+    (void)scope.matrix<float>(4, 4);
+  }
+  EXPECT_EQ(ws.high_water_mark(), hwm);
+}
+
+TEST(Workspace, ReserveIsIdempotentAndKeepsCapacity) {
+  Workspace ws;
+  ws.reserve(1 << 16);
+  const std::size_t cap = ws.capacity();
+  const std::size_t blocks = ws.block_count();
+  ws.reserve(1 << 10);  // smaller: no-op
+  ws.reserve(1 << 16);  // equal: no-op
+  EXPECT_EQ(ws.capacity(), cap);
+  EXPECT_EQ(ws.block_count(), blocks);
+}
+
+TEST(Context, OwnsOrBorrowsEngine) {
+  tc::Fp32Engine borrowed;
+  Context c1(borrowed);
+  EXPECT_EQ(&c1.engine(), static_cast<tc::GemmEngine*>(&borrowed));
+
+  Context c2(std::make_unique<tc::Fp32Engine>());
+  EXPECT_EQ(c2.engine().kind(), tc::EngineKind::Fp32);
+}
+
+TEST(Context, StageTimerAccumulatesByName) {
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  { StageTimer t(ctx.telemetry(), "stage.a"); }
+  { StageTimer t(ctx.telemetry(), "stage.a"); }
+  { StageTimer t(ctx.telemetry(), "stage.b"); }
+  const auto& stages = ctx.telemetry().stages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(ctx.telemetry().stages()[0].calls, 2);
+  EXPECT_GE(ctx.telemetry().stage_seconds("stage.a"), 0.0);
+  EXPECT_EQ(ctx.telemetry().stage_seconds("stage.nope"), 0.0);
+}
+
+// The allocation-regression guarantee of the refactor: a second evd::solve
+// of the same shape on the same Context must not grow the arena at all —
+// no new blocks, no spills — regardless of how accurate workspace_query is.
+TEST(Workspace, SteadyStateEvdSolveReusesArena) {
+  const index_t n = 96;
+  auto a = test::random_symmetric<float>(n, 4242);
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  opt.vectors = true;
+  opt.solver = evd::TriSolver::Bisection;  // exercises the arena-heavy path
+
+  auto r1 = *evd::solve(a.view(), ctx, opt);
+  ASSERT_TRUE(r1.converged);
+  const std::size_t blocks = ctx.workspace().block_count();
+  const long spills = ctx.workspace().spill_count();
+  const std::size_t hwm = ctx.workspace().high_water_mark();
+  EXPECT_EQ(ctx.workspace().bytes_in_use(), 0u);  // every scope closed
+
+  auto r2 = *evd::solve(a.view(), ctx, opt);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_EQ(ctx.workspace().block_count(), blocks) << "second solve grew the arena";
+  EXPECT_EQ(ctx.workspace().spill_count(), spills) << "second solve spilled";
+  EXPECT_EQ(ctx.workspace().high_water_mark(), hwm) << "second solve peaked higher";
+  EXPECT_EQ(ctx.workspace().bytes_in_use(), 0u);
+
+  // Same eigenvalues both times (the arena is state-free across solves).
+  for (std::size_t i = 0; i < r1.eigenvalues.size(); ++i)
+    EXPECT_EQ(r1.eigenvalues[i], r2.eigenvalues[i]);
+}
+
+TEST(Workspace, WorkspaceQueryCoversEvdSolve) {
+  // The lwork-style estimate must be an upper bound on the actual peak, so a
+  // caller who pre-reserves it sees zero spills from the very first solve.
+  const index_t n = 80;
+  auto a = test::random_symmetric<float>(n, 77);
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 16;
+  opt.vectors = true;
+  ctx.workspace().reserve(evd::workspace_query(n, opt));
+  auto res = *evd::solve(a.view(), ctx, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(ctx.workspace().spill_count(), 0) << "workspace_query undersized the arena";
+  EXPECT_LE(ctx.workspace().high_water_mark(), evd::workspace_query(n, opt));
+}
+
+}  // namespace
+}  // namespace tcevd
