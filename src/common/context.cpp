@@ -29,4 +29,21 @@ void Telemetry::record_recovery(const RecoveryLog& log) {
   recovery_.insert(recovery_.end(), log.begin(), log.end());
 }
 
+void Telemetry::merge_from(const Telemetry& other) {
+  shapes_.insert(shapes_.end(), other.shapes_.begin(), other.shapes_.end());
+  for (const StageStat& s : other.stages_) {
+    bool found = false;
+    for (StageStat& mine : stages_) {
+      if (mine.name == s.name) {
+        mine.seconds += s.seconds;
+        mine.calls += s.calls;
+        found = true;
+        break;
+      }
+    }
+    if (!found) stages_.push_back(s);
+  }
+  recovery_.insert(recovery_.end(), other.recovery_.begin(), other.recovery_.end());
+}
+
 }  // namespace tcevd

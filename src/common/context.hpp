@@ -69,6 +69,17 @@ class Telemetry {
   const RecoveryLog& recovery() const noexcept { return recovery_; }
   void clear_recovery() noexcept { recovery_.clear(); }
 
+  // --- cross-context aggregation --------------------------------------------
+  /// Fold another telemetry sink into this one: recorded GEMM shapes are
+  /// appended, stage timers accumulate by name (seconds and call counts both
+  /// add), and recovery events are appended. This is how batched drivers
+  /// collapse per-worker telemetry into one aggregate view; merging is
+  /// lossless for totals (sum over workers == merged totals) but does not
+  /// preserve interleaving order across sources. `other` is left untouched;
+  /// the caller serializes — merge while workers still record and you have a
+  /// race.
+  void merge_from(const Telemetry& other);
+
  private:
   bool recording_ = false;
   std::vector<tc::GemmShape> shapes_;

@@ -1,0 +1,98 @@
+#include "src/common/thread_pool.hpp"
+
+#include <utility>
+
+#include "src/common/check.hpp"
+
+namespace tcevd {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int w = 0; w < num_threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  TCEVD_CHECK(task != nullptr, "ThreadPool::submit requires a non-null task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TCEVD_CHECK(!stop_, "ThreadPool::submit on a stopping pool");
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(long count,
+                              const std::function<void(int worker, long index)>& body) {
+  if (count <= 0) return;
+  // One looping task per worker; indices are stolen off `state->next` so
+  // workers that finish early keep pulling work instead of waiting on a
+  // partition. Shared state is refcounted: the last worker to decrement
+  // `remaining` may still be unwinding its loop after the caller returns.
+  struct State {
+    std::atomic<long> next{0};
+    std::atomic<long> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    explicit State(long n) : remaining(n) {}
+  };
+  auto state = std::make_shared<State>(count);
+
+  const int tasks = static_cast<int>(std::min<long>(size(), count));
+  for (int w = 0; w < tasks; ++w) {
+    submit([state, count, &body, w] {
+      for (long i = state->next.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+        body(w, i);
+        if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->done.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->remaining.load(std::memory_order_acquire) == 0; });
+}
+
+int ThreadPool::hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::worker_loop(int /*worker_id*/) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace tcevd

@@ -1,0 +1,74 @@
+// Fixed-size worker thread pool for the batched drivers.
+//
+// The pool owns `size()` long-lived workers draining one FIFO task queue.
+// Batched drivers (evd::solve_many) use parallel_for, which enqueues one
+// looping task per worker; the workers then work-steal iteration indices off
+// a shared atomic counter, so a slow problem on one worker never strands the
+// rest of the batch behind it.
+//
+// Thread-safety contract: the pool's own state (queue, counters) is fully
+// synchronized; everything a task touches is the task's business. The
+// intended shape for the solver pipelines is N workers x N Contexts x one
+// shared GemmEngine — per-worker mutable state (workspace arena, telemetry)
+// lives on a Context owned by exactly one worker, while the engines are
+// stateless-per-call and safely shared (see src/common/context.hpp).
+//
+// Tasks must not throw: an exception escaping a task would unwind a worker
+// thread and terminate the process, so parallel_for bodies that can fail
+// should report through Status values captured per iteration instead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcevd {
+
+class ThreadPool {
+ public:
+  /// Spin up `num_threads` workers; values < 1 clamp to 1. The pool never
+  /// runs tasks on the calling thread (size() == 1 still means one worker),
+  /// so a task may block on the caller without deadlocking the queue.
+  explicit ThreadPool(int num_threads);
+  /// Drains nothing: outstanding tasks finish, queued-but-unstarted tasks
+  /// still run, then the workers join.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task. Tasks run in FIFO order across the worker set.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Run body(worker_id, index) for every index in [0, count), with the
+  /// pool's workers stealing indices off a shared atomic counter.
+  /// worker_id is in [0, size()) and is stable within one body invocation —
+  /// it is the index batched drivers use to pick a per-worker Context.
+  /// Blocks until every index has been processed.
+  void parallel_for(long count, const std::function<void(int worker, long index)>& body);
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static int hardware_threads() noexcept;
+
+ private:
+  void worker_loop(int worker_id);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;   // queue_ gained a task or stop_
+  std::condition_variable all_idle_;     // queue empty && in_flight_ == 0
+  int in_flight_ = 0;                    // tasks popped but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace tcevd

@@ -25,6 +25,16 @@ void Workspace::reserve(std::size_t bytes) {
   if (bytes == 0) return;
   for (const Block& b : blocks_)
     if (b.size >= bytes) return;
+  // Idle but fragmented (spills left several too-small blocks): coalesce to
+  // one block covering both the request and the observed peak, so steady
+  // state after a first spilled iteration is a single-block arena rather
+  // than a fresh spill per iteration.
+  if (bytes_in_use() == 0 && !blocks_.empty()) {
+    blocks_.clear();
+    active_ = 0;
+    add_block(bytes > high_water_ ? bytes : high_water_);
+    return;
+  }
   add_block(bytes);
 }
 

@@ -51,6 +51,12 @@ class Workspace {
   /// Ensure a single block of at least `bytes` exists (LAPACK-lwork style:
   /// pair with sbr::workspace_query / evd::workspace_query). A no-op when
   /// the largest block is already big enough; never discards live data.
+  /// When the arena is idle (nothing checked out) but fragmented across
+  /// spill blocks none of which satisfies `bytes`, the empty blocks are
+  /// replaced by one block of max(bytes, high_water_mark()), so a driver
+  /// that re-reserves between iterations rewinds to one contiguous block
+  /// covering its observed peak instead of re-spilling forever — the
+  /// steady-state contract batched solve_many leans on.
   void reserve(std::size_t bytes);
 
   /// Raw aligned checkout. The returned memory is owned by the arena and

@@ -1,0 +1,120 @@
+#include "src/evd/batch.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+
+#include "src/common/check.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/common/timer.hpp"
+#include "src/evd/partial.hpp"
+
+namespace tcevd::evd {
+
+std::size_t BatchResult::num_ok() const noexcept {
+  std::size_t n = 0;
+  for (const ProblemResult& p : problems)
+    if (p.status.ok()) ++n;
+  return n;
+}
+
+bool BatchResult::all_ok() const noexcept { return num_ok() == problems.size(); }
+
+namespace {
+
+/// Solve problem `a` on `ctx`, routing through the full or selected driver
+/// and flattening the result into the batch's per-problem record.
+void solve_one(ConstMatrixView<float> a, Context& ctx, const BatchOptions& opt,
+               ProblemResult& out) {
+  Timer t;
+  if (opt.selected) {
+    StatusOr<PartialResult> r =
+        solve_selected(a, ctx, opt.evd, opt.il, opt.iu, opt.evd.vectors);
+    if (r.ok()) {
+      out.eigenvalues = std::move(r->eigenvalues);
+      out.vectors = std::move(r->vectors);
+      out.recovery = std::move(r->recovery);
+      out.status = ok_status();
+    } else {
+      out.status = r.status();
+    }
+  } else {
+    StatusOr<EvdResult> r = solve(a, ctx, opt.evd);
+    if (r.ok()) {
+      out.eigenvalues = std::move(r->eigenvalues);
+      out.vectors = std::move(r->vectors);
+      out.recovery = std::move(r->recovery);
+      out.status = ok_status();
+    } else {
+      out.status = r.status();
+    }
+  }
+  out.seconds = t.seconds();
+}
+
+}  // namespace
+
+BatchResult solve_many(std::span<const ConstMatrixView<float>> problems,
+                       tc::GemmEngine& engine, const BatchOptions& opt) {
+  BatchResult result;
+  const long count = static_cast<long>(problems.size());
+  if (count == 0) return result;
+
+  const index_t n = problems[0].rows();
+  for (const ConstMatrixView<float>& a : problems)
+    TCEVD_CHECK(a.rows() == n && a.cols() == n,
+                "evd::solve_many requires same-shape square problems");
+  if (opt.selected)
+    TCEVD_CHECK(0 <= opt.il && opt.il <= opt.iu && opt.iu < n,
+                "evd::solve_many: selected range [il, iu] out of bounds");
+
+  Timer total;
+  int threads = opt.num_threads > 0 ? opt.num_threads : ThreadPool::hardware_threads();
+  threads = static_cast<int>(std::min<long>(threads, count));
+  result.num_threads = threads;
+  result.problems.resize(static_cast<std::size_t>(count));
+
+  // One pre-reserved Context per worker: the arena is sized once up front so
+  // every problem after the first runs allocation-free, and all per-solve
+  // mutable state (arena, telemetry, recovery scope) stays worker-private
+  // while the engine is shared (see the contract in src/common/context.hpp).
+  const std::size_t arena_bytes = workspace_query(n, opt.evd);
+  std::deque<Context> contexts;
+  for (int w = 0; w < threads; ++w) {
+    contexts.emplace_back(engine);
+    contexts.back().workspace().reserve(arena_bytes);
+  }
+
+  ThreadPool pool(threads);
+  pool.parallel_for(count, [&](int worker, long i) {
+    ProblemResult& out = result.problems[static_cast<std::size_t>(i)];
+    out.worker = worker;
+    // A throw out of a worker would take the process down (the pool's tasks
+    // are noexcept by contract), so unexpected exceptions become a
+    // per-problem Internal status like any other isolated failure.
+    try {
+      solve_one(problems[static_cast<std::size_t>(i)], contexts[static_cast<std::size_t>(worker)],
+                opt, out);
+    } catch (const std::exception& e) {
+      out.status = Status(ErrorCode::Internal,
+                          std::string("evd::solve_many: uncaught exception: ") + e.what());
+    } catch (...) {
+      out.status = Status(ErrorCode::Internal, "evd::solve_many: uncaught non-std exception");
+    }
+  });
+
+  // Workers are quiescent after parallel_for, so the merge is race-free.
+  for (Context& ctx : contexts) result.telemetry.merge_from(ctx.telemetry());
+  result.total_s = total.seconds();
+  return result;
+}
+
+BatchResult solve_many(const std::vector<Matrix<float>>& problems, tc::GemmEngine& engine,
+                       const BatchOptions& opt) {
+  std::vector<ConstMatrixView<float>> views;
+  views.reserve(problems.size());
+  for (const Matrix<float>& a : problems) views.push_back(a.view());
+  return solve_many(std::span<const ConstMatrixView<float>>(views), engine, opt);
+}
+
+}  // namespace tcevd::evd

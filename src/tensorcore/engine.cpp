@@ -15,19 +15,19 @@ const char* engine_kind_name(EngineKind kind) noexcept {
 
 void Fp32Engine::do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
                          ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
-                         MatrixView<float> c) {
+                         MatrixView<float> c) const {
   blas::gemm(transa, transb, alpha, a, b, beta, c);
 }
 
 void TcEngine::do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
                        ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
-                       MatrixView<float> c) {
+                       MatrixView<float> c) const {
   tc_gemm(transa, transb, alpha, a, b, beta, c, prec_);
 }
 
 void EcTcEngine::do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
                          ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
-                         MatrixView<float> c) {
+                         MatrixView<float> c) const {
   Status st = ec_tcgemm(transa, transb, alpha, a, b, beta, c, prec_);
   if (st.ok()) return;
   // ec_tcgemm reports saturation before touching C, so the identical update

@@ -72,15 +72,22 @@ class GemmEngine {
   /// C = alpha * op(A) * op(B) + beta * C under this engine's numerics.
   /// Prefer Context::gemm, which also records the shape into the context's
   /// telemetry sink; calling the engine directly performs no recording.
+  ///
+  /// const — and therefore callable through the `const GemmEngine&` a shared
+  /// engine hands concurrent workers: execution touches only its arguments
+  /// plus (for EcTcEngine) one atomic diagnostic counter. This signature is
+  /// the engine-sharing contract the batched drivers rely on; an engine whose
+  /// do_gemm needs non-atomic mutable state is not shareable and does not
+  /// belong under this interface.
   void gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
-            ConstMatrixView<float> b, float beta, MatrixView<float> c) {
+            ConstMatrixView<float> b, float beta, MatrixView<float> c) const {
     do_gemm(transa, transb, alpha, a, b, beta, c);
   }
 
  protected:
   virtual void do_gemm(blas::Trans transa, blas::Trans transb, float alpha,
                        ConstMatrixView<float> a, ConstMatrixView<float> b, float beta,
-                       MatrixView<float> c) = 0;
+                       MatrixView<float> c) const = 0;
 };
 
 /// Plain fp32 GEMM (cuBLAS-SGEMM stand-in).
@@ -91,7 +98,7 @@ class Fp32Engine final : public GemmEngine {
 
  protected:
   void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
-               ConstMatrixView<float> b, float beta, MatrixView<float> c) override;
+               ConstMatrixView<float> b, float beta, MatrixView<float> c) const override;
 
  private:
   std::string name_ = "fp32";
@@ -109,7 +116,7 @@ class TcEngine final : public GemmEngine {
 
  protected:
   void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
-               ConstMatrixView<float> b, float beta, MatrixView<float> c) override;
+               ConstMatrixView<float> b, float beta, MatrixView<float> c) const override;
 
  private:
   TcPrecision prec_;
@@ -134,12 +141,12 @@ class EcTcEngine final : public GemmEngine {
 
  protected:
   void do_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
-               ConstMatrixView<float> b, float beta, MatrixView<float> c) override;
+               ConstMatrixView<float> b, float beta, MatrixView<float> c) const override;
 
  private:
   TcPrecision prec_;
   std::string name_;
-  std::atomic<long> fp32_fallbacks_{0};
+  mutable std::atomic<long> fp32_fallbacks_{0};
 };
 
 }  // namespace tcevd::tc

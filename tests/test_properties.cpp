@@ -3,11 +3,14 @@
 // several random instances; failures print the seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <tuple>
 
 #include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/common/norms.hpp"
+#include "src/evd/batch.hpp"
 #include "src/evd/evd.hpp"
 #include "src/matgen/matgen.hpp"
 #include "src/sbr/band.hpp"
@@ -255,6 +258,159 @@ TEST_P(MatrixClassSweep, TcPipelineBounded) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllClasses, MatrixClassSweep, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Property: decomposition invariants the batched and single-solve paths
+// share — eigenvalue ordering, ||Q^T Q - I||, ||A - Q L Q^T|| / ||A|| —
+// across matgen spectrum classes including sign-flipped (indefinite) ones.
+// ---------------------------------------------------------------------------
+
+// A = Q diag(s) Q^T with the prescribed spectrum of `type` and every other
+// eigenvalue's sign flipped when `flip` — an indefinite variant of the SPD
+// matgen classes, with the flipped spectrum returned (ascending) in *out.
+Matrix<float> signed_spectrum_matrix(matgen::MatrixType type, index_t n, double cond,
+                                     bool flip, Rng& rng, std::vector<double>* out) {
+  auto s = matgen::prescribed_spectrum(type, n, cond);
+  if (flip)
+    for (std::size_t i = 0; i < s.size(); i += 2) s[i] = -s[i];
+  auto q = matgen::random_orthogonal(n, rng);
+  Matrix<double> sq(n, n), a(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) sq(i, j) = s[static_cast<std::size_t>(j)] * q(i, j);
+  blas::gemm(Trans::No, Trans::Yes, 1.0, sq.view(), q.view(), 0.0, a.view());
+  make_symmetric(a.view());
+  std::sort(s.begin(), s.end());
+  *out = std::move(s);
+  Matrix<float> af(n, n);
+  convert_matrix<double, float>(a.view(), af.view());
+  return af;
+}
+
+struct DecompCase {
+  matgen::MatrixType type;
+  double cond;
+  bool flip;  ///< sign-flip half the spectrum (indefinite variant)
+};
+
+class DecompositionInvariants
+    : public ::testing::TestWithParam<std::tuple<DecompCase, std::uint64_t>> {};
+
+TEST_P(DecompositionInvariants, OrderingOrthogonalityAndReconstruction) {
+  const auto [c, seed] = GetParam();
+  Rng rng(seed);
+  const index_t n = 48 + static_cast<index_t>(rng.bounded(48));
+  std::vector<double> expected;
+  Matrix<float> a = signed_spectrum_matrix(c.type, n, c.cond, c.flip, rng, &expected);
+
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  opt.vectors = true;
+  auto res = *evd::solve(a.view(), ctx, opt);
+  ASSERT_TRUE(res.converged) << "seed " << seed;
+
+  // Ascending order, and the prescribed spectrum recovered.
+  for (std::size_t i = 0; i + 1 < res.eigenvalues.size(); ++i)
+    EXPECT_LE(res.eigenvalues[i], res.eigenvalues[i + 1]) << "seed " << seed;
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(res.eigenvalues[static_cast<std::size_t>(i)],
+                expected[static_cast<std::size_t>(i)], 1e-3)
+        << "seed " << seed << " flip " << c.flip;
+
+  // ||Q^T Q - I|| and ||A - Q L Q^T||_F / ||A||_F.
+  EXPECT_LT(orthogonality_error<float>(res.vectors.view()), 1e-3) << "seed " << seed;
+  Matrix<float> lq(n, n), rec(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      lq(i, j) = res.vectors(i, j) * res.eigenvalues[static_cast<std::size_t>(j)];
+  blas::gemm<float>(Trans::No, Trans::Yes, 1.0f, lq.view(), res.vectors.view(), 0.0f,
+                    rec.view());
+  EXPECT_LT(test::rel_diff<float>(rec.view(), a.view()), 1e-3) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpectrumClasses, DecompositionInvariants,
+    ::testing::Combine(
+        ::testing::Values(DecompCase{matgen::MatrixType::Cluster0, 1e3, false},
+                          DecompCase{matgen::MatrixType::Cluster1, 1e3, true},
+                          DecompCase{matgen::MatrixType::Geo, 1e4, false},
+                          DecompCase{matgen::MatrixType::Geo, 1e2, true},
+                          DecompCase{matgen::MatrixType::Arith, 1e3, true}),
+        ::testing::Values<std::uint64_t>(101, 202)));
+
+// The same invariants hold — bitwise — through the batched driver: the batch
+// path must be the single-solve path run N times, nothing more.
+TEST(DecompositionInvariantsBatch, BatchedPathSharesSingleSolveInvariants) {
+  const index_t n = 56;
+  Rng rng(4242);
+  std::vector<Matrix<float>> batch;
+  std::vector<std::vector<double>> expected(4);
+  batch.reserve(4);
+  for (int i = 0; i < 4; ++i)
+    batch.push_back(signed_spectrum_matrix(matgen::MatrixType::Geo, n, 1e3, i % 2 == 1, rng,
+                                           &expected[static_cast<std::size_t>(i)]));
+
+  tc::Fp32Engine eng;
+  evd::BatchOptions bopt;
+  bopt.evd.bandwidth = 8;
+  bopt.evd.big_block = 32;
+  bopt.evd.vectors = true;
+  bopt.num_threads = 4;
+  auto bres = evd::solve_many(batch, eng, bopt);
+  ASSERT_TRUE(bres.all_ok());
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& p = bres.problems[i];
+    for (std::size_t j = 0; j + 1 < p.eigenvalues.size(); ++j)
+      EXPECT_LE(p.eigenvalues[j], p.eigenvalues[j + 1]);
+    EXPECT_LT(orthogonality_error<float>(p.vectors.view()), 1e-3) << "problem " << i;
+    EXPECT_LT(evd::eigenpair_residual(batch[i].view(), p.eigenvalues, p.vectors.view()), 1e-2)
+        << "problem " << i;
+
+    Context ctx(eng);
+    auto sres = *evd::solve(batch[i].view(), ctx, bopt.evd);
+    for (std::size_t j = 0; j < sres.eigenvalues.size(); ++j)
+      EXPECT_EQ(p.eigenvalues[j], sres.eigenvalues[j]) << "problem " << i;
+    EXPECT_EQ(frobenius_diff<float>(p.vectors.view(), sres.vectors.view()), 0.0)
+        << "problem " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: SBR band-width postcondition for awkward n — odd and prime
+// orders not divisible by nb (partial trailing blocks on every level).
+// ---------------------------------------------------------------------------
+
+class SbrAwkwardOrders
+    : public ::testing::TestWithParam<std::tuple<index_t, std::uint64_t>> {};
+
+TEST_P(SbrAwkwardOrders, BandPostconditionForOddPrimeOrders) {
+  const auto [n, seed] = GetParam();
+  ASSERT_EQ(n % 2, 1) << "sweep is about odd/prime orders";
+  Rng rng(seed);
+  Matrix<float> a(n, n);
+  fill_normal(rng, a.view());
+  make_symmetric(a.view());
+
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  sbr::SbrOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;  // never divides an odd n: every sweep ends ragged
+  ASSERT_NE(n % opt.big_block, 0);
+  auto res = *sbr::sbr_wy(a.view(), ctx, opt);
+
+  EXPECT_EQ(sbr::band_violation<float>(res.band.view(), opt.bandwidth), 0.0)
+      << "n=" << n << " seed " << seed;
+  const double fa = frobenius_norm<float>(a.view());
+  EXPECT_NEAR(frobenius_norm<float>(res.band.view()), fa, 1e-3 * fa) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(OddPrimes, SbrAwkwardOrders,
+                         ::testing::Combine(::testing::Values<index_t>(67, 83, 97, 101, 127),
+                                            ::testing::Values<std::uint64_t>(5, 6)));
 
 // ---------------------------------------------------------------------------
 // Degenerate inputs.

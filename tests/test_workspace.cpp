@@ -189,6 +189,65 @@ TEST(Workspace, SteadyStateEvdSolveReusesArena) {
     EXPECT_EQ(r1.eigenvalues[i], r2.eigenvalues[i]);
 }
 
+// solve_many's steady-state contract: a Context reused across a 16-problem
+// batch (different matrices, same shape) must rewind the arena to its
+// reserved high-water mark between iterations — zero new blocks, zero
+// re-spills, stable peak after the first problem — not pay per-problem
+// growth. This is the regression guard for the batched driver's "one
+// pre-reserved Context per worker" design.
+TEST(Workspace, SteadyStateHoldsAcrossSixteenProblemBatch) {
+  const index_t n = 72;
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  opt.vectors = true;
+
+  std::size_t blocks = 0, hwm = 0;
+  long spills = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto a = test::random_symmetric<float>(n, 31337 + i);
+    auto res = *evd::solve(a.view(), ctx, opt);
+    ASSERT_TRUE(res.converged) << "problem " << i;
+    EXPECT_EQ(ctx.workspace().bytes_in_use(), 0u) << "problem " << i;
+    if (i == 0) {
+      blocks = ctx.workspace().block_count();
+      spills = ctx.workspace().spill_count();
+      hwm = ctx.workspace().high_water_mark();
+    } else {
+      EXPECT_EQ(ctx.workspace().block_count(), blocks) << "problem " << i << " grew the arena";
+      EXPECT_EQ(ctx.workspace().spill_count(), spills) << "problem " << i << " re-spilled";
+      EXPECT_EQ(ctx.workspace().high_water_mark(), hwm) << "problem " << i << " peaked higher";
+    }
+  }
+}
+
+// An idle-but-fragmented arena (spills left several too-small blocks)
+// consolidates on the next reserve() instead of accreting blocks forever:
+// afterwards one block covers max(request, observed peak) and the request
+// that used to spill fits without growth.
+TEST(Workspace, ReserveConsolidatesFragmentedIdleArena) {
+  Workspace ws;
+  ws.reserve(1 << 12);
+  {
+    auto scope = ws.scope();
+    (void)scope.alloc<float>((std::size_t{2} << 20) / sizeof(float));  // forced spill
+  }
+  ASSERT_EQ(ws.spill_count(), 1);
+  ASSERT_GE(ws.block_count(), 2u);
+  const std::size_t hwm = ws.high_water_mark();
+
+  ws.reserve(std::size_t{3} << 20);  // bigger than any existing block
+  EXPECT_EQ(ws.block_count(), 1u) << "idle fragmented blocks were not coalesced";
+  EXPECT_GE(ws.capacity(), std::max(std::size_t{3} << 20, hwm));
+  {
+    auto scope = ws.scope();
+    (void)scope.alloc<float>((std::size_t{3} << 20) / sizeof(float));
+  }
+  EXPECT_EQ(ws.spill_count(), 1) << "the consolidated block re-spilled";
+}
+
 TEST(Workspace, WorkspaceQueryCoversEvdSolve) {
   // The lwork-style estimate must be an upper bound on the actual peak, so a
   // caller who pre-reserves it sees zero spills from the very first solve.
