@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/common/context.hpp"
 #include "src/common/timer.hpp"
 
 namespace tcevd::bench {
@@ -48,6 +49,18 @@ double time_once_s(F&& f) {
   Timer timer;
   f();
   return timer.seconds();
+}
+
+/// Print the per-stage wall-clock splits a context's telemetry accumulated —
+/// one indented line per stage, milliseconds and call counts. The [measured]
+/// sections call this after each run so the stage timers recorded throughout
+/// the pipeline (evd.reduction, sbr.wy, sbr.wy.lookahead, evd.bulge, ...)
+/// are actually surfaced instead of dying with the context.
+inline void stage_splits(const Telemetry& telemetry, const char* indent = "    ") {
+  if (telemetry.stages().empty()) return;
+  for (const Telemetry::StageStat& s : telemetry.stages())
+    std::printf("%s%-24s %9.2f ms  (%ld call%s)\n", indent, s.name.c_str(),
+                1e3 * s.seconds, s.calls, s.calls == 1 ? "" : "s");
 }
 
 }  // namespace tcevd::bench

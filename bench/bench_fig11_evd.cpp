@@ -99,6 +99,7 @@ int main() {
       std::printf("%-22s total %7.1f ms (reduce %6.1f, bulge %6.1f, solver %6.1f)\n", name,
                   t * 1e3, res.timings.reduction_s * 1e3, res.timings.bulge_s * 1e3,
                   res.timings.solver_s * 1e3);
+      bench::stage_splits(ctx.telemetry());
     };
     run(evd::Reduction::TwoStageWy, "two-stage WY + D&C");
     run(evd::Reduction::TwoStageZy, "two-stage ZY + D&C");

@@ -5,7 +5,7 @@
 //   tcevd_tool [--n N] [--type normal|uniform|cluster0|cluster1|arith|geo]
 //              [--cond C] [--engine fp32|tc|tf32|ectc] [--reduction wy|zy|one]
 //              [--solver dc|ql|bisect] [--b B] [--nb NB] [--vectors]
-//              [--check] [--seed S]
+//              [--lookahead] [--check] [--seed S]
 //
 // Examples:
 //   tcevd_tool --n 300 --type geo --cond 1e3 --engine tc --check
@@ -29,7 +29,7 @@ namespace {
   std::fprintf(stderr,
                "usage: tcevd_tool [--n N] [--type T] [--cond C] [--engine E]\n"
                "                  [--reduction R] [--solver S] [--b B] [--nb NB]\n"
-               "                  [--vectors] [--check] [--seed S]\n");
+               "                  [--vectors] [--lookahead] [--check] [--seed S]\n");
   std::exit(2);
 }
 
@@ -85,6 +85,8 @@ int main(int argc, char** argv) {
       opt.big_block = std::atoll(next());
     } else if (arg == "--vectors") {
       opt.vectors = true;
+    } else if (arg == "--lookahead") {
+      opt.lookahead = true;
     } else if (arg == "--check") {
       check = true;
     } else if (arg == "--seed") {

@@ -147,11 +147,41 @@ class Context {
     engine_->gemm(transa, transb, alpha, a, b, beta, c);
   }
 
+  // --- look-ahead sibling ---------------------------------------------------
+  // Overlapped schedules (sbr_wy look-ahead) run two stages in flight at
+  // once; two stages sharing one bump-pointer arena or one telemetry sink
+  // would race, so the second stage gets a sibling context: same engine,
+  // private arena + telemetry. Ownership rules during an overlap window:
+  // exactly one thread touches the parent (arena, telemetry, gemm) and
+  // exactly one thread touches the sibling; the join point then restores
+  // single-thread access before absorb_sibling_telemetry() folds the
+  // sibling's counters back into the parent.
+
+  /// Lazily created, persistent sibling (its arena stays warm across calls,
+  /// preserving the steady-state zero-allocation contract).
+  Context& lookahead_sibling();
+  bool has_lookahead_sibling() const noexcept { return sibling_ != nullptr; }
+  /// Merge the sibling's telemetry into this context's and clear the
+  /// sibling's. Call only when both sides are quiescent (after the join).
+  void absorb_sibling_telemetry();
+
  private:
   tc::GemmEngine* engine_;
   std::unique_ptr<tc::GemmEngine> owned_;
   Workspace workspace_;
   Telemetry telemetry_;
+  std::unique_ptr<Context> sibling_;
 };
+
+/// Per-thread scratch context for the deprecated `GemmEngine&` compatibility
+/// overloads. The old shims built a throwaway Context per call — cold arena,
+/// telemetry dropped on the floor — so a legacy caller in a loop re-allocated
+/// its entire workspace every solve. This returns one thread_local Context
+/// per (thread, engine) instead: the arena reaches its steady state after the
+/// first call and telemetry/recovery accumulate somewhere inspectable.
+/// Entries are keyed by engine address and capped; the cache belongs to the
+/// calling thread, so the one-context-per-thread contract holds by
+/// construction. New code should own a real Context.
+Context& compat_context(tc::GemmEngine& engine);
 
 }  // namespace tcevd

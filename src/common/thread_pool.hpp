@@ -56,6 +56,19 @@ class ThreadPool {
   /// Blocks until every index has been processed.
   void parallel_for(long count, const std::function<void(int worker, long index)>& body);
 
+  /// Two-task join: run `pooled` on a pool worker while `inline_task` runs on
+  /// the calling thread; returns only after both complete. This is the
+  /// look-ahead overlap primitive — the caller keeps the latency-critical
+  /// stage (e.g. the next panel factorization) on its own thread while the
+  /// bulk stage (the trailing update) drains on a worker. The join gives the
+  /// usual happens-before edges: everything written before the call is
+  /// visible to `pooled`, and everything `pooled` writes is visible to the
+  /// caller after return. Neither task may submit nested run_pair work into
+  /// the same single-worker pool from inside `pooled` (queueing is fine from
+  /// `inline_task`/other threads — tasks never block on each other).
+  void run_pair(const std::function<void()>& pooled,
+                const std::function<void()>& inline_task);
+
   /// std::thread::hardware_concurrency with a sane floor of 1.
   static int hardware_threads() noexcept;
 
@@ -70,5 +83,12 @@ class ThreadPool {
   int in_flight_ = 0;                    // tasks popped but not yet finished
   bool stop_ = false;
 };
+
+/// Small process-wide pool backing two-task overlap joins (the look-ahead
+/// schedule in sbr_wy). Lazily constructed on first use with
+/// min(4, hardware_threads()) workers and shared by every overlapping driver
+/// in the process: run_pair tasks from concurrent callers simply queue, so
+/// oversubscription degrades to less overlap, never to deadlock.
+ThreadPool& overlap_pool();
 
 }  // namespace tcevd

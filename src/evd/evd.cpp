@@ -82,6 +82,24 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptio
 
   if (opt.screen_input) TCEVD_RETURN_IF_ERROR(screen_input(a, opt.asymmetry_tol));
 
+  // Trivial sizes never reach the pipeline: SBR requires bandwidth >= 1 and
+  // bandwidth < n, which no clamp can satisfy for n <= 1 (and TCEVD_CHECK
+  // aborts, so batch drivers could not contain the failure either).
+  if (n <= 1) {
+    EvdResult trivial;
+    if (n == 1) {
+      trivial.eigenvalues.assign(1, a(0, 0));
+      if (opt.vectors) {
+        trivial.vectors = Matrix<float>(1, 1);
+        trivial.vectors(0, 0) = 1.0f;
+      }
+    } else if (opt.vectors) {
+      trivial.vectors = Matrix<float>(0, 0);
+    }
+    trivial.converged = true;
+    return trivial;
+  }
+
   ctx.workspace().reserve(workspace_query(n, opt));
   auto solve_scope = ctx.workspace().scope();
 
@@ -113,6 +131,7 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptio
     sopt.big_block -= sopt.big_block % sopt.bandwidth;
     sopt.panel = opt.panel;
     sopt.accumulate_q = opt.vectors;
+    sopt.lookahead = opt.lookahead && opt.reduction == Reduction::TwoStageWy;
 
     Timer t;
     StatusOr<sbr::SbrResult> sres_or = (opt.reduction == Reduction::TwoStageWy)
@@ -129,6 +148,10 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptio
           ConstMatrixView<float>(sres.band.view()), sopt.bandwidth);
       sbr::bulge_chase_band(band, d, e);
     } else {
+      if (opt.compact_second_stage && opt.vectors)
+        recovery::note("evd.second_stage",
+                       "compact_second_stage ignored: eigenvectors requested, bulge "
+                       "rotations must stream into Q; proceeding on full storage");
       MatrixView<float> qv = sres.q.view();
       MatrixView<float>* qp = opt.vectors ? &qv : nullptr;
       auto tri = bulge::bulge_chase(ctx, sres.band.view(), sopt.bandwidth, qp);
@@ -187,11 +210,11 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptio
   return result;
 }
 
-// Deprecated compatibility overload: cold private workspace, no telemetry.
+// Deprecated compatibility overload: per-thread scratch context (see
+// compat_context).
 StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
                           const EvdOptions& opt) {
-  Context ctx(engine);
-  return solve(a, ctx, opt);
+  return solve(a, compat_context(engine), opt);
 }
 
 std::size_t workspace_query(index_t n, const EvdOptions& opt) {

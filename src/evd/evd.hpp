@@ -46,9 +46,18 @@ struct EvdOptions {
   sbr::PanelKind panel = sbr::PanelKind::Tsqr;
   bool vectors = false;                         ///< compute eigenvectors
   /// Run bulge chasing on compact O(n*b) band storage instead of the full
-  /// matrix (eigenvalues-only pipelines; ignored when vectors are requested
-  /// since the rotations must also stream into Q).
+  /// matrix. Eigenvalues-only pipelines only: when `vectors` is also set the
+  /// flag is IGNORED — the bulge rotations must stream into Q, which the
+  /// compact kernel does not support — and the solve proceeds on full
+  /// storage, noting the ignored request in EvdResult::recovery (site
+  /// "evd.second_stage") so callers relying on the compact path's memory
+  /// profile find out.
   bool compact_second_stage = false;
+  /// Forwarded to SbrOptions::lookahead for the TwoStageWy reduction:
+  /// overlap each big block's panel factorization with the previous block's
+  /// trailing update. Numerically identical banded output; ignored by the
+  /// ZY and one-stage reductions.
+  bool lookahead = false;
   /// Reject NaN/Inf entries and gross asymmetry up front (InvalidInput)
   /// instead of feeding garbage to the pipeline. O(n^2) scan.
   bool screen_input = true;
@@ -93,8 +102,9 @@ struct EvdResult {
 /// always converged; `recovery` says what it took.
 StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt);
 
-/// Deprecated: wraps a temporary Context (cold workspace, no telemetry)
-/// around the bare engine.
+/// Deprecated: routes through the per-thread scratch Context of
+/// `compat_context(engine)` (warm arena after the first call). New code
+/// should construct a Context; see DESIGN.md §8.
 StatusOr<EvdResult> solve(ConstMatrixView<float> a, tc::GemmEngine& engine,
                           const EvdOptions& opt);
 

@@ -16,6 +16,19 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, Context& ctx,
   TCEVD_CHECK(a.cols() == n, "solve_selected requires a square symmetric matrix");
   TCEVD_CHECK(0 <= il && il <= iu && iu < n, "selected index range invalid");
 
+  // n == 1 never reaches the pipeline (SBR requires bandwidth in [1, n)).
+  // The index check above already pins il == iu == 0 here.
+  if (n == 1) {
+    PartialResult trivial;
+    trivial.eigenvalues.assign(1, a(0, 0));
+    if (vectors) {
+      trivial.vectors = Matrix<float>(1, 1);
+      trivial.vectors(0, 0) = 1.0f;
+    }
+    trivial.converged = true;
+    return trivial;
+  }
+
   ctx.workspace().reserve(workspace_query(n, opt));
   auto solve_scope = ctx.workspace().scope();
   StageTimer stage(ctx.telemetry(), "evd.partial");
@@ -95,12 +108,12 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, Context& ctx,
   return out;
 }
 
-// Deprecated compatibility overload: cold private workspace, no telemetry.
+// Deprecated compatibility overload: per-thread scratch context (see
+// compat_context).
 StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, tc::GemmEngine& engine,
                                        const EvdOptions& opt, index_t il, index_t iu,
                                        bool vectors) {
-  Context ctx(engine);
-  return solve_selected(a, ctx, opt, il, iu, vectors);
+  return solve_selected(a, compat_context(engine), opt, il, iu, vectors);
 }
 
 }  // namespace tcevd::evd

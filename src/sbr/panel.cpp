@@ -108,10 +108,12 @@ Status panel_factor_wy(Context& ctx, PanelKind kind, MatrixView<float> panel,
   return panel_factor_impl(ctx.workspace(), kind, panel, w, y);
 }
 
-// Deprecated compatibility overload: private per-call workspace.
+// Deprecated compatibility overload: per-thread scratch arena, warm after the
+// first call (the engine-keyed compat_context does not apply — this path
+// never touches a GemmEngine).
 Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
                        MatrixView<float> y) {
-  Workspace arena;
+  thread_local Workspace arena;
   return panel_factor_impl(arena, kind, panel, w, y);
 }
 

@@ -67,6 +67,16 @@ struct SbrOptions {
   /// flop count brackets the paper's Table 2 from below while the literal
   /// form brackets it from above. See EXPERIMENTS.md.
   bool wy_cache_oa_product = true;
+  /// WY only: left-looking look-ahead. The post-block trailing update is
+  /// split so the next block's first-panel columns are updated first; that
+  /// panel is then factored (TSQR + WY reconstruction) on the context's
+  /// look-ahead sibling while the remainder of the trailing update runs
+  /// concurrently on the shared overlap pool, removing the pipeline bubble
+  /// between consecutive big blocks. Same reflectors, different schedule:
+  /// the banded output matches the lookahead=false band to fp32 roundoff
+  /// (bitwise on column-independent engines), and lookahead=false remains
+  /// bitwise identical to the pre-look-ahead code. See DESIGN.md §10.
+  bool lookahead = false;
 };
 
 /// One accumulated block reflector I - W Y^T whose row support starts at
@@ -94,8 +104,18 @@ StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOpti
 /// (LAPACK-lwork style, conservative). Reserve it on the context's arena —
 /// `ctx.workspace().reserve(workspace_query(n, opt))` — to make every solve
 /// after the first allocation-free; the drivers also reserve it themselves
-/// on entry.
+/// on entry. The bound covers the split trailing update too, so it is
+/// unchanged by `opt.lookahead` (the overlapped panel draws from the
+/// sibling arena sized by lookahead_workspace_query below).
 std::size_t workspace_query(index_t n, const SbrOptions& opt);
+
+/// Peak bytes the look-ahead *sibling* arena needs: the doubled W/Y panel
+/// checkout (the prefactored next-panel reflectors held across the block
+/// boundary on top of the panel factorization's own W/Y scratch) plus TSQR
+/// tree buffers. Zero when `opt.lookahead` is false. sbr_wy reserves this on
+/// `ctx.lookahead_sibling()` itself on entry; exposed for callers that want
+/// to pre-warm the sibling arena.
+std::size_t lookahead_workspace_query(index_t n, const SbrOptions& opt);
 
 /// Factor `panel` (m x k, m >= 2) into (I - W Y^T) [R; 0]; writes [R; 0]
 /// back into `panel` and fills w, y (m x k). Shared by both SBR variants and
@@ -129,9 +149,11 @@ void apply_wy_blocks_left(const std::vector<WyBlock>& blocks, Context& ctx,
                           MatrixView<float> x);
 
 // ---------------------------------------------------------------------------
-// Deprecated compatibility overloads: each wraps a temporary Context around
-// the bare engine (cold workspace, no telemetry), so legacy callers keep
-// working while they migrate. New code should construct a Context.
+// Deprecated compatibility overloads: each routes through the per-thread
+// scratch Context of `compat_context(engine)` (warm arena after the first
+// call, telemetry accumulated on the scratch context), so legacy callers
+// keep working — and stop re-allocating per call — while they migrate. New
+// code should construct a Context. See DESIGN.md §8.
 // ---------------------------------------------------------------------------
 
 StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,

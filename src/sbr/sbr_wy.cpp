@@ -22,8 +22,25 @@
 // out of the context's workspace arena: the outer scope lives for one big
 // block, a nested scope per panel iteration. A steady-state caller therefore
 // performs zero heap allocations here once the arena is warm.
+//
+// Look-ahead (SbrOptions::lookahead): the serial schedule leaves block i+1's
+// first panel factorization stalled behind block i's full trailing update —
+// the classic pipeline bubble left-looking look-ahead removes. Because every
+// trailing column is an independent restriction of the block invariant, the
+// update splits by columns with no change in the computed values: the first
+// b trailing columns (the next panel's support) are produced eagerly on the
+// calling thread, then the next panel is factored against the context's
+// look-ahead sibling (private arena + telemetry) while the remaining
+// trailing columns drain on a pool worker that touches only the *main*
+// context. The prefactored reflectors are merged into block i+1's W/Y
+// accumulation when its iteration begins. Same reflectors, different
+// schedule; see DESIGN.md §10 for the arena-ownership rules.
+#include <optional>
+
 #include "src/blas/blas.hpp"
 #include "src/common/context.hpp"
+#include "src/common/recovery.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/sbr/sbr.hpp"
 
 namespace tcevd::sbr {
@@ -42,11 +59,31 @@ struct WyParams {
   std::vector<WyBlock>* blocks = nullptr;
   bool cache_oa = false;  // maintain P = OA*W incrementally instead of
                           // recomputing it with the full W every panel
+  bool lookahead = false;
+};
+
+/// Next-block panel prefactored during the look-ahead overlap window. The
+/// reflectors live in the sibling arena under `scope`, which stays open
+/// across the block boundary until block i+1 consumes them; A already holds
+/// the panel's [R; 0] columns (mirroring waits for the join — the row strip
+/// it writes belongs to the concurrent trailing task).
+struct LookaheadPanel {
+  MatrixView<float> w, y;
+  std::optional<Workspace::Scope> scope;
+  index_t owner = -1;  // global block offset s' these reflectors belong to
+  bool valid = false;
+
+  void drop() {
+    valid = false;
+    w = MatrixView<float>();
+    y = MatrixView<float>();
+    scope.reset();
+  }
 };
 
 /// Process the big block starting at global offset s; returns the number of
 /// columns reduced (0 when the active matrix is already banded).
-StatusOr<index_t> process_block(WyParams& prm, index_t s) {
+StatusOr<index_t> process_block(WyParams& prm, index_t s, LookaheadPanel& la) {
   const index_t na = prm.n - s;  // active size
   const index_t b = prm.b;
   if (na - b < 2) return index_t{0};
@@ -115,11 +152,21 @@ StatusOr<index_t> process_block(WyParams& prm, index_t s) {
         for (index_t r = 0; r < rrows; ++r) A(s + c + j, s + c + r) = A(s + c + r, s + c + j);
     }
 
-    // Panel QR: global rows [s+c+b, n) x cols [s+c, s+c+b).
-    auto panel = A.sub(s + c + b, s + c, m, b);
-    auto w = panel_scope.matrix<float>(m, b);
-    auto y = panel_scope.matrix<float>(m, b);
-    TCEVD_RETURN_IF_ERROR(panel_factor_wy(ctx, prm.panel_kind, panel, w, y));
+    // Panel QR: global rows [s+c+b, n) x cols [s+c, s+c+b). When the panel
+    // was prefactored during the previous block's overlap window, A already
+    // holds [R; 0] and the reflectors come from the sibling arena; only the
+    // band-column mirror (deferred past the join) remains.
+    const bool prefactored = (p == 0) && la.valid && la.owner == s;
+    MatrixView<float> w, y;
+    if (prefactored) {
+      w = la.w;
+      y = la.y;
+    } else {
+      auto panel = A.sub(s + c + b, s + c, m, b);
+      w = panel_scope.matrix<float>(m, b);
+      y = panel_scope.matrix<float>(m, b);
+      TCEVD_RETURN_IF_ERROR(panel_factor_wy(ctx, prm.panel_kind, panel, w, y));
+    }
     for (index_t j = 0; j < b; ++j)  // mirror the finalized band columns
       for (index_t r = 0; r < m; ++r) A(s + c + j, s + c + b + r) = A(s + c + b + r, s + c + j);
 
@@ -132,11 +179,12 @@ StatusOr<index_t> process_block(WyParams& prm, index_t s) {
     auto wcol = W.sub(0, c, mt, b);
     set_zero(wcol);
     copy_matrix<float>(ConstMatrixView<float>(w), W.sub(c, c, m, b));
+    if (prefactored) la.drop();  // reflectors copied out; release the sibling scope
     if (c > 0) {
       // w' = w - W (Y^T w).
       auto ytw = panel_scope.matrix<float>(c, b);
       ctx.gemm(Trans::Yes, Trans::No, 1.0f, ConstMatrixView<float>(Y.sub(c, 0, m, c)),
-               ConstMatrixView<float>(w), 0.0f, ytw);
+               ConstMatrixView<float>(W.sub(c, c, m, b)), 0.0f, ytw);
       ctx.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(W.sub(0, 0, mt, c)),
                ytw, 1.0f, wcol);
     }
@@ -154,6 +202,11 @@ StatusOr<index_t> process_block(WyParams& prm, index_t s) {
   // Full trailing update: rows/cols [cols_done, na) — OA coords [cols_done-b, mt).
   const index_t t0 = cols_done - b;  // OA-coordinate offset
   const index_t tw = mt - t0;        // trailing width
+  // Look-ahead fires only when a next block will actually run: its first
+  // panel has next_rows = tw - b reflector rows and process_block requires
+  // at least 2 of them.
+  const index_t next_rows = tw - b;
+  const bool overlap = prm.lookahead && tw > 0 && next_rows >= 2;
   if (tw > 0) {
     auto trail_scope = ws.scope();
     auto Wv = W.sub(0, 0, mt, cols_done);
@@ -167,20 +220,94 @@ StatusOr<index_t> process_block(WyParams& prm, index_t s) {
       big_v = big;
     }
 
-    auto mcol = trail_scope.matrix<float>(mt, tw);
-    copy_matrix<float>(oa.sub(0, t0, mt, tw), mcol);
-    ctx.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
-             ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)), 1.0f, mcol);
+    if (!overlap) {
+      auto mcol = trail_scope.matrix<float>(mt, tw);
+      copy_matrix<float>(oa.sub(0, t0, mt, tw), mcol);
+      ctx.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
+               ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)), 1.0f, mcol);
 
-    auto wtm = trail_scope.matrix<float>(cols_done, tw);
-    ctx.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol, 0.0f, wtm);
-    auto ga = trail_scope.matrix<float>(tw, tw);
-    copy_matrix<float>(mcol.sub(t0, 0, tw, tw), ga);
-    ctx.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)),
-             wtm, 1.0f, ga);
+      auto wtm = trail_scope.matrix<float>(cols_done, tw);
+      ctx.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol, 0.0f, wtm);
+      auto ga = trail_scope.matrix<float>(tw, tw);
+      copy_matrix<float>(mcol.sub(t0, 0, tw, tw), ga);
+      ctx.gemm(Trans::No, Trans::No, -1.0f, ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)),
+               wtm, 1.0f, ga);
 
-    copy_matrix<float>(ConstMatrixView<float>(ga),
-                       A.sub(s + cols_done, s + cols_done, tw, tw));
+      copy_matrix<float>(ConstMatrixView<float>(ga),
+                         A.sub(s + cols_done, s + cols_done, tw, tw));
+    } else {
+      // --- look-ahead schedule -------------------------------------------
+      // Every trailing column j is M(:, j) = OA(:, t0+j) - P Y(t0+j, :)^T
+      // followed by the left restriction — column-independent, so the split
+      // below computes exactly the values of the unsplit update.
+      //
+      // (1) First b columns now, on this thread: the next panel's support.
+      {
+        auto pre_scope = ws.scope();
+        auto mcol = pre_scope.matrix<float>(mt, b);
+        copy_matrix<float>(oa.sub(0, t0, mt, b), mcol);
+        ctx.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
+                 ConstMatrixView<float>(Y.sub(t0, 0, b, cols_done)), 1.0f, mcol);
+        auto wtm = pre_scope.matrix<float>(cols_done, b);
+        ctx.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol, 0.0f, wtm);
+        auto ga = pre_scope.matrix<float>(tw, b);
+        copy_matrix<float>(mcol.sub(t0, 0, tw, b), ga);
+        ctx.gemm(Trans::No, Trans::No, -1.0f,
+                 ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)), wtm, 1.0f, ga);
+        copy_matrix<float>(ConstMatrixView<float>(ga),
+                           A.sub(s + cols_done, s + cols_done, tw, b));
+      }
+
+      // (2) Remainder scratch checked out *before* the worker starts: during
+      // the overlap window the worker must never touch this arena's bump
+      // pointer (it only fills buffers the caller handed it).
+      const index_t tw2 = tw - b;
+      auto mcol2 = trail_scope.matrix<float>(mt, tw2);
+      auto wtm2 = trail_scope.matrix<float>(cols_done, tw2);
+      auto ga2 = trail_scope.matrix<float>(tw, tw2);
+
+      // (3) Overlap: the trailing remainder drains on a pool worker through
+      // the MAIN context (arena untouched, telemetry exclusively its own for
+      // the window) while this thread factors block i+1's first panel
+      // against the SIBLING context. Worker-side recovery notes land in a
+      // local scope and are re-homed onto this thread's ambient scope after
+      // the join (recovery scopes are thread-local).
+      Context& sib = ctx.lookahead_sibling();
+      la.scope.emplace(sib.workspace());
+      la.w = la.scope->matrix<float>(next_rows, b);
+      la.y = la.scope->matrix<float>(next_rows, b);
+      Status panel_st = ok_status();
+      RecoveryLog trailing_log;
+      StageTimer overlap_timer(ctx.telemetry(), "sbr.wy.lookahead");
+      overlap_pool().run_pair(
+          [&] {  // pool worker: trailing-update remainder
+            recovery::Scope worker_scope;
+            StageTimer t(ctx.telemetry(), "sbr.wy.trailing");
+            copy_matrix<float>(oa.sub(0, t0 + b, mt, tw2), mcol2);
+            ctx.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
+                     ConstMatrixView<float>(Y.sub(t0 + b, 0, tw2, cols_done)), 1.0f, mcol2);
+            ctx.gemm(Trans::Yes, Trans::No, 1.0f, Wv, mcol2, 0.0f, wtm2);
+            copy_matrix<float>(mcol2.sub(t0, 0, tw, tw2), ga2);
+            ctx.gemm(Trans::No, Trans::No, -1.0f,
+                     ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done)), wtm2, 1.0f, ga2);
+            copy_matrix<float>(ConstMatrixView<float>(ga2),
+                               A.sub(s + cols_done, s + cols_done + b, tw, tw2));
+            trailing_log = worker_scope.take();
+          },
+          [&] {  // calling thread: next block's first panel, sibling arena
+            StageTimer t(sib.telemetry(), "sbr.wy.lookahead.panel");
+            auto panel = A.sub(s + cols_done + b, s + cols_done, next_rows, b);
+            panel_st = panel_factor_wy(sib, prm.panel_kind, panel, la.w, la.y);
+          });
+      overlap_timer.stop();
+      for (const RecoveryEvent& ev : trailing_log) recovery::note(ev.site, ev.action);
+      if (!panel_st.ok()) {
+        la.drop();
+        return panel_st;
+      }
+      la.owner = s + cols_done;
+      la.valid = true;
+    }
   }
 
   if (prm.blocks) {
@@ -207,6 +334,8 @@ StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOpti
   TCEVD_CHECK(nb % b == 0, "sbr_wy big_block must be a multiple of bandwidth");
 
   ctx.workspace().reserve(workspace_query(n, opt));
+  if (opt.lookahead)
+    ctx.lookahead_sibling().workspace().reserve(lookahead_workspace_query(n, opt));
   StageTimer stage(ctx.telemetry(), "sbr.wy");
 
   SbrResult result;
@@ -222,14 +351,19 @@ StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOpti
   prm.panel_kind = opt.panel;
   prm.blocks = &result.blocks;
   prm.cache_oa = opt.wy_cache_oa_product;
+  prm.lookahead = opt.lookahead;
 
-  index_t s = 0;
-  for (;;) {
-    StatusOr<index_t> done = process_block(prm, s);
-    if (!done.ok()) return done.status();
-    if (*done == 0) break;
-    s += *done;
+  {
+    LookaheadPanel la;  // prefactored panel carried across block boundaries
+    index_t s = 0;
+    for (;;) {
+      StatusOr<index_t> done = process_block(prm, s, la);
+      if (!done.ok()) return done.status();
+      if (*done == 0) break;
+      s += *done;
+    }
   }
+  if (ctx.has_lookahead_sibling()) ctx.absorb_sibling_telemetry();
 
   if (opt.accumulate_q) {
     result.q = form_q(result.blocks, n, ctx);
@@ -257,6 +391,9 @@ std::size_t workspace_query(index_t n, const SbrOptions& opt) {
   // reconstruction LU copy, and the blocked-QR fallback work buffer.
   f += 6.0 * double(mt) * b;
   f += 8.0 * double(b) * b * 64.0;
+  // The look-ahead split checks out column slices of the same trailing
+  // buffers (part-1 slices under a nested scope released before the part-2
+  // checkout), so the trailing terms above already bound it.
   // ZY-variant scratch (P, S, Z, back-transform T) is strictly smaller and
   // also covered by the panel + trailing terms above.
 
@@ -265,11 +402,25 @@ std::size_t workspace_query(index_t n, const SbrOptions& opt) {
   return static_cast<std::size_t>(f) * sizeof(float) + kAllocSlop;
 }
 
-// Deprecated compatibility overload: cold private workspace, no telemetry.
+std::size_t lookahead_workspace_query(index_t n, const SbrOptions& opt) {
+  if (!opt.lookahead || n <= 1) return 0;
+  const index_t b = std::min<index_t>(std::max<index_t>(opt.bandwidth, 1), n - 1);
+  const index_t mt = std::max<index_t>(n - b, 1);
+  // The prefactored reflectors held across the block boundary (w, y) plus
+  // the panel factorization's own scratch running on top of them — the
+  // "doubled W/Y checkout": same panel terms as workspace_query, doubled.
+  double f = 2.0 * double(mt) * b;         // held w/y
+  f += 6.0 * double(mt) * b;               // TSQR q/r + tree scratch
+  f += 8.0 * double(b) * b * 64.0;         // combine buffers, LU copy, fallback
+  constexpr std::size_t kAllocSlop = 128 * Workspace::kAlignment;
+  return static_cast<std::size_t>(f) * sizeof(float) + kAllocSlop;
+}
+
+// Deprecated compatibility overload: per-thread scratch context (see
+// compat_context).
 StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
                            const SbrOptions& opt) {
-  Context ctx(engine);
-  return sbr_wy(a, ctx, opt);
+  return sbr_wy(a, compat_context(engine), opt);
 }
 
 }  // namespace tcevd::sbr

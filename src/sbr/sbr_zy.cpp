@@ -96,11 +96,11 @@ StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, Context& ctx, const SbrOpti
   return result;
 }
 
-// Deprecated compatibility overload: cold private workspace, no telemetry.
+// Deprecated compatibility overload: per-thread scratch context (see
+// compat_context).
 StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
                            const SbrOptions& opt) {
-  Context ctx(engine);
-  return sbr_zy(a, ctx, opt);
+  return sbr_zy(a, compat_context(engine), opt);
 }
 
 }  // namespace tcevd::sbr

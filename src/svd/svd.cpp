@@ -98,11 +98,11 @@ SvdResult svd_via_evd(ConstMatrixView<float> a, Context& ctx, const SvdOptions& 
   return out;
 }
 
-// Deprecated compatibility overload: cold private workspace, no telemetry.
+// Deprecated compatibility overload: per-thread scratch context (see
+// compat_context).
 SvdResult svd_via_evd(ConstMatrixView<float> a, tc::GemmEngine& engine,
                       const SvdOptions& opt) {
-  Context ctx(engine);
-  return svd_via_evd(a, ctx, opt);
+  return svd_via_evd(a, compat_context(engine), opt);
 }
 
 template <typename T>

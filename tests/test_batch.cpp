@@ -146,6 +146,60 @@ TEST(SolveMany, SingleProblemDefaultThreads) {
   EXPECT_EQ(res.num_threads, 1);
 }
 
+TEST(SolveMany, NegativeThreadCountFallsBackToAuto) {
+  const index_t n = 24;
+  auto batch = make_batch(n, 3, 5200);
+  tc::Fp32Engine engine;
+  evd::BatchOptions bopt;
+  bopt.evd.bandwidth = 4;
+  bopt.num_threads = -7;  // same contract as 0: auto-detect, clamp to batch
+  auto res = evd::solve_many(batch, engine, bopt);
+  ASSERT_TRUE(res.all_ok());
+  EXPECT_GE(res.num_threads, 1);
+  EXPECT_LE(res.num_threads, 3);
+}
+
+TEST(SolveMany, TinyProblemsSolveInsteadOfAborting) {
+  // n = 1 can never reach the SBR pipeline (bandwidth must sit in [1, n));
+  // the pre-fix behavior aborted the whole process from inside a worker.
+  std::vector<Matrix<float>> batch;
+  for (int i = 0; i < 4; ++i) {
+    Matrix<float> a(1, 1);
+    a(0, 0) = 2.5f + static_cast<float>(i);
+    batch.push_back(std::move(a));
+  }
+  tc::Fp32Engine engine;
+  evd::BatchOptions bopt;
+  bopt.evd.vectors = true;
+  auto res = evd::solve_many(batch, engine, bopt);
+  ASSERT_TRUE(res.all_ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(res.problems[static_cast<std::size_t>(i)].eigenvalues.size(), 1u);
+    EXPECT_EQ(res.problems[static_cast<std::size_t>(i)].eigenvalues[0],
+              2.5f + static_cast<float>(i));
+    EXPECT_EQ(res.problems[static_cast<std::size_t>(i)].vectors(0, 0), 1.0f);
+  }
+}
+
+TEST(SolveMany, LookaheadBatchMatchesSerialScheduleBitwise) {
+  const index_t n = 64;
+  auto batch = make_batch(n, 6, 6100);
+  tc::Fp32Engine engine;
+  evd::BatchOptions bopt;
+  bopt.evd.bandwidth = 8;
+  bopt.evd.big_block = 16;
+  bopt.num_threads = 2;
+  auto serial = evd::solve_many(batch, engine, bopt);
+  bopt.evd.lookahead = true;
+  auto overlapped = evd::solve_many(batch, engine, bopt);
+  ASSERT_TRUE(serial.all_ok());
+  ASSERT_TRUE(overlapped.all_ok());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j)
+      EXPECT_EQ(overlapped.problems[i].eigenvalues[j], serial.problems[i].eigenvalues[j])
+          << "problem " << i << " eigenvalue " << j;
+}
+
 // ---------------------------------------------------------------------------
 // Failure isolation: a poisoned problem must not fail its neighbors.
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/evd/evd.hpp"
+#include "src/evd/partial.hpp"
 #include "src/matgen/matgen.hpp"
 #include "test_util.hpp"
 
@@ -159,6 +160,70 @@ TEST(Evd, TimingsPopulated) {
   EXPECT_GT(res.timings.solver_s, 0.0);
   EXPECT_GE(res.timings.total_s,
             res.timings.reduction_s + res.timings.bulge_s + res.timings.solver_s - 1e-9);
+}
+
+TEST(Evd, CompactSecondStageIgnoredWithVectorsIsLogged) {
+  // compact_second_stage cannot stream the bulge rotations into Q, so with
+  // vectors requested it is ignored — but the caller must be told.
+  const index_t n = 64;
+  auto a = test::random_symmetric<float>(n, 23);
+  EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  opt.vectors = true;
+  opt.compact_second_stage = true;
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  auto res = *evd::solve(a.view(), ctx, opt);
+  ASSERT_TRUE(res.converged);
+  bool noted = false;
+  for (const RecoveryEvent& ev : res.recovery)
+    if (ev.site == "evd.second_stage") noted = true;
+  EXPECT_TRUE(noted) << "ignored compact_second_stage request was not surfaced";
+
+  // Eigenvalues-only with the same flag takes the compact path silently.
+  opt.vectors = false;
+  Context ctx2(eng);
+  auto res2 = *evd::solve(a.view(), ctx2, opt);
+  ASSERT_TRUE(res2.converged);
+  for (const RecoveryEvent& ev : res2.recovery) EXPECT_NE(ev.site, "evd.second_stage");
+}
+
+TEST(Evd, TrivialSizesSolveInsteadOfAborting) {
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  EvdOptions opt;
+  opt.vectors = true;
+
+  // n = 1: bandwidth = min(b, n-1) = 0 used to fail the SBR precondition
+  // check and abort the process.
+  Matrix<float> a1(1, 1);
+  a1(0, 0) = -3.25f;
+  auto r1 = evd::solve(a1.view(), ctx, opt);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->converged);
+  ASSERT_EQ(r1->eigenvalues.size(), 1u);
+  EXPECT_EQ(r1->eigenvalues[0], -3.25f);
+  EXPECT_EQ(r1->vectors(0, 0), 1.0f);
+
+  // n = 0: empty, converged result.
+  Matrix<float> a0(0, 0);
+  auto r0 = evd::solve(a0.view(), ctx, opt);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_TRUE(r0->converged);
+  EXPECT_TRUE(r0->eigenvalues.empty());
+
+  // n = 2 is the smallest size that goes through the real pipeline.
+  auto a2 = test::random_symmetric<float>(2, 29);
+  auto r2 = evd::solve(a2.view(), ctx, opt);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->eigenvalues.size(), 2u);
+  EXPECT_LE(r2->eigenvalues[0], r2->eigenvalues[1]);
+
+  // solve_selected shares the trivial path.
+  auto sel = evd::solve_selected(a1.view(), ctx, opt, 0, 0, /*vectors=*/true);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->eigenvalues[0], -3.25f);
 }
 
 TEST(Evd, KnownSpectrumRecovered) {

@@ -217,6 +217,30 @@ TEST(Sbr, CachedOaVariantMatchesLiteral) {
   EXPECT_LT(test::rel_diff<float>(r1.band.view(), r2.band.view()), 1e-4);
 }
 
+TEST(Sbr, LookaheadScheduleMatchesSerialBand) {
+  // SbrOptions::lookahead reorders work (next-panel factorization overlaps
+  // the trailing update) without changing any operand, so the band and the
+  // accumulated WY blocks must agree with the serial schedule. Exhaustive
+  // shape coverage lives in test_lookahead.cpp (ctest label: lookahead).
+  const index_t n = 100, b = 8;
+  auto a = test::random_symmetric<float>(n, 37);
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  SbrOptions serial;
+  serial.bandwidth = b;
+  serial.big_block = 32;
+  SbrOptions overlapped = serial;
+  overlapped.lookahead = true;
+  auto r1 = *sbr::sbr_wy(a.view(), ctx, serial);
+  auto r2 = *sbr::sbr_wy(a.view(), ctx, overlapped);
+  EXPECT_LE(frobenius_diff<float>(r1.band.view(), r2.band.view()),
+            1e-5 * frobenius_norm<float>(a.view()));
+  ASSERT_EQ(r1.blocks.size(), r2.blocks.size());
+  for (std::size_t k = 0; k < r1.blocks.size(); ++k)
+    EXPECT_LT(test::rel_diff<float>(r1.blocks[k].w.view(), r2.blocks[k].w.view()), 1e-5)
+        << "WY block " << k;
+}
+
 TEST(Sbr, FormWMatchesProgressiveAccumulation) {
   const index_t n = 96, b = 8;
   auto a = test::random_symmetric<float>(n, 19);
