@@ -3,8 +3,12 @@
 // tridiagonal solvers, and the SBR variants at CPU-friendly sizes.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
+#include "src/blas/gemm_threading.hpp"
 #include "src/bulge/bulge_chasing.hpp"
 #include "src/common/rng.hpp"
 #include "src/lapack/tridiag.hpp"
@@ -235,5 +239,90 @@ void BM_Steqr(benchmark::State& state) {
 }
 BENCHMARK(BM_Steqr)->Arg(128)->Arg(512);
 
+// ---------------------------------------------------------------------------
+// Packed GEMM sweep: GFLOP/s per trans-combo and shape, serial vs pooled.
+// The shape set follows the paper's Table 1 skinniness buckets — square
+// trailing updates plus the skinny inner-dimension shapes SBR actually
+// issues (the TN bucket is the W^T·M trailing product, historically the
+// naive-loop case). The whole binary's results land in BENCH_gemm.json (see
+// main below), the perf-trajectory baseline for future PRs.
+// ---------------------------------------------------------------------------
+
+void gemm_sweep(benchmark::State& state, blas::Trans ta, blas::Trans tb, index_t m,
+                index_t n, index_t k, bool pooled) {
+  Rng rng(11);
+  Matrix<float> a(ta == blas::Trans::No ? m : k, ta == blas::Trans::No ? k : m);
+  Matrix<float> b(tb == blas::Trans::No ? k : n, tb == blas::Trans::No ? n : k);
+  Matrix<float> c(m, n);
+  fill_normal(rng, a.view());
+  fill_normal(rng, b.view());
+  for (auto _ : state) {
+    if (pooled) {
+      blas::gemm(ta, tb, 1.0f, a.view(), b.view(), 0.0f, c.view());
+    } else {
+      blas::SerialGemmScope serial;
+      blas::gemm(ta, tb, 1.0f, a.view(), b.view(), 0.0f, c.view());
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(2.0 * double(m) * double(n) * double(k) * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+
+void register_gemm_sweep() {
+  struct Combo {
+    const char* name;
+    blas::Trans ta, tb;
+  };
+  const Combo combos[] = {{"NN", blas::Trans::No, blas::Trans::No},
+                          {"NT", blas::Trans::No, blas::Trans::Yes},
+                          {"TN", blas::Trans::Yes, blas::Trans::No},
+                          {"TT", blas::Trans::Yes, blas::Trans::Yes}};
+  struct Shape {
+    const char* bucket;
+    index_t m, n, k;
+  };
+  const Shape shapes[] = {
+      {"square256", 256, 256, 256},     // small trailing block
+      {"square1024", 1024, 1024, 1024}, // TN-vs-NN acceptance shape (n >= 1024)
+      {"skinnyK64", 1024, 1024, 64},    // rank-nb trailing update (inner dim = nb)
+      {"skinnyM64", 64, 1024, 1024},    // W^T·M panel product (few output rows)
+  };
+  for (const Combo& tc : combos)
+    for (const Shape& s : shapes)
+      for (bool pooled : {false, true}) {
+        const std::string name = std::string("BM_GemmSweep/") + tc.name + "/" + s.bucket +
+                                 (pooled ? "/pooled" : "/serial");
+        benchmark::RegisterBenchmark(name.c_str(), gemm_sweep, tc.ta, tc.tb, s.m, s.n,
+                                     s.k, pooled);
+      }
+}
+
 }  // namespace
 }  // namespace tcevd
+
+// Custom main (replaces benchmark_main): identical console behavior, plus
+// every run mirrors its full results into BENCH_gemm.json so the GEMM sweep
+// doubles as a machine-readable perf-trajectory baseline.
+int main(int argc, char** argv) {
+  tcevd::register_gemm_sweep();
+  // Default the file output to BENCH_gemm.json unless the caller picked their
+  // own --benchmark_out destination/format on the command line.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_gemm.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,470 @@
+// Transpose-aware packed GEMM pipeline with fused per-element transforms.
+//
+// One BLIS-style blocked kernel serves every op(A)/op(B) combination: the
+// packing routines read straight through the transpose, so C = op(A)·op(B)
+// never materializes an intermediate matrix. Packing also applies a
+// per-element PackTransform functor, which is how the tensor-core emulation
+// fuses operand rounding (fp16 / tf32 / EC head–tail splitting) into the one
+// pass it already makes over the operands — see src/tensorcore/tc_gemm.cpp
+// and ec_tcgemm.cpp.
+//
+// Threading: the macro-tile loop fans out over disjoint C tiles on gemm_pool()
+// via ThreadPool::try_broadcast (allocation-free), subject to the policy in
+// gemm_threading.hpp. Packing stays on the calling thread; workers only read
+// the packed panels (the broadcast handshake provides the happens-before
+// edges). Because tiles are disjoint and the per-tile fp32/fp64 accumulation
+// order is untouched, pooled results are bitwise-identical to serial ones.
+//
+// Allocation discipline: pack buffers are thread_local and sized once at
+// first use, so a steady-state call performs zero heap allocations whether it
+// runs serial or pooled.
+//
+// These entry points do NOT touch the FlopCounter — callers (blas::gemm,
+// tc_gemm, ec_tcgemm, tc_syr2k) account for their own logical flops.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "src/blas/blas.hpp"
+#include "src/blas/gemm_threading.hpp"
+#include "src/common/thread_pool.hpp"
+
+namespace tcevd {
+namespace blas {
+
+/// Default PackTransform: elements pass through untouched.
+struct IdentityTransform {
+  template <typename T>
+  T operator()(T v) const {
+    return v;
+  }
+};
+
+namespace packed {
+
+// Register-tile and cache-blocking parameters (BLIS-style). A packs into
+// MR-row panels, B into NR-column panels, k-major within each panel, so the
+// micro-kernel streams contiguous memory with an MR x NR accumulator in
+// registers; MC/KC/NC keep the packed panels cache-resident.
+inline constexpr index_t kMR = 8;
+inline constexpr index_t kNR = 4;
+inline constexpr index_t kMC = 128;
+inline constexpr index_t kKC = 256;
+inline constexpr index_t kNC = 1024;
+
+inline constexpr std::size_t kApackElems = static_cast<std::size_t>(kMC + kMR) * kKC;
+inline constexpr std::size_t kBpackElems = static_cast<std::size_t>(kKC) * (kNC + kNR);
+
+/// Thread-local pack storage, sized once per thread at first use. The second
+/// pair (a2/b2) backs the dual-operand kernels (EC head–tail split packing,
+/// the syr2k product pair).
+template <typename T>
+struct PackBuffers {
+  std::vector<T> a, b, a2, b2;
+  PackBuffers() : a(kApackElems), b(kBpackElems), a2(kApackElems), b2(kBpackElems) {}
+};
+
+template <typename T>
+PackBuffers<T>& pack_buffers() {
+  thread_local PackBuffers<T> bufs;
+  return bufs;
+}
+
+/// op(A)(i0:i0+mc, k0:k0+kc) -> MR-row panels, k-major, f applied per element.
+/// TA=false reads columns of A contiguously; TA=true walks columns of A as
+/// rows of op(A) (lane-outer, k-inner) so the source reads stay contiguous.
+template <bool TA, typename T, typename F>
+void pack_a_block(ConstMatrixView<T> a, index_t i0, index_t k0, index_t mc, index_t kc,
+                  T* buf, const F& f) {
+  for (index_t p = 0; p < mc; p += kMR) {
+    const index_t mr = std::min(kMR, mc - p);
+    if constexpr (!TA) {
+      for (index_t k = 0; k < kc; ++k) {
+        const T* col = &a(i0 + p, k0 + k);
+        T* dst = buf + k * kMR;
+        index_t r = 0;
+        for (; r < mr; ++r) dst[r] = f(col[r]);
+        for (; r < kMR; ++r) dst[r] = T{};
+      }
+    } else {
+      for (index_t r = 0; r < mr; ++r) {
+        const T* col = &a(k0, i0 + p + r);  // column of A == row of op(A)
+        for (index_t k = 0; k < kc; ++k) buf[k * kMR + r] = f(col[k]);
+      }
+      for (index_t r = mr; r < kMR; ++r)
+        for (index_t k = 0; k < kc; ++k) buf[k * kMR + r] = T{};
+    }
+    buf += kMR * kc;
+  }
+}
+
+/// op(B)(k0:k0+kc, j0:j0+nc) -> NR-column panels, k-major, f applied per
+/// element. TB=true reads rows of op(B) as columns of B contiguously.
+template <bool TB, typename T, typename F>
+void pack_b_block(ConstMatrixView<T> b, index_t k0, index_t j0, index_t kc, index_t nc,
+                  T* buf, const F& f) {
+  for (index_t q = 0; q < nc; q += kNR) {
+    const index_t nr = std::min(kNR, nc - q);
+    for (index_t k = 0; k < kc; ++k) {
+      T* dst = buf + k * kNR;
+      index_t cidx = 0;
+      if constexpr (!TB) {
+        for (; cidx < nr; ++cidx) dst[cidx] = f(b(k0 + k, j0 + q + cidx));
+      } else {
+        const T* col = &b(j0 + q, k0 + k);  // column of B == row of op(B)
+        for (; cidx < nr; ++cidx) dst[cidx] = f(col[cidx]);
+      }
+      for (; cidx < kNR; ++cidx) dst[cidx] = T{};
+    }
+    buf += kNR * kc;
+  }
+}
+
+/// Dual-output B pack: one pass over op(B) fills a head panel and a tail
+/// panel via split(v, head, tail). This is the EC-TC fusion — the head/tail
+/// decomposition is computed once per source element instead of once per
+/// materialized copy.
+template <bool TB, typename T, typename F>
+void pack_b_block_split(ConstMatrixView<T> b, index_t k0, index_t j0, index_t kc,
+                        index_t nc, T* bufh, T* buft, const F& split) {
+  for (index_t q = 0; q < nc; q += kNR) {
+    const index_t nr = std::min(kNR, nc - q);
+    for (index_t k = 0; k < kc; ++k) {
+      T* dh = bufh + k * kNR;
+      T* dt = buft + k * kNR;
+      index_t cidx = 0;
+      if constexpr (!TB) {
+        for (; cidx < nr; ++cidx) split(b(k0 + k, j0 + q + cidx), dh[cidx], dt[cidx]);
+      } else {
+        const T* col = &b(j0 + q, k0 + k);
+        for (; cidx < nr; ++cidx) split(col[cidx], dh[cidx], dt[cidx]);
+      }
+      for (; cidx < kNR; ++cidx) {
+        dh[cidx] = T{};
+        dt[cidx] = T{};
+      }
+    }
+    bufh += kNR * kc;
+    buft += kNR * kc;
+  }
+}
+
+/// acc(MR x NR) += sum_k apanel(:, k) bpanel(k, :); then C += alpha * acc.
+template <typename T>
+void micro_kernel(index_t kc, const T* ap, const T* bp, T alpha, T* c0, index_t ldc,
+                  index_t mr, index_t nr) {
+  T acc[kNR][kMR] = {};
+  for (index_t k = 0; k < kc; ++k) {
+    const T* arow = ap + k * kMR;
+    const T* brow = bp + k * kNR;
+    for (index_t jj = 0; jj < kNR; ++jj) {
+      const T bv = brow[jj];
+      for (index_t ii = 0; ii < kMR; ++ii) acc[jj][ii] += arow[ii] * bv;
+    }
+  }
+  for (index_t jj = 0; jj < nr; ++jj) {
+    T* cc = c0 + jj * ldc;
+    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += alpha * acc[jj][ii];
+  }
+}
+
+/// Two products sharing one C tile: C += alpha * (A1·B1 + A2·B2), with both
+/// accumulators carried per k-step and their sum added element-wise. tc_syr2k
+/// relies on this shape for bitwise upper/lower symmetry: the (j,i) tile's
+/// acc1/acc2 are the (i,j) tile's acc2/acc1 value-for-value (fp multiply and
+/// add are commutative bitwise), so acc1+acc2 matches across the diagonal.
+template <typename T>
+void micro_kernel_pair(index_t kc, const T* ap1, const T* bp1, const T* ap2, const T* bp2,
+                       T alpha, T* c0, index_t ldc, index_t mr, index_t nr) {
+  T acc1[kNR][kMR] = {};
+  T acc2[kNR][kMR] = {};
+  for (index_t k = 0; k < kc; ++k) {
+    const T* a1 = ap1 + k * kMR;
+    const T* b1 = bp1 + k * kNR;
+    const T* a2 = ap2 + k * kMR;
+    const T* b2 = bp2 + k * kNR;
+    for (index_t jj = 0; jj < kNR; ++jj) {
+      const T bv1 = b1[jj];
+      const T bv2 = b2[jj];
+      for (index_t ii = 0; ii < kMR; ++ii) {
+        acc1[jj][ii] += a1[ii] * bv1;
+        acc2[jj][ii] += a2[ii] * bv2;
+      }
+    }
+  }
+  for (index_t jj = 0; jj < nr; ++jj) {
+    T* cc = c0 + jj * ldc;
+    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += alpha * (acc1[jj][ii] + acc2[jj][ii]);
+  }
+}
+
+/// Fan `ntiles` independent bodies out on gemm_pool() when `pooled`, falling
+/// back to the calling thread when the pool is busy (another broadcast is in
+/// flight) or pooling is disabled. Returns true when the pool actually ran it.
+inline bool dispatch_tiles(long ntiles, bool pooled, void (*fn)(void*, long), void* ctx) {
+  if (pooled && gemm_pool().try_broadcast(ntiles, fn, ctx)) {
+    blas::detail::count_gemm_pool_dispatch();
+    return true;
+  }
+  for (long i = 0; i < ntiles; ++i) fn(ctx, i);
+  return false;
+}
+
+// Tile-loop contexts are transform-free plain structs: packing already ran on
+// the calling thread, workers only read packed panels and write disjoint C
+// tiles. Living on the caller's stack is safe — try_broadcast blocks until
+// every index completes.
+
+template <typename T>
+struct TileCtx {
+  const T* apack;
+  const T* bpack;
+  T alpha;
+  T* cbase;  // &c(i0, j0)
+  index_t ldc;
+  index_t mc, nc, kc;
+  index_t mtiles;
+};
+
+template <typename T>
+void run_tile(void* vctx, long idx) {
+  const auto* ctx = static_cast<const TileCtx<T>*>(vctx);
+  const index_t ir = (static_cast<index_t>(idx) % ctx->mtiles) * kMR;
+  const index_t jr = (static_cast<index_t>(idx) / ctx->mtiles) * kNR;
+  const index_t mr = std::min(kMR, ctx->mc - ir);
+  const index_t nr = std::min(kNR, ctx->nc - jr);
+  const T* ap = ctx->apack + (ir / kMR) * ctx->kc * kMR;
+  const T* bp = ctx->bpack + (jr / kNR) * ctx->kc * kNR;
+  micro_kernel(ctx->kc, ap, bp, ctx->alpha, ctx->cbase + ir + jr * ctx->ldc, ctx->ldc, mr,
+               nr);
+}
+
+/// Split-B tile: one A panel against head and tail B panels, into two
+/// disjoint accumulator matrices (c0 += A·Bh, c1 += A·Bt). Each accumulator's
+/// order matches its own standalone gemm exactly.
+template <typename T>
+struct SplitTileCtx {
+  const T* apack;
+  const T* bpackh;
+  const T* bpackt;
+  T* c0base;
+  index_t ldc0;
+  T* c1base;
+  index_t ldc1;
+  index_t mc, nc, kc;
+  index_t mtiles;
+};
+
+template <typename T>
+void run_split_tile(void* vctx, long idx) {
+  const auto* ctx = static_cast<const SplitTileCtx<T>*>(vctx);
+  const index_t ir = (static_cast<index_t>(idx) % ctx->mtiles) * kMR;
+  const index_t jr = (static_cast<index_t>(idx) / ctx->mtiles) * kNR;
+  const index_t mr = std::min(kMR, ctx->mc - ir);
+  const index_t nr = std::min(kNR, ctx->nc - jr);
+  const T* ap = ctx->apack + (ir / kMR) * ctx->kc * kMR;
+  const index_t poff = (jr / kNR) * ctx->kc * kNR;
+  micro_kernel(ctx->kc, ap, ctx->bpackh + poff, T{1},
+               ctx->c0base + ir + jr * ctx->ldc0, ctx->ldc0, mr, nr);
+  micro_kernel(ctx->kc, ap, ctx->bpackt + poff, T{1},
+               ctx->c1base + ir + jr * ctx->ldc1, ctx->ldc1, mr, nr);
+}
+
+template <typename T>
+struct PairTileCtx {
+  const T* apack1;
+  const T* bpack1;
+  const T* apack2;
+  const T* bpack2;
+  T alpha;
+  T* cbase;
+  index_t ldc;
+  index_t mc, nc, kc;
+  index_t mtiles;
+};
+
+template <typename T>
+void run_pair_tile(void* vctx, long idx) {
+  const auto* ctx = static_cast<const PairTileCtx<T>*>(vctx);
+  const index_t ir = (static_cast<index_t>(idx) % ctx->mtiles) * kMR;
+  const index_t jr = (static_cast<index_t>(idx) / ctx->mtiles) * kNR;
+  const index_t mr = std::min(kMR, ctx->mc - ir);
+  const index_t nr = std::min(kNR, ctx->nc - jr);
+  const index_t aoff = (ir / kMR) * ctx->kc * kMR;
+  const index_t boff = (jr / kNR) * ctx->kc * kNR;
+  micro_kernel_pair(ctx->kc, ctx->apack1 + aoff, ctx->bpack1 + boff, ctx->apack2 + aoff,
+                    ctx->bpack2 + boff, ctx->alpha, ctx->cbase + ir + jr * ctx->ldc,
+                    ctx->ldc, mr, nr);
+}
+
+/// Scale C by beta in place (beta == 0 overwrites, never reads).
+template <typename T>
+void prescale(T beta, MatrixView<T> c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  for (index_t j = 0; j < n; ++j) {
+    T* cj = m > 0 ? &c(0, j) : nullptr;
+    if (beta == T{}) {
+      for (index_t i = 0; i < m; ++i) cj[i] = T{};
+    } else if (beta != T{1}) {
+      for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+template <bool TA, bool TB, typename T, typename FA, typename FB>
+void gemm_packed_impl(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                      index_t m, index_t n, index_t k, const FA& fa, const FB& fb) {
+  PackBuffers<T>& bufs = pack_buffers<T>();
+  const bool pooled = blas::detail::use_gemm_pool(m, n, k);
+
+  for (index_t j0 = 0; j0 < n; j0 += kNC) {
+    const index_t nc = std::min(kNC, n - j0);
+    for (index_t k0 = 0; k0 < k; k0 += kKC) {
+      const index_t kc = std::min(kKC, k - k0);
+      pack_b_block<TB>(b, k0, j0, kc, nc, bufs.b.data(), fb);
+      for (index_t i0 = 0; i0 < m; i0 += kMC) {
+        const index_t mc = std::min(kMC, m - i0);
+        pack_a_block<TA>(a, i0, k0, mc, kc, bufs.a.data(), fa);
+        TileCtx<T> ctx{bufs.a.data(), bufs.b.data(), alpha, &c(i0, j0), c.ld(),
+                       mc,            nc,            kc,    (mc + kMR - 1) / kMR};
+        const long ntiles = static_cast<long>(ctx.mtiles) * ((nc + kNR - 1) / kNR);
+        dispatch_tiles(ntiles, pooled, &run_tile<T>, &ctx);
+      }
+    }
+  }
+}
+
+template <bool TA, bool TB, typename T, typename FA, typename FSplit>
+void gemm_packed_split_b_impl(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c0,
+                              MatrixView<T> c1, index_t m, index_t n, index_t k,
+                              const FA& fa, const FSplit& split) {
+  PackBuffers<T>& bufs = pack_buffers<T>();
+  const bool pooled = blas::detail::use_gemm_pool(m, n, k);
+
+  for (index_t j0 = 0; j0 < n; j0 += kNC) {
+    const index_t nc = std::min(kNC, n - j0);
+    for (index_t k0 = 0; k0 < k; k0 += kKC) {
+      const index_t kc = std::min(kKC, k - k0);
+      pack_b_block_split<TB>(b, k0, j0, kc, nc, bufs.b.data(), bufs.b2.data(), split);
+      for (index_t i0 = 0; i0 < m; i0 += kMC) {
+        const index_t mc = std::min(kMC, m - i0);
+        pack_a_block<TA>(a, i0, k0, mc, kc, bufs.a.data(), fa);
+        SplitTileCtx<T> ctx{bufs.a.data(), bufs.b.data(), bufs.b2.data(),
+                            &c0(i0, j0),   c0.ld(),       &c1(i0, j0),
+                            c1.ld(),       mc,            nc,
+                            kc,            (mc + kMR - 1) / kMR};
+        const long ntiles = static_cast<long>(ctx.mtiles) * ((nc + kNR - 1) / kNR);
+        dispatch_tiles(ntiles, pooled, &run_split_tile<T>, &ctx);
+      }
+    }
+  }
+}
+
+}  // namespace packed
+
+/// C = alpha * op(A) * op(B) + beta * C through the packed pipeline, with
+/// fa/fb applied per element of A/B during packing. All four trans
+/// combinations run the same micro-kernel with zero intermediate matrices.
+/// Does not count flops — callers own their FlopCounter accounting.
+template <typename T, typename FA = IdentityTransform, typename FB = IdentityTransform>
+void gemm_packed(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+                 ConstMatrixView<T> b, T beta, MatrixView<T> c, const FA& fa = FA{},
+                 const FB& fb = FB{}) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t ka = (transa == Trans::No) ? a.cols() : a.rows();
+  const index_t ma = (transa == Trans::No) ? a.rows() : a.cols();
+  const index_t kb = (transb == Trans::No) ? b.rows() : b.cols();
+  const index_t nb = (transb == Trans::No) ? b.cols() : b.rows();
+  TCEVD_CHECK(ma == m && nb == n && ka == kb, "gemm shape mismatch");
+  if (m == 0 || n == 0) return;
+  packed::prescale(beta, c);
+  if (ka == 0 || alpha == T{}) return;
+
+  if (transa == Trans::No && transb == Trans::No)
+    packed::gemm_packed_impl<false, false>(alpha, a, b, c, m, n, ka, fa, fb);
+  else if (transa == Trans::Yes && transb == Trans::No)
+    packed::gemm_packed_impl<true, false>(alpha, a, b, c, m, n, ka, fa, fb);
+  else if (transa == Trans::No && transb == Trans::Yes)
+    packed::gemm_packed_impl<false, true>(alpha, a, b, c, m, n, ka, fa, fb);
+  else
+    packed::gemm_packed_impl<true, true>(alpha, a, b, c, m, n, ka, fa, fb);
+}
+
+/// EC-TC first sweep: C0 = op(A)·head(op(B)) and C1 = op(A)·tail(op(B)) in
+/// ONE pass over B — split(v, head, tail) runs once per B element while
+/// packing. Both products accumulate exactly as their standalone gemms would,
+/// so results are bitwise-identical to materializing head/tail copies first.
+/// Overwrites C0 and C1. Does not count flops.
+template <typename T, typename FA, typename FSplit>
+void gemm_packed_split_b(Trans transa, Trans transb, ConstMatrixView<T> a,
+                         ConstMatrixView<T> b, MatrixView<T> c0, MatrixView<T> c1,
+                         const FA& fa, const FSplit& split) {
+  const index_t m = c0.rows();
+  const index_t n = c0.cols();
+  const index_t ka = (transa == Trans::No) ? a.cols() : a.rows();
+  const index_t ma = (transa == Trans::No) ? a.rows() : a.cols();
+  const index_t kb = (transb == Trans::No) ? b.rows() : b.cols();
+  const index_t nb = (transb == Trans::No) ? b.cols() : b.rows();
+  TCEVD_CHECK(ma == m && nb == n && ka == kb, "gemm shape mismatch");
+  TCEVD_CHECK(c1.rows() == m && c1.cols() == n, "split gemm accumulator shape mismatch");
+  if (m == 0 || n == 0) return;
+  packed::prescale(T{}, c0);
+  packed::prescale(T{}, c1);
+  if (ka == 0) return;
+
+  if (transa == Trans::No && transb == Trans::No)
+    packed::gemm_packed_split_b_impl<false, false>(a, b, c0, c1, m, n, ka, fa, split);
+  else if (transa == Trans::Yes && transb == Trans::No)
+    packed::gemm_packed_split_b_impl<true, false>(a, b, c0, c1, m, n, ka, fa, split);
+  else if (transa == Trans::No && transb == Trans::Yes)
+    packed::gemm_packed_split_b_impl<false, true>(a, b, c0, c1, m, n, ka, fa, split);
+  else
+    packed::gemm_packed_split_b_impl<true, true>(a, b, c0, c1, m, n, ka, fa, split);
+}
+
+/// C += alpha * (A1·B1ᵀ + A2·B2ᵀ) with the paired micro-kernel (both
+/// accumulators carried per k-step, summed on the final add). tc_syr2k's
+/// packed path: A1/A2 and B1/B2 get fa/fb applied during packing. The caller
+/// prescales C. Does not count flops.
+template <typename T, typename FA, typename FB>
+void gemm_packed_nt_pair(T alpha, ConstMatrixView<T> a1, ConstMatrixView<T> b1,
+                         ConstMatrixView<T> a2, ConstMatrixView<T> b2, MatrixView<T> c,
+                         const FA& fa, const FB& fb) {
+  using namespace packed;
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = a1.cols();
+  TCEVD_CHECK(a1.rows() == m && a2.rows() == m && a2.cols() == k,
+              "pair gemm A shape mismatch");
+  TCEVD_CHECK(b1.rows() == n && b1.cols() == k && b2.rows() == n && b2.cols() == k,
+              "pair gemm B shape mismatch");
+  if (m == 0 || n == 0 || k == 0 || alpha == T{}) return;
+
+  PackBuffers<T>& bufs = pack_buffers<T>();
+  const bool pooled = blas::detail::use_gemm_pool(m, n, k);
+
+  for (index_t j0 = 0; j0 < n; j0 += kNC) {
+    const index_t nc = std::min(kNC, n - j0);
+    for (index_t k0 = 0; k0 < k; k0 += kKC) {
+      const index_t kc = std::min(kKC, k - k0);
+      pack_b_block<true>(b1, k0, j0, kc, nc, bufs.b.data(), fb);
+      pack_b_block<true>(b2, k0, j0, kc, nc, bufs.b2.data(), fb);
+      for (index_t i0 = 0; i0 < m; i0 += kMC) {
+        const index_t mc = std::min(kMC, m - i0);
+        pack_a_block<false>(a1, i0, k0, mc, kc, bufs.a.data(), fa);
+        pack_a_block<false>(a2, i0, k0, mc, kc, bufs.a2.data(), fa);
+        PairTileCtx<T> ctx{bufs.a.data(), bufs.b.data(), bufs.a2.data(), bufs.b2.data(),
+                           alpha,         &c(i0, j0),    c.ld(),         mc,
+                           nc,            kc,            (mc + kMR - 1) / kMR};
+        const long ntiles = static_cast<long>(ctx.mtiles) * ((nc + kNR - 1) / kNR);
+        dispatch_tiles(ntiles, pooled, &run_pair_tile<T>, &ctx);
+      }
+    }
+  }
+}
+
+}  // namespace blas
+}  // namespace tcevd

@@ -1,128 +1,11 @@
 #include <memory>
 
 #include "src/blas/blas.hpp"
+#include "src/blas/gemm_packed.hpp"
 
 namespace tcevd::blas {
 
 namespace {
-
-// Packed, register-blocked C = alpha * A * B + beta * C (BLIS-style).
-//
-// A is packed into MR-row panels and B into NR-column panels so the
-// micro-kernel streams contiguous memory and keeps an MR x NR accumulator
-// in registers; MC/KC/NC blocking keeps the packed panels cache-resident.
-inline constexpr index_t kMR = 8;
-inline constexpr index_t kNR = 4;
-inline constexpr index_t kMC = 128;
-inline constexpr index_t kKC = 256;
-inline constexpr index_t kNC = 1024;
-
-/// A(i0:i0+mc, k0:k0+kc) -> MR-row panels, k-major within each panel.
-template <typename T>
-void pack_a_block(ConstMatrixView<T> a, index_t i0, index_t k0, index_t mc, index_t kc,
-                  T* buf) {
-  for (index_t p = 0; p < mc; p += kMR) {
-    const index_t mr = std::min(kMR, mc - p);
-    for (index_t k = 0; k < kc; ++k) {
-      const T* col = &a(i0 + p, k0 + k);
-      index_t r = 0;
-      for (; r < mr; ++r) buf[r] = col[r];
-      for (; r < kMR; ++r) buf[r] = T{};
-      buf += kMR;
-    }
-  }
-}
-
-/// B(k0:k0+kc, j0:j0+nc) -> NR-column panels, k-major within each panel.
-template <typename T>
-void pack_b_block(ConstMatrixView<T> b, index_t k0, index_t j0, index_t kc, index_t nc,
-                  T* buf) {
-  for (index_t q = 0; q < nc; q += kNR) {
-    const index_t nr = std::min(kNR, nc - q);
-    for (index_t k = 0; k < kc; ++k) {
-      index_t cidx = 0;
-      for (; cidx < nr; ++cidx) buf[cidx] = b(k0 + k, j0 + q + cidx);
-      for (; cidx < kNR; ++cidx) buf[cidx] = T{};
-      buf += kNR;
-    }
-  }
-}
-
-/// acc(MR x NR) += sum_k apanel(:, k) bpanel(k, :); then C += alpha * acc.
-template <typename T>
-void micro_kernel(index_t kc, const T* ap, const T* bp, T alpha, T* c0, index_t ldc,
-                  index_t mr, index_t nr) {
-  T acc[kNR][kMR] = {};
-  for (index_t k = 0; k < kc; ++k) {
-    const T* arow = ap + k * kMR;
-    const T* brow = bp + k * kNR;
-    for (index_t jj = 0; jj < kNR; ++jj) {
-      const T bv = brow[jj];
-      for (index_t ii = 0; ii < kMR; ++ii) acc[jj][ii] += arow[ii] * bv;
-    }
-  }
-  for (index_t jj = 0; jj < nr; ++jj) {
-    T* cc = c0 + jj * ldc;
-    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += alpha * acc[jj][ii];
-  }
-}
-
-template <typename T>
-void gemm_nn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta, MatrixView<T> c) {
-  const index_t m = c.rows();
-  const index_t n = c.cols();
-  const index_t k = a.cols();
-
-  // Pre-scale C once; all panel updates then accumulate.
-  for (index_t j = 0; j < n; ++j) {
-    T* cj = &c(0, j);
-    if (beta == T{}) {
-      for (index_t i = 0; i < m; ++i) cj[i] = T{};
-    } else if (beta != T{1}) {
-      for (index_t i = 0; i < m; ++i) cj[i] *= beta;
-    }
-  }
-  if (alpha == T{} || k == 0) return;
-
-  std::vector<T> apack(static_cast<std::size_t>(kMC + kMR) * kKC);
-  std::vector<T> bpack(static_cast<std::size_t>(kKC) * (kNC + kNR));
-
-  for (index_t j0 = 0; j0 < n; j0 += kNC) {
-    const index_t nc = std::min(kNC, n - j0);
-    for (index_t k0 = 0; k0 < k; k0 += kKC) {
-      const index_t kc = std::min(kKC, k - k0);
-      pack_b_block(b, k0, j0, kc, nc, bpack.data());
-      for (index_t i0 = 0; i0 < m; i0 += kMC) {
-        const index_t mc = std::min(kMC, m - i0);
-        pack_a_block(a, i0, k0, mc, kc, apack.data());
-#pragma omp parallel for schedule(static) if (nc > 4 * kNR && mc * kc > 16384)
-        for (index_t jr = 0; jr < nc; jr += kNR) {
-          const index_t nr = std::min(kNR, nc - jr);
-          const T* bp = bpack.data() + (jr / kNR) * kc * kNR;
-          for (index_t ir = 0; ir < mc; ir += kMR) {
-            const index_t mr = std::min(kMR, mc - ir);
-            const T* ap = apack.data() + (ir / kMR) * kc * kMR;
-            micro_kernel(kc, ap, bp, alpha, &c(i0 + ir, j0 + jr), c.ld(), mr, nr);
-          }
-        }
-      }
-    }
-  }
-}
-
-/// Pack op(X) into a fresh column-major matrix.
-template <typename T>
-Matrix<T> pack_op(Trans trans, ConstMatrixView<T> x) {
-  if (trans == Trans::No) {
-    Matrix<T> out(x.rows(), x.cols());
-    copy_matrix(x, out.view());
-    return out;
-  }
-  Matrix<T> out(x.cols(), x.rows());
-  for (index_t j = 0; j < x.cols(); ++j)
-    for (index_t i = 0; i < x.rows(); ++i) out(j, i) = x(i, j);
-  return out;
-}
 
 /// Element of op(A) for triangular routines.
 template <typename T>
@@ -148,40 +31,10 @@ void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a, ConstMatrix
   const index_t nb = (transb == Trans::No) ? b.cols() : b.rows();
   TCEVD_CHECK(ma == m && nb == n && ka == kb, "gemm shape mismatch");
   FlopCounter::instance().add(gemm_flops(m, n, ka));
-  if (m == 0 || n == 0) return;
-  if (ka == 0 || alpha == T{}) {
-    for (index_t j = 0; j < n; ++j)
-      for (index_t i = 0; i < m; ++i) c(i, j) = (beta == T{}) ? T{} : beta * c(i, j);
-    return;
-  }
-
-  if (transa == Trans::No && transb == Trans::No) {
-    gemm_nn(alpha, a, b, beta, c);
-    return;
-  }
-  if (transa == Trans::Yes && transb == Trans::No) {
-    // C = alpha A^T B + beta C: dot-product kernel, columns of A and B are
-    // both contiguous so no packing is needed.
-#pragma omp parallel for schedule(static) if (n > 64 && m > 64)
-    for (index_t j = 0; j < n; ++j) {
-      const T* bj = &b(0, j);
-      for (index_t i = 0; i < m; ++i) {
-        const T* ai = &a(0, i);
-        T s{};
-        for (index_t l = 0; l < ka; ++l) s += ai[l] * bj[l];
-        c(i, j) = alpha * s + ((beta == T{}) ? T{} : beta * c(i, j));
-      }
-    }
-    return;
-  }
-  // Remaining cases transpose B: pack op(B) once and run the NN kernel.
-  Matrix<T> bp = pack_op(transb, b);
-  if (transa == Trans::No) {
-    gemm_nn<T>(alpha, a, bp.view(), beta, c);
-  } else {
-    Matrix<T> ap = pack_op(transa, a);
-    gemm_nn<T>(alpha, ap.view(), bp.view(), beta, c);
-  }
+  // All four trans combinations run the transpose-aware packed pipeline —
+  // zero intermediate matrices, pooled over disjoint C tiles when profitable
+  // (bitwise-identical to serial; see src/blas/gemm_packed.hpp).
+  gemm_packed(transa, transb, alpha, a, b, beta, c);
 }
 
 template <typename T>
@@ -191,11 +44,7 @@ void symm(Side side, Uplo uplo, T alpha, ConstMatrixView<T> a, ConstMatrixView<T
   const index_t n = c.cols();
   const index_t na = (side == Side::Left) ? m : n;
   TCEVD_CHECK(a.rows() == na && a.cols() == na, "symm symmetric factor must be square");
-  if (side == Side::Left) {
-    TCEVD_CHECK(b.rows() == m && b.cols() == n, "symm shape mismatch");
-  } else {
-    TCEVD_CHECK(b.rows() == m && b.cols() == n, "symm shape mismatch");
-  }
+  TCEVD_CHECK(b.rows() == m && b.cols() == n, "symm shape mismatch");
   FlopCounter::instance().add(gemm_flops(m, n, na));
 
   // Element of the symmetric A from its stored triangle.

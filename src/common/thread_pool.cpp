@@ -8,6 +8,14 @@
 
 namespace tcevd {
 
+namespace {
+// Set for the lifetime of every pool worker thread (any pool). File-static so
+// the flag is shared across all ThreadPool instances in the process.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_pool_worker; }
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(static_cast<std::size_t>(num_threads));
@@ -98,8 +106,61 @@ void ThreadPool::run_pair(const std::function<void()>& pooled,
   join->done.wait(lock, [&] { return join->finished; });
 }
 
+bool ThreadPool::broadcast_live_locked() const noexcept {
+  return bcast_.active && bcast_.next.load(std::memory_order_relaxed) < bcast_.count;
+}
+
+void ThreadPool::broadcast_participate() {
+  for (;;) {
+    // The acquire claim synchronizes with try_broadcast's release store on
+    // `next`, so fn/ctx/count are safe to read only after a successful claim.
+    const long i = bcast_.next.fetch_add(1, std::memory_order_acq_rel);
+    const long count = bcast_.count;
+    if (i >= count) return;
+    bcast_.fn(bcast_.ctx, i);
+    if (bcast_.done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      std::lock_guard<std::mutex> lk(bcast_.done_mutex);
+      bcast_.done_cv.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::try_broadcast(long count, void (*fn)(void* ctx, long index), void* ctx) {
+  TCEVD_CHECK(fn != nullptr, "ThreadPool::try_broadcast requires a non-null fn");
+  if (count <= 0) return true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || bcast_.active) return false;
+    bcast_.active = true;
+    bcast_.fn = fn;
+    bcast_.ctx = ctx;
+    bcast_.count = count;
+    bcast_.done.store(0, std::memory_order_relaxed);
+    // Last setup step: the release store publishes fn/ctx/count to workers.
+    bcast_.next.store(0, std::memory_order_release);
+  }
+  work_ready_.notify_all();
+  broadcast_participate();  // the caller steals indices too
+  {
+    std::unique_lock<std::mutex> lk(bcast_.done_mutex);
+    bcast_.done_cv.wait(lk, [this, count] {
+      return bcast_.done.load(std::memory_order_acquire) == count;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bcast_.active = false;
+  }
+  return true;
+}
+
 ThreadPool& overlap_pool() {
   static ThreadPool pool(std::min(4, ThreadPool::hardware_threads()));
+  return pool;
+}
+
+ThreadPool& gemm_pool() {
+  static ThreadPool pool(std::max(1, ThreadPool::hardware_threads() - 1));
   return pool;
 }
 
@@ -109,11 +170,18 @@ int ThreadPool::hardware_threads() noexcept {
 }
 
 void ThreadPool::worker_loop(int /*worker_id*/) {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      work_ready_.wait(lock,
+                       [this] { return stop_ || !queue_.empty() || broadcast_live_locked(); });
+      if (broadcast_live_locked()) {
+        lock.unlock();
+        broadcast_participate();
+        continue;
+      }
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -69,19 +69,56 @@ class ThreadPool {
   void run_pair(const std::function<void()>& pooled,
                 const std::function<void()>& inline_task);
 
+  /// Allocation-free data-parallel fan-out: run fn(ctx, index) for every
+  /// index in [0, count), with the pool's workers AND the calling thread
+  /// stealing indices off a shared atomic counter. Unlike parallel_for this
+  /// performs zero heap allocations (no std::function, no per-call shared
+  /// state) — it is the dispatch the packed GEMM macro-kernel uses, so a
+  /// steady-state gemm call stays allocation-free even when pooled.
+  ///
+  /// One broadcast at a time per pool: returns false without running
+  /// anything when another broadcast is already in flight (or the pool is
+  /// stopping) — the caller must then run the indices itself. Returns true
+  /// after every index has completed. The indices must be independent; the
+  /// result must not depend on which thread runs which index (the packed
+  /// GEMM satisfies this by giving each index a disjoint C tile).
+  bool try_broadcast(long count, void (*fn)(void* ctx, long index), void* ctx);
+
+  /// True when the calling thread is a worker of ANY ThreadPool. This is the
+  /// nested-parallelism guard: the packed GEMM macro-kernel consults it and
+  /// routes to the serial tile loop instead of fanning out again, so GEMMs
+  /// under solve_many workers / look-ahead run_pair tasks never oversubscribe.
+  static bool on_worker_thread() noexcept;
+
   /// std::thread::hardware_concurrency with a sane floor of 1.
   static int hardware_threads() noexcept;
 
  private:
   void worker_loop(int worker_id);
+  void broadcast_participate();
+  bool broadcast_live_locked() const noexcept;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
-  std::condition_variable work_ready_;   // queue_ gained a task or stop_
+  std::condition_variable work_ready_;   // queue_ gained a task, stop_, or broadcast
   std::condition_variable all_idle_;     // queue empty && in_flight_ == 0
   int in_flight_ = 0;                    // tasks popped but not yet finished
   bool stop_ = false;
+
+  // try_broadcast state. `active` is guarded by mutex_; fn/ctx/count are
+  // published by the release store on `next` (workers read them only after an
+  // acquire claim that observed that store, so no lock on the steal path).
+  struct Broadcast {
+    void (*fn)(void*, long) = nullptr;
+    void* ctx = nullptr;
+    long count = 0;
+    std::atomic<long> next{0};
+    std::atomic<long> done{0};
+    bool active = false;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  } bcast_;
 };
 
 /// Small process-wide pool backing two-task overlap joins (the look-ahead
@@ -90,5 +127,15 @@ class ThreadPool {
 /// in the process: run_pair tasks from concurrent callers simply queue, so
 /// oversubscription degrades to less overlap, never to deadlock.
 ThreadPool& overlap_pool();
+
+/// Process-wide pool backing the packed GEMM macro-kernel's tile fan-out
+/// (blas/gemm_packed.hpp). Lazily constructed on first use with
+/// hardware_threads() - 1 workers (the broadcasting caller steals tiles too,
+/// so the total equals the hardware width). Thread-ownership contract: this
+/// pool is only ever driven via try_broadcast from threads that are NOT pool
+/// workers — nested GEMMs under solve_many workers, look-ahead run_pair
+/// tasks, or any other pool task take the serial tile loop instead (see
+/// ThreadPool::on_worker_thread and blas::SerialGemmScope).
+ThreadPool& gemm_pool();
 
 }  // namespace tcevd

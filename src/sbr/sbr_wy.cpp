@@ -38,6 +38,7 @@
 #include <optional>
 
 #include "src/blas/blas.hpp"
+#include "src/blas/gemm_threading.hpp"
 #include "src/common/context.hpp"
 #include "src/common/recovery.hpp"
 #include "src/common/thread_pool.hpp"
@@ -295,6 +296,11 @@ StatusOr<index_t> process_block(WyParams& prm, index_t s, LookaheadPanel& la) {
             trailing_log = worker_scope.take();
           },
           [&] {  // calling thread: next block's first panel, sibling arena
+            // GEMM-level threads stand down for the overlap window: the
+            // worker half's GEMMs already run serial (pool-worker guard), and
+            // this scope keeps the panel's GEMMs off gemm_pool() too so the
+            // pair never competes with itself for the machine.
+            blas::SerialGemmScope serial_gemms;
             StageTimer t(sib.telemetry(), "sbr.wy.lookahead.panel");
             auto panel = A.sub(s + cols_done + b, s + cols_done, next_rows, b);
             panel_st = panel_factor_wy(sib, prm.panel_kind, panel, la.w, la.y);

@@ -1,36 +1,65 @@
 #include "src/tensorcore/ec_tcgemm.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "src/blas/gemm_packed.hpp"
 #include "src/common/fault.hpp"
+#include "src/common/flop_counter.hpp"
 
 namespace tcevd::tc {
 
 namespace {
 
-/// True when rounding a finite fp32 operand to the TC format overflowed to
+/// PackTransform: head = round(v) — the main TC operand.
+struct HeadTransform {
+  TcPrecision prec;
+  float operator()(float v) const { return round_operand(v, prec); }
+};
+
+/// PackTransform: scaled residual round(s * (v - head)).
+struct TailTransform {
+  TcPrecision prec;
+  float operator()(float v) const {
+    const float h = round_operand(v, prec);
+    return round_operand(kEcScale * (v - h), prec);
+  }
+};
+
+/// Dual PackTransform for the split pack: head and tail from one read of v.
+struct HeadTailSplit {
+  TcPrecision prec;
+  void operator()(float v, float& h, float& t) const {
+    h = round_operand(v, prec);
+    t = round_operand(kEcScale * (v - h), prec);
+  }
+};
+
+/// True when rounding a finite fp32 operand to the TC format overflows to
 /// +-inf (fp16 saturation). NaN/Inf already present in the input is passed
 /// through untouched — that is the caller's upstream problem, not a
-/// precision loss of this GEMM.
-bool head_saturated(ConstMatrixView<float> x, ConstMatrixView<float> head) {
+/// precision loss of this GEMM. Scans the stored matrix directly: op(X) is a
+/// permutation of the same element set, so the transpose is irrelevant.
+bool operand_saturates(ConstMatrixView<float> x, TcPrecision prec) {
   for (index_t j = 0; j < x.cols(); ++j)
-    for (index_t i = 0; i < x.rows(); ++i)
-      if (!std::isfinite(head(i, j)) && std::isfinite(x(i, j))) return true;
+    for (index_t i = 0; i < x.rows(); ++i) {
+      const float v = x(i, j);
+      if (std::isfinite(v) && !std::isfinite(round_operand(v, prec))) return true;
+    }
   return false;
 }
 
-/// Materialize op(X) as a fresh column-major matrix (no rounding).
-Matrix<float> materialize_op(blas::Trans trans, ConstMatrixView<float> x) {
-  const index_t rows = trans == blas::Trans::No ? x.rows() : x.cols();
-  const index_t cols = trans == blas::Trans::No ? x.cols() : x.rows();
-  Matrix<float> out(rows, cols);
-  if (trans == blas::Trans::No) {
-    copy_matrix(x, out.view());
-  } else {
-    for (index_t j = 0; j < cols; ++j)
-      for (index_t i = 0; i < rows; ++i) out(i, j) = x(j, i);
-  }
-  return out;
+/// Thread-local fp32 accumulators for the head product (c0) and the
+/// correction product (c1), grown to the largest m*n seen on this thread so
+/// steady-state calls perform no heap allocation.
+struct EcScratch {
+  std::vector<float> c0, c1;
+};
+
+EcScratch& ec_scratch() {
+  thread_local EcScratch s;
+  return s;
 }
 
 }  // namespace
@@ -51,33 +80,44 @@ void ec_split(ConstMatrixView<float> x, MatrixView<float> head, MatrixView<float
 
 Status ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
                  ConstMatrixView<float> b, float beta, MatrixView<float> c, TcPrecision prec) {
-  Matrix<float> ax = materialize_op(transa, a);
-  Matrix<float> bx = materialize_op(transb, b);
-
-  const index_t m = ax.rows();
-  const index_t k = ax.cols();
-  const index_t n = bx.cols();
-  TCEVD_CHECK(bx.rows() == k && c.rows() == m && c.cols() == n, "ec_tcgemm shape mismatch");
-
-  Matrix<float> ah(m, k), da(m, k), bh(k, n), db(k, n);
-  ec_split(ax.view(), ah.view(), da.view(), prec);
-  ec_split(bx.view(), bh.view(), db.view(), prec);
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t ka = (transa == blas::Trans::No) ? a.cols() : a.rows();
+  const index_t ma = (transa == blas::Trans::No) ? a.rows() : a.cols();
+  const index_t kb = (transb == blas::Trans::No) ? b.rows() : b.cols();
+  const index_t nb = (transb == blas::Trans::No) ? b.cols() : b.rows();
+  TCEVD_CHECK(ma == m && nb == n && ka == kb, "ec_tcgemm shape mismatch");
 
   // Saturation screen: report PrecisionLoss before C is written so the
-  // caller can redo the full alpha/beta update in fp32.
+  // caller can redo the full alpha/beta update in fp32. Runs before the flop
+  // accounting — a screened-out call performs no TC products.
   if (fault::should_fire(fault::Site::EcTcSaturate))
     return fault_injected_error(fault::site_name(fault::Site::EcTcSaturate));
-  if (head_saturated(ax.view(), ah.view()) || head_saturated(bx.view(), bh.view()))
+  if (operand_saturates(a, prec) || operand_saturates(b, prec))
     return precision_loss_error("ec_tcgemm: operand exceeds the fp16 range (head saturated)");
+  FlopCounter::instance().add(3 * gemm_flops(m, n, ka));
 
-  // Head product: C0 = Ah * Bh (fp32 accumulate — the main TC GEMM).
-  Matrix<float> c0(m, n);
-  blas::gemm<float>(blas::Trans::No, blas::Trans::No, 1.0f, ah.view(), bh.view(), 0.0f, c0.view());
+  EcScratch& scratch = ec_scratch();
+  const std::size_t need = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  if (scratch.c0.size() < need) {
+    scratch.c0.resize(need);
+    scratch.c1.resize(need);
+  }
+  const index_t ldc = std::max<index_t>(m, 1);
+  MatrixView<float> c0(scratch.c0.data(), m, n, ldc);
+  MatrixView<float> c1(scratch.c1.data(), m, n, ldc);
 
-  // Correction: C1 = Ah * dB + dA * Bh (two more TC GEMMs, fp32 accumulate).
-  Matrix<float> c1(m, n);
-  blas::gemm<float>(blas::Trans::No, blas::Trans::No, 1.0f, ah.view(), db.view(), 0.0f, c1.view());
-  blas::gemm<float>(blas::Trans::No, blas::Trans::No, 1.0f, da.view(), bh.view(), 1.0f, c1.view());
+  // Sweep 1 packs B's head AND tail panels in one pass over B (the split
+  // runs once per source element) and computes both products that share the
+  // head of A:  C0 = Ã·B̃  and  C1 = Ã·ΔB.
+  blas::gemm_packed_split_b(transa, transb, a, b, c0, c1, HeadTransform{prec},
+                            HeadTailSplit{prec});
+  // Sweep 2 accumulates the remaining correction:  C1 += ΔA·B̃.
+  // Both sweeps keep each product's accumulation order identical to its
+  // standalone GEMM, so results are bitwise-equal to the old path that
+  // materialized ah/da/bh/db copies first.
+  blas::gemm_packed(transa, transb, 1.0f, a, b, 1.0f, c1, TailTransform{prec},
+                    HeadTransform{prec});
 
   // C = alpha * (C0 + C1/s) + beta * C, fused in fp32 on the SIMT side.
   const float inv_s = 1.0f / kEcScale;

@@ -1,35 +1,34 @@
 #include "src/tensorcore/tc_gemm.hpp"
 
+#include "src/blas/gemm_packed.hpp"
+#include "src/common/flop_counter.hpp"
+
 namespace tcevd::tc {
 
 namespace {
 
-/// Materialize op(X) rounded to `prec` as a fresh column-major fp32 matrix.
-Matrix<float> rounded_op(blas::Trans trans, ConstMatrixView<float> x, TcPrecision prec) {
-  const index_t rows = trans == blas::Trans::No ? x.rows() : x.cols();
-  const index_t cols = trans == blas::Trans::No ? x.cols() : x.rows();
-  Matrix<float> out(rows, cols);
-  if (trans == blas::Trans::No) {
-    for (index_t j = 0; j < cols; ++j)
-      for (index_t i = 0; i < rows; ++i) out(i, j) = round_operand(x(i, j), prec);
-  } else {
-    for (index_t j = 0; j < cols; ++j)
-      for (index_t i = 0; i < rows; ++i) out(i, j) = round_operand(x(j, i), prec);
-  }
-  return out;
-}
+/// PackTransform rounding each operand element to the TC input precision as
+/// it is packed. Operand rounding is element-wise, so fusing it into packing
+/// is identical to rounding whole matrices up front — minus the two O(mk+kn)
+/// materialized copies per call the old path paid.
+struct RoundTransform {
+  TcPrecision prec;
+  float operator()(float v) const { return round_operand(v, prec); }
+};
 
 }  // namespace
 
 void tc_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
              ConstMatrixView<float> b, float beta, MatrixView<float> c, TcPrecision prec) {
-  // Operand rounding is element-wise, so rounding whole matrices up front is
-  // identical to per-fragment rounding inside the tile loop; the fp32
-  // accumulation then happens inside blas::gemm. (The tile-level emulator in
-  // mma_tile.cpp is kept for semantics tests; this path is the fast one.)
-  Matrix<float> ar = rounded_op(transa, a, prec);
-  Matrix<float> br = rounded_op(transb, b, prec);
-  blas::gemm<float>(blas::Trans::No, blas::Trans::No, alpha, ar.view(), br.view(), beta, c);
+  // Fused path: rounding happens inside pack_a_block/pack_b_block while the
+  // packed pipeline reads through op(A)/op(B); fp32 accumulation in the
+  // micro-kernel. (The tile-level emulator in mma_tile.cpp is kept for
+  // semantics tests; this path is the fast one.) gemm_packed does not count
+  // flops, so the logical TC GEMM is accounted here.
+  const index_t ka = (transa == blas::Trans::No) ? a.cols() : a.rows();
+  blas::gemm_packed(transa, transb, alpha, a, b, beta, c, RoundTransform{prec},
+                    RoundTransform{prec});
+  FlopCounter::instance().add(gemm_flops(c.rows(), c.cols(), ka));
 }
 
 void round_matrix(MatrixView<float> a, TcPrecision prec) {

@@ -1,8 +1,36 @@
 #include "src/tensorcore/tc_syr2k.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "src/blas/gemm_packed.hpp"
 #include "src/common/flop_counter.hpp"
 
 namespace tcevd::tc {
+
+namespace {
+
+/// PackTransform rounding operand elements to the TC input precision during
+/// packing (fragment-load rounding) — no pre-rounded ar/br copies.
+struct RoundTransform {
+  TcPrecision prec;
+  float operator()(float v) const { return round_operand(v, prec); }
+};
+
+/// Column-panel width of the packed triangular update. Each panel computes a
+/// dense rows x kPanelCols block through the paired packed kernel, then
+/// merges only the stored triangle, so the opposite triangle of C is never
+/// touched.
+constexpr index_t kPanelCols = 128;
+
+/// Thread-local panel accumulator, grown to the largest n * kPanelCols seen
+/// on this thread.
+std::vector<float>& syr2k_scratch() {
+  thread_local std::vector<float> p;
+  return p;
+}
+
+}  // namespace
 
 void tc_syr2k(blas::Uplo uplo, float alpha, ConstMatrixView<float> a, ConstMatrixView<float> b,
               float beta, MatrixView<float> c, TcPrecision prec) {
@@ -11,25 +39,42 @@ void tc_syr2k(blas::Uplo uplo, float alpha, ConstMatrixView<float> a, ConstMatri
   TCEVD_CHECK(c.cols() == n, "tc_syr2k requires square C");
   TCEVD_CHECK(a.rows() == n && b.rows() == n && b.cols() == k, "tc_syr2k shape mismatch");
   FlopCounter::instance().add(gemm_flops(n, n, k));
+  if (n == 0) return;
 
-  // Pre-round the operands once (fragment-load rounding).
-  Matrix<float> ar(n, k), br(n, k);
-  for (index_t j = 0; j < k; ++j)
-    for (index_t i = 0; i < n; ++i) {
-      ar(i, j) = round_operand(a(i, j), prec);
-      br(i, j) = round_operand(b(i, j), prec);
-    }
-
+  // Panelled packed path: for each block J of kPanelCols columns, compute
+  //   P = Ar(rows, :) · Br(J, :)^T + Br(rows, :) · Ar(J, :)^T
+  // through gemm_packed_nt_pair (rounding fused into packing, both products
+  // carried per k-step by the paired micro-kernel), restricted to the rows
+  // that intersect the stored triangle, then merge P into that triangle.
+  //
+  // Bitwise upper/lower symmetry: element (i,j) accumulates per k-step
+  // ar(i,l)·br(j,l) into acc1 and br(i,l)·ar(j,l) into acc2; element (j,i)
+  // accumulates the same products with acc1/acc2 swapped. fp multiply and
+  // add are commutative bitwise, so P(i,j) in Lower mode equals P(j,i) in
+  // Upper mode exactly, matching the old dot-product kernel's guarantee.
   const bool lower = uplo == blas::Uplo::Lower;
-  for (index_t j = 0; j < n; ++j) {
-    const index_t i0 = lower ? j : 0;
-    const index_t i1 = lower ? n : j + 1;
-    for (index_t i = i0; i < i1; ++i) {
-      // fp32 accumulation of the 2k products, operands already rounded.
-      float acc = (beta == 0.0f) ? 0.0f : beta * c(i, j);
-      float s = 0.0f;
-      for (index_t l = 0; l < k; ++l) s += ar(i, l) * br(j, l) + br(i, l) * ar(j, l);
-      c(i, j) = acc + alpha * s;
+  std::vector<float>& pbuf = syr2k_scratch();
+  const std::size_t pneed = static_cast<std::size_t>(n) * kPanelCols;
+  if (pbuf.size() < pneed) pbuf.resize(pneed);
+
+  for (index_t j0 = 0; j0 < n; j0 += kPanelCols) {
+    const index_t nb = std::min(kPanelCols, n - j0);
+    const index_t r0 = lower ? j0 : 0;
+    const index_t r1 = lower ? n : j0 + nb;
+    const index_t nr = r1 - r0;
+    std::fill(pbuf.begin(), pbuf.begin() + static_cast<std::ptrdiff_t>(nr * nb), 0.0f);
+    MatrixView<float> p(pbuf.data(), nr, nb, std::max<index_t>(nr, 1));
+    blas::gemm_packed_nt_pair(1.0f, a.sub(r0, 0, nr, k), b.sub(j0, 0, nb, k),
+                              b.sub(r0, 0, nr, k), a.sub(j0, 0, nb, k), p,
+                              RoundTransform{prec}, RoundTransform{prec});
+    for (index_t jj = 0; jj < nb; ++jj) {
+      const index_t j = j0 + jj;
+      const index_t i0 = lower ? j : 0;
+      const index_t i1 = lower ? n : j + 1;
+      for (index_t i = i0; i < i1; ++i) {
+        const float acc = (beta == 0.0f) ? 0.0f : beta * c(i, j);
+        c(i, j) = acc + alpha * p(i - r0, jj);
+      }
     }
   }
 }

@@ -1,0 +1,315 @@
+// Packed transpose-aware GEMM pipeline (src/blas/gemm_packed.hpp): every
+// trans combination against a naive reference at odd/prime/edge shapes,
+// parallel-vs-serial bitwise equality, the gemm_pool stand-down contract,
+// and bitwise equality of the fused-rounding tc_gemm / ec_tcgemm paths
+// against the old materialize-rounded-copies formulation. Label: gemmfast.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "src/blas/blas.hpp"
+#include "src/blas/gemm_threading.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/tensorcore/ec_tcgemm.hpp"
+#include "src/tensorcore/tc_gemm.hpp"
+#include "src/tensorcore/tc_syr2k.hpp"
+#include "test_util.hpp"
+
+namespace tcevd {
+namespace {
+
+using blas::Trans;
+using blas::Uplo;
+
+/// Naive dense reference: C = alpha op(A) op(B) + beta C.
+template <typename T>
+void ref_gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+              T beta, MatrixView<T> c) {
+  const index_t m = c.rows(), n = c.cols();
+  const index_t k = (ta == Trans::No) ? a.cols() : a.rows();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      T s{};
+      for (index_t l = 0; l < k; ++l) {
+        const T av = (ta == Trans::No) ? a(i, l) : a(l, i);
+        const T bv = (tb == Trans::No) ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+}
+
+template <typename T>
+Matrix<T> random_mat(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  fill_normal(rng, a.view());
+  return a;
+}
+
+/// Every element bitwise-equal (EXPECT_EQ catches NaN mismatches too).
+template <typename T>
+void expect_bitwise_equal(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      ASSERT_EQ(a(i, j), b(i, j)) << "mismatch at (" << i << ", " << j << ")";
+}
+
+struct GemmCase {
+  Trans ta, tb;
+  index_t m, n, k;
+};
+
+class PackedGemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+template <typename T>
+void check_against_reference(const GemmCase& p, double tol) {
+  const index_t am = (p.ta == Trans::No) ? p.m : p.k;
+  const index_t an = (p.ta == Trans::No) ? p.k : p.m;
+  const index_t bm = (p.tb == Trans::No) ? p.k : p.n;
+  const index_t bn = (p.tb == Trans::No) ? p.n : p.k;
+  auto a = random_mat<T>(am, an, 1);
+  auto b = random_mat<T>(bm, bn, 2);
+  auto c = random_mat<T>(p.m, p.n, 3);
+  auto c_ref = c;
+  blas::gemm<T>(p.ta, p.tb, T(1.3), a.view(), b.view(), T(-0.7), c.view());
+  ref_gemm<T>(p.ta, p.tb, T(1.3), a.view(), b.view(), T(-0.7), c_ref.view());
+  EXPECT_LT(test::rel_diff<T>(c.view(), c_ref.view()), tol);
+}
+
+TEST_P(PackedGemmTest, MatchesReferenceDouble) { check_against_reference<double>(GetParam(), 1e-12); }
+TEST_P(PackedGemmTest, MatchesReferenceFloat) { check_against_reference<float>(GetParam(), 5e-4); }
+
+// Shapes chosen to straddle every blocking boundary: MR=8/NR=4 remainders
+// (odd/prime), MC=128 and KC=256 crossings, plus m=1 / n=1 / k=0 edges.
+std::vector<GemmCase> all_combo_cases() {
+  const std::vector<std::array<index_t, 3>> shapes = {
+      {1, 1, 1},  {1, 37, 17},  {37, 1, 17},    {37, 17, 0},
+      {7, 5, 3},  {13, 17, 11}, {97, 61, 37},   {131, 67, 259},
+      {257, 5, 3}, {130, 4, 256}, {8, 129, 300},
+  };
+  const std::vector<std::pair<Trans, Trans>> combos = {
+      {Trans::No, Trans::No},
+      {Trans::No, Trans::Yes},
+      {Trans::Yes, Trans::No},
+      {Trans::Yes, Trans::Yes},
+  };
+  std::vector<GemmCase> cases;
+  for (const auto& tr : combos)
+    for (const auto& s : shapes) cases.push_back({tr.first, tr.second, s[0], s[1], s[2]});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombosOddShapes, PackedGemmTest,
+                         ::testing::ValuesIn(all_combo_cases()));
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-serial bitwise equality and the thread-ownership contract.
+// ---------------------------------------------------------------------------
+
+TEST(GemmPoolDeterminism, PooledBitwiseIdenticalToSerial) {
+  // 2*m*n*k well above the pooling floor, shape straddling every block edge.
+  const index_t m = 311, n = 203, k = 277;
+  for (Trans ta : {Trans::No, Trans::Yes})
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      const index_t am = (ta == Trans::No) ? m : k;
+      const index_t an = (ta == Trans::No) ? k : m;
+      const index_t bm = (tb == Trans::No) ? k : n;
+      const index_t bn = (tb == Trans::No) ? n : k;
+      auto a = random_mat<float>(am, an, 4);
+      auto b = random_mat<float>(bm, bn, 5);
+      auto c_pooled = random_mat<float>(m, n, 6);
+      auto c_serial = c_pooled;
+      const auto before = blas::gemm_pool_dispatches();
+      blas::gemm<float>(ta, tb, 1.5f, a.view(), b.view(), 0.25f, c_pooled.view());
+      EXPECT_GT(blas::gemm_pool_dispatches(), before)
+          << "large gemm on the main thread should fan out on gemm_pool";
+      {
+        blas::SerialGemmScope serial;
+        blas::gemm<float>(ta, tb, 1.5f, a.view(), b.view(), 0.25f, c_serial.view());
+      }
+      expect_bitwise_equal<float>(c_pooled.view(), c_serial.view());
+    }
+}
+
+TEST(GemmPoolPolicy, SerialScopeStandsDown) {
+  const index_t n = 160;  // 2n^3 ~ 8.2 Mflop: above the pooling floor
+  auto a = random_mat<float>(n, n, 7);
+  auto b = random_mat<float>(n, n, 8);
+  Matrix<float> c(n, n);
+  const auto before = blas::gemm_pool_dispatches();
+  {
+    blas::SerialGemmScope serial;
+    blas::gemm<float>(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  }
+  EXPECT_EQ(blas::gemm_pool_dispatches(), before);
+  blas::gemm<float>(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  EXPECT_GT(blas::gemm_pool_dispatches(), before);
+}
+
+TEST(GemmPoolPolicy, NestedCallsUnderPoolWorkersStandDown) {
+  // GEMMs issued from inside ANY ThreadPool worker must take the serial tile
+  // loop — the batch/overlap pools own the parallelism at their level.
+  const index_t n = 160;
+  auto a = random_mat<float>(n, n, 9);
+  auto b = random_mat<float>(n, n, 10);
+  ThreadPool pool(2);
+  const auto before = blas::gemm_pool_dispatches();
+  pool.parallel_for(4, [&](int, long) {
+    Matrix<float> c(n, n);
+    blas::gemm<float>(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  });
+  pool.wait_idle();
+  EXPECT_EQ(blas::gemm_pool_dispatches(), before)
+      << "nested gemm fanned out on gemm_pool from a pool worker";
+}
+
+TEST(GemmPoolPolicy, TinyGemmsStaySerial) {
+  auto a = random_mat<float>(16, 16, 11);
+  auto b = random_mat<float>(16, 16, 12);
+  Matrix<float> c(16, 16);
+  const auto before = blas::gemm_pool_dispatches();
+  blas::gemm<float>(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  EXPECT_EQ(blas::gemm_pool_dispatches(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Fused-rounding TC paths bitwise-equal to the old materializing paths.
+// ---------------------------------------------------------------------------
+
+/// The old tc_gemm formulation: materialize op(X) rounded to prec, then one
+/// plain fp32 GEMM.
+Matrix<float> rounded_op(Trans trans, ConstMatrixView<float> x, tc::TcPrecision prec) {
+  const index_t rows = trans == Trans::No ? x.rows() : x.cols();
+  const index_t cols = trans == Trans::No ? x.cols() : x.rows();
+  Matrix<float> out(rows, cols);
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i)
+      out(i, j) = tc::round_operand(trans == Trans::No ? x(i, j) : x(j, i), prec);
+  return out;
+}
+
+TEST(FusedRounding, TcGemmBitwiseEqualToMaterializedPath) {
+  const index_t m = 70, n = 53, k = 300;
+  for (tc::TcPrecision prec : {tc::TcPrecision::Fp16, tc::TcPrecision::Tf32})
+    for (Trans ta : {Trans::No, Trans::Yes})
+      for (Trans tb : {Trans::No, Trans::Yes}) {
+        const index_t am = (ta == Trans::No) ? m : k;
+        const index_t an = (ta == Trans::No) ? k : m;
+        const index_t bm = (tb == Trans::No) ? k : n;
+        const index_t bn = (tb == Trans::No) ? n : k;
+        auto a = random_mat<float>(am, an, 13);
+        auto b = random_mat<float>(bm, bn, 14);
+        auto c_fused = random_mat<float>(m, n, 15);
+        auto c_ref = c_fused;
+        tc::tc_gemm(ta, tb, 1.25f, a.view(), b.view(), -0.5f, c_fused.view(), prec);
+        Matrix<float> ar = rounded_op(ta, a.view(), prec);
+        Matrix<float> br = rounded_op(tb, b.view(), prec);
+        blas::gemm<float>(Trans::No, Trans::No, 1.25f, ar.view(), br.view(), -0.5f,
+                          c_ref.view());
+        expect_bitwise_equal<float>(c_fused.view(), c_ref.view());
+      }
+}
+
+/// The old ec_tcgemm formulation: materialize op(A)/op(B), ec_split each into
+/// head + scaled residual, run three plain GEMMs, combine in fp32.
+void ec_reference(Trans ta, Trans tb, float alpha, ConstMatrixView<float> a,
+                  ConstMatrixView<float> b, float beta, MatrixView<float> c,
+                  tc::TcPrecision prec) {
+  const index_t m = c.rows(), n = c.cols();
+  const index_t k = (ta == Trans::No) ? a.cols() : a.rows();
+  Matrix<float> ax(m, k), bx(k, n);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < m; ++i) ax(i, j) = (ta == Trans::No) ? a(i, j) : a(j, i);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < k; ++i) bx(i, j) = (tb == Trans::No) ? b(i, j) : b(j, i);
+  Matrix<float> ah(m, k), da(m, k), bh(k, n), db(k, n);
+  tc::ec_split(ax.view(), ah.view(), da.view(), prec);
+  tc::ec_split(bx.view(), bh.view(), db.view(), prec);
+  Matrix<float> c0(m, n), c1(m, n);
+  blas::gemm<float>(Trans::No, Trans::No, 1.0f, ah.view(), bh.view(), 0.0f, c0.view());
+  blas::gemm<float>(Trans::No, Trans::No, 1.0f, ah.view(), db.view(), 0.0f, c1.view());
+  blas::gemm<float>(Trans::No, Trans::No, 1.0f, da.view(), bh.view(), 1.0f, c1.view());
+  const float inv_s = 1.0f / tc::kEcScale;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      c(i, j) = alpha * (c0(i, j) + c1(i, j) * inv_s) +
+                ((beta == 0.0f) ? 0.0f : beta * c(i, j));
+}
+
+TEST(FusedRounding, EcTcGemmBitwiseEqualToMaterializedPath) {
+  const index_t m = 37, n = 29, k = 281;
+  for (Trans ta : {Trans::No, Trans::Yes})
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      const index_t am = (ta == Trans::No) ? m : k;
+      const index_t an = (ta == Trans::No) ? k : m;
+      const index_t bm = (tb == Trans::No) ? k : n;
+      const index_t bn = (tb == Trans::No) ? n : k;
+      auto a = random_mat<float>(am, an, 16);
+      auto b = random_mat<float>(bm, bn, 17);
+      auto c_fused = random_mat<float>(m, n, 18);
+      auto c_ref = c_fused;
+      ASSERT_TRUE(
+          tc::ec_tcgemm(ta, tb, 1.1f, a.view(), b.view(), 0.6f, c_fused.view()).ok());
+      ec_reference(ta, tb, 1.1f, a.view(), b.view(), 0.6f, c_ref.view(),
+                   tc::TcPrecision::Fp16);
+      expect_bitwise_equal<float>(c_fused.view(), c_ref.view());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tc_syr2k packed path at panel-crossing sizes.
+// ---------------------------------------------------------------------------
+
+TEST(PackedSyr2k, UpperLowerBitwiseSymmetricAcrossPanels) {
+  // n > 128 crosses the column-panel boundary of the packed triangular path.
+  const index_t n = 150, k = 40;
+  auto a = random_mat<float>(n, k, 19);
+  auto b = random_mat<float>(n, k, 20);
+  Matrix<float> cl(n, n), cu(n, n);
+  cl.fill(7.0f);
+  cu.fill(7.0f);
+  tc::tc_syr2k(Uplo::Lower, 0.8f, a.view(), b.view(), 0.0f, cl.view());
+  tc::tc_syr2k(Uplo::Upper, 0.8f, a.view(), b.view(), 0.0f, cu.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) {
+      ASSERT_EQ(cl(i, j), cu(j, i)) << "asymmetry at (" << i << ", " << j << ")";
+      if (i > j) {
+        ASSERT_EQ(cl(j, i), 7.0f) << "lower mode touched the upper triangle";
+        ASSERT_EQ(cu(i, j), 7.0f) << "upper mode touched the lower triangle";
+      }
+    }
+}
+
+TEST(PackedSyr2k, MatchesRoundedReferenceAcrossPanels) {
+  const index_t n = 140, k = 33;
+  auto a = random_mat<float>(n, k, 21);
+  auto b = random_mat<float>(n, k, 22);
+  auto c = random_mat<float>(n, n, 23);
+  auto c_ref = c;
+  tc::tc_syr2k(Uplo::Lower, 1.2f, a.view(), b.view(), -0.4f, c.view());
+  // Reference: pre-rounded operands, naive fp32 triangular accumulation.
+  Matrix<float> ar(n, k), br(n, k);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      ar(i, j) = tc::round_operand(a(i, j), tc::TcPrecision::Fp16);
+      br(i, j) = tc::round_operand(b(i, j), tc::TcPrecision::Fp16);
+    }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) {
+      float s = 0.0f;
+      for (index_t l = 0; l < k; ++l) s += ar(i, l) * br(j, l) + br(i, l) * ar(j, l);
+      c_ref(i, j) = 1.2f * s + -0.4f * c_ref(i, j);
+    }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      EXPECT_NEAR(c(i, j), c_ref(i, j), 2e-2f * static_cast<float>(k))
+          << "at (" << i << ", " << j << ")";
+}
+
+}  // namespace
+}  // namespace tcevd

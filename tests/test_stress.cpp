@@ -16,6 +16,8 @@
 #include <deque>
 #include <string>
 
+#include "src/blas/blas.hpp"
+#include "src/blas/gemm_threading.hpp"
 #include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/common/rng.hpp"
@@ -181,6 +183,39 @@ TEST(SharedEngineStressFixture, RepeatedBatchesKeepEngineConsistent) {
     }
     EXPECT_GE(engine.fp32_fallbacks(), 0L);  // concurrent-read smoke check
   }
+}
+
+// ---------------------------------------------------------------------------
+// Nested-oversubscription guard: while a batch (or any pool worker) is
+// running solves, the GEMMs inside them must take the serial tile loop
+// instead of fanning out on gemm_pool — the batch pool owns the machine at
+// its level. The toggle contrast: the same large GEMM issued from the main
+// thread afterwards DOES dispatch to gemm_pool.
+// ---------------------------------------------------------------------------
+
+TEST(SharedEngineStressFixture, GemmPoolStandsDownUnderBatchWorkers) {
+  tc::Fp32Engine engine;
+  const index_t n = 200;  // big enough that its GEMMs clear the pooling floor
+  std::vector<Matrix<float>> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(test::random_symmetric<float>(n, 9200 + i));
+
+  evd::BatchOptions bopt;
+  bopt.evd.bandwidth = 16;
+  bopt.evd.big_block = 32;
+  bopt.evd.lookahead = true;  // cover the run_pair window's stand-down too
+  bopt.num_threads = kThreads;
+
+  const auto before = blas::gemm_pool_dispatches();
+  auto res = evd::solve_many(batch, engine, bopt);
+  ASSERT_TRUE(res.all_ok());
+  EXPECT_EQ(blas::gemm_pool_dispatches(), before)
+      << "a GEMM nested under a batch worker fanned out on gemm_pool";
+
+  // Toggle: the identical shape from the main thread is allowed to pool.
+  Matrix<float> c(n, n);
+  blas::gemm<float>(blas::Trans::Yes, blas::Trans::No, 1.0f, batch[0].view(),
+                    batch[1].view(), 0.0f, c.view());
+  EXPECT_GT(blas::gemm_pool_dispatches(), before);
 }
 
 }  // namespace

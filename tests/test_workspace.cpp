@@ -3,13 +3,38 @@
 // guarantees the Context refactor exists to provide.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <new>
 
+#include "src/blas/blas.hpp"
 #include "src/common/context.hpp"
 #include "src/common/workspace.hpp"
 #include "src/evd/evd.hpp"
 #include "src/tensorcore/engine.hpp"
+#include "src/tensorcore/tc_gemm.hpp"
 #include "test_util.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter backing the steady-state zero-allocation
+// regression below: replacing the global operator new/delete pair is the only
+// way to observe a library-internal heap allocation from a test.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace tcevd {
 namespace {
@@ -246,6 +271,35 @@ TEST(Workspace, ReserveConsolidatesFragmentedIdleArena) {
     (void)scope.alloc<float>((std::size_t{3} << 20) / sizeof(float));
   }
   EXPECT_EQ(ws.spill_count(), 1) << "the consolidated block re-spilled";
+}
+
+// The packed GEMM pipeline's allocation guarantee: once the thread-local pack
+// buffers are sized and gemm_pool's workers exist (both happen on the first
+// call), a steady-state blas::gemm or tc::tc_gemm performs ZERO heap
+// allocations — serial or pooled, any trans combination. Pooled dispatch goes
+// through ThreadPool::try_broadcast, which allocates nothing by construction.
+TEST(Workspace, SteadyStateGemmAndTcGemmAreAllocationFree) {
+  using blas::Trans;
+  const index_t n = 160;  // 2n^3 ~ 8.2 Mflop: above the pooling floor
+  Rng rng(99);
+  Matrix<float> a(n, n), b(n, n), c(n, n);
+  fill_normal(rng, a.view());
+  fill_normal(rng, b.view());
+
+  // Warm-up: sizes the pack buffers, spawns the pool, rounds once.
+  blas::gemm<float>(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  blas::gemm<float>(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.5f, c.view());
+  blas::gemm<float>(Trans::Yes, Trans::No, 1.0f, a.view(), b.view(), 0.5f, c.view());
+  blas::gemm<float>(Trans::No, Trans::Yes, 1.0f, a.view(), b.view(), 0.5f, c.view());
+  blas::gemm<float>(Trans::Yes, Trans::Yes, 1.0f, a.view(), b.view(), 0.5f, c.view());
+  tc::tc_gemm(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.5f, c.view());
+  tc::tc_gemm(Trans::Yes, Trans::No, 1.0f, a.view(), b.view(), 0.5f, c.view());
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << (after - before)
+                           << " heap allocations in steady-state gemm/tc_gemm calls";
 }
 
 TEST(Workspace, WorkspaceQueryCoversEvdSolve) {
