@@ -55,7 +55,9 @@ namespace detail {
 /// the broadcast round-trip.
 bool use_gemm_pool(index_t m, index_t n, index_t k) noexcept;
 
-/// Bump the gemm_pool_dispatches() counter (called once per pooled gemm).
+/// Bump the gemm_pool_dispatches() counter. Called once per macro-tile
+/// broadcast actually dispatched onto gemm_pool() — a large gemm contributes
+/// one per macro block, matching the gemm_pool_dispatches() doc above.
 void count_gemm_pool_dispatch() noexcept;
 
 }  // namespace detail

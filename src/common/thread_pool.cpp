@@ -107,17 +107,51 @@ void ThreadPool::run_pair(const std::function<void()>& pooled,
 }
 
 bool ThreadPool::broadcast_live_locked() const noexcept {
-  return bcast_.active && bcast_.next.load(std::memory_order_relaxed) < bcast_.count;
+  if (!bcast_.active) return false;
+  const std::uint64_t t = bcast_.ticket.load(std::memory_order_relaxed);
+  return (t >> kBcastIndexBits) == bcast_.epoch &&
+         static_cast<long>(t & kBcastIndexMask) < bcast_.count;
 }
 
 void ThreadPool::broadcast_participate() {
+  // Snapshot the current broadcast under mutex_, so fn/ctx/count are never
+  // read while the next broadcast's setup (also under mutex_) rewrites them.
+  // Claims then run lock-free off the epoch-stamped ticket; the epoch tells a
+  // straggler whether its claim belongs to the broadcast it snapshotted.
+  void (*fn)(void*, long) = nullptr;
+  void* ctx = nullptr;
+  long count = 0;
+  std::uint64_t epoch = 0;
+  const auto refresh = [&]() -> bool {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!bcast_.active) return false;
+    fn = bcast_.fn;
+    ctx = bcast_.ctx;
+    count = bcast_.count;
+    epoch = bcast_.epoch;
+    return true;
+  };
+  if (!refresh()) return;
   for (;;) {
-    // The acquire claim synchronizes with try_broadcast's release store on
-    // `next`, so fn/ctx/count are safe to read only after a successful claim.
-    const long i = bcast_.next.fetch_add(1, std::memory_order_acq_rel);
-    const long count = bcast_.count;
-    if (i >= count) return;
-    bcast_.fn(bcast_.ctx, i);
+    const std::uint64_t t = bcast_.ticket.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t t_epoch = t >> kBcastIndexBits;
+    const long i = static_cast<long>(t & kBcastIndexMask);
+    if (t_epoch != epoch) {
+      // The claim landed in a different broadcast generation than the
+      // snapshot. Re-snapshot: if the claimed generation is the one now
+      // active, the index is a valid claim into it (its fn/ctx/count were
+      // published under mutex_ before its ticket store) — adopt the new
+      // snapshot and run it below. Otherwise the claim was an exhaustion
+      // probe of a generation that has already fully completed (an
+      // in-bounds index of a live generation keeps done < count, which
+      // keeps it active), so it is harmless — retry with the fresh
+      // snapshot. If no broadcast is active at all, hand back to the
+      // worker loop / caller.
+      if (!refresh()) return;
+      if (t_epoch != epoch) continue;
+    }
+    if (i >= count) return;  // current broadcast exhausted
+    fn(ctx, i);
     if (bcast_.done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
       std::lock_guard<std::mutex> lk(bcast_.done_mutex);
       bcast_.done_cv.notify_all();
@@ -128,6 +162,10 @@ void ThreadPool::broadcast_participate() {
 bool ThreadPool::try_broadcast(long count, void (*fn)(void* ctx, long index), void* ctx) {
   TCEVD_CHECK(fn != nullptr, "ThreadPool::try_broadcast requires a non-null fn");
   if (count <= 0) return true;
+  // The index field must also absorb one exhaustion probe per participant
+  // without carrying into the epoch bits; tile counts are nowhere near this.
+  TCEVD_CHECK(static_cast<std::uint64_t>(count) < kBcastIndexMask / 2,
+              "ThreadPool::try_broadcast count exceeds the ticket index field");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_ || bcast_.active) return false;
@@ -136,15 +174,22 @@ bool ThreadPool::try_broadcast(long count, void (*fn)(void* ctx, long index), vo
     bcast_.ctx = ctx;
     bcast_.count = count;
     bcast_.done.store(0, std::memory_order_relaxed);
-    // Last setup step: the release store publishes fn/ctx/count to workers.
-    bcast_.next.store(0, std::memory_order_release);
+    // The epoch lives in the ticket's high bits, so it wraps modulo the
+    // field width (ABA would need a straggler parked across 2^32 broadcasts).
+    bcast_.epoch = (bcast_.epoch + 1) & kBcastIndexMask;
+    // Last setup step: resets the index field to 0 and stamps the new epoch
+    // in one store. A straggler fetch_add from the previous broadcast either
+    // lands before this store (its increment is simply overwritten) or after
+    // (it reads the new epoch and re-snapshots under mutex_ — a valid claim
+    // into this broadcast, never a double-claimed or stale index).
+    bcast_.ticket.store(bcast_.epoch << kBcastIndexBits, std::memory_order_release);
   }
   work_ready_.notify_all();
   broadcast_participate();  // the caller steals indices too
   {
     std::unique_lock<std::mutex> lk(bcast_.done_mutex);
     bcast_.done_cv.wait(lk, [this, count] {
-      return bcast_.done.load(std::memory_order_acquire) == count;
+      return bcast_.done.load(std::memory_order_acquire) >= count;
     });
   }
   {

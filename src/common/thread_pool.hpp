@@ -21,6 +21,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -106,16 +107,26 @@ class ThreadPool {
   int in_flight_ = 0;                    // tasks popped but not yet finished
   bool stop_ = false;
 
-  // try_broadcast state. `active` is guarded by mutex_; fn/ctx/count are
-  // published by the release store on `next` (workers read them only after an
-  // acquire claim that observed that store, so no lock on the steal path).
+  // try_broadcast state. fn/ctx/count/epoch/active are guarded by mutex_:
+  // participants snapshot them under the lock, then claim indices lock-free
+  // off `ticket`, which packs (epoch << kBcastIndexBits) | next_index in one
+  // atomic. The epoch stamp is what makes back-to-back broadcasts safe: a
+  // straggler's exhaustion-probe fetch_add from a finished broadcast either
+  // lands before the next setup's ticket store (the store overwrites it) or
+  // after (the claim carries the NEW epoch, so the straggler re-snapshots
+  // under mutex_ and runs it as a valid index of the new broadcast). A stale
+  // index can therefore never be claimed twice, and fn/ctx/count are never
+  // read while the next broadcast writes them (see broadcast_participate).
+  static constexpr int kBcastIndexBits = 32;
+  static constexpr std::uint64_t kBcastIndexMask = (std::uint64_t{1} << kBcastIndexBits) - 1;
   struct Broadcast {
-    void (*fn)(void*, long) = nullptr;
-    void* ctx = nullptr;
-    long count = 0;
-    std::atomic<long> next{0};
+    void (*fn)(void*, long) = nullptr;    // guarded by mutex_
+    void* ctx = nullptr;                  // guarded by mutex_
+    long count = 0;                       // guarded by mutex_
+    std::uint64_t epoch = 0;              // guarded by mutex_; one per broadcast
+    std::atomic<std::uint64_t> ticket{0};  // (epoch << kBcastIndexBits) | next index
     std::atomic<long> done{0};
-    bool active = false;
+    bool active = false;                  // guarded by mutex_
     std::mutex done_mutex;
     std::condition_variable done_cv;
   } bcast_;

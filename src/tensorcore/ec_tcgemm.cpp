@@ -7,6 +7,7 @@
 #include "src/blas/gemm_packed.hpp"
 #include "src/common/fault.hpp"
 #include "src/common/flop_counter.hpp"
+#include "src/common/scratch.hpp"
 
 namespace tcevd::tc {
 
@@ -51,8 +52,10 @@ bool operand_saturates(ConstMatrixView<float> x, TcPrecision prec) {
 }
 
 /// Thread-local fp32 accumulators for the head product (c0) and the
-/// correction product (c1), grown to the largest m*n seen on this thread so
-/// steady-state calls perform no heap allocation.
+/// correction product (c1). Sized through reserve_scratch: same-shape
+/// steady-state calls perform no heap allocation, and a thread that drops
+/// from one large problem to much smaller ones releases the oversized
+/// buffers instead of pinning them for its lifetime (src/common/scratch.hpp).
 struct EcScratch {
   std::vector<float> c0, c1;
 };
@@ -99,10 +102,8 @@ Status ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatri
 
   EcScratch& scratch = ec_scratch();
   const std::size_t need = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
-  if (scratch.c0.size() < need) {
-    scratch.c0.resize(need);
-    scratch.c1.resize(need);
-  }
+  reserve_scratch(scratch.c0, need);
+  reserve_scratch(scratch.c1, need);
   const index_t ldc = std::max<index_t>(m, 1);
   MatrixView<float> c0(scratch.c0.data(), m, n, ldc);
   MatrixView<float> c1(scratch.c1.data(), m, n, ldc);

@@ -5,6 +5,7 @@
 
 #include "src/blas/gemm_packed.hpp"
 #include "src/common/flop_counter.hpp"
+#include "src/common/scratch.hpp"
 
 namespace tcevd::tc {
 
@@ -23,8 +24,9 @@ struct RoundTransform {
 /// touched.
 constexpr index_t kPanelCols = 128;
 
-/// Thread-local panel accumulator, grown to the largest n * kPanelCols seen
-/// on this thread.
+/// Thread-local panel accumulator, sized by reserve_scratch: no allocation
+/// in same-shape steady state, released when far oversized for the current
+/// problem (src/common/scratch.hpp).
 std::vector<float>& syr2k_scratch() {
   thread_local std::vector<float> p;
   return p;
@@ -55,7 +57,7 @@ void tc_syr2k(blas::Uplo uplo, float alpha, ConstMatrixView<float> a, ConstMatri
   const bool lower = uplo == blas::Uplo::Lower;
   std::vector<float>& pbuf = syr2k_scratch();
   const std::size_t pneed = static_cast<std::size_t>(n) * kPanelCols;
-  if (pbuf.size() < pneed) pbuf.resize(pneed);
+  reserve_scratch(pbuf, pneed);
 
   for (index_t j0 = 0; j0 < n; j0 += kPanelCols) {
     const index_t nb = std::min(kPanelCols, n - j0);

@@ -218,5 +218,43 @@ TEST(SharedEngineStressFixture, GemmPoolStandsDownUnderBatchWorkers) {
   EXPECT_GT(blas::gemm_pool_dispatches(), before);
 }
 
+// Regression for the stale-worker broadcast race: a worker's final
+// exhaustion-probe fetch_add on the claim counter can interleave with the
+// NEXT broadcast's setup (gemm_packed issues broadcasts back-to-back with
+// varying tile counts per macro block). Before the epoch-stamped ticket, that
+// straggler could re-claim an index into the new broadcast (an index run
+// twice — silent C-tile corruption), read fn/ctx/count mid-rewrite (UB /
+// dead-stack ctx), or over-increment `done` past count (caller hang). The
+// hammer below drives thousands of back-to-back broadcasts through one
+// oversubscribed pool (more workers than cores, so stragglers get preempted
+// mid-probe) with counts alternating between 1 and larger — small counts
+// maximize the probe-vs-setup overlap window — and asserts every index of
+// every round runs exactly once. Run under TSan in the sanitizer CI leg.
+TEST(BroadcastStress, BackToBackBroadcastsRunEachIndexExactlyOnce) {
+  ThreadPool pool(2 * kThreads);
+  constexpr long kMaxCount = 64;
+  constexpr int kRounds = 20000;
+  struct Ctx {
+    std::atomic<int> hits[kMaxCount];
+  };
+  // ctx lives on this frame and is re-zeroed per round, mimicking the
+  // per-macro-block stack TileCtx in gemm_packed.
+  Ctx ctx;
+  for (int r = 0; r < kRounds; ++r) {
+    const long count = (r % 2 == 0) ? 1 : 1 + (r % kMaxCount);
+    for (long i = 0; i < count; ++i) ctx.hits[i].store(0, std::memory_order_relaxed);
+    const bool ran = pool.try_broadcast(
+        count,
+        [](void* c, long i) {
+          static_cast<Ctx*>(c)->hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        &ctx);
+    ASSERT_TRUE(ran) << "single-caller broadcast reported the pool busy";
+    for (long i = 0; i < count; ++i)
+      ASSERT_EQ(ctx.hits[i].load(std::memory_order_relaxed), 1)
+          << "round " << r << " index " << i << " of " << count;
+  }
+}
+
 }  // namespace
 }  // namespace tcevd
