@@ -1,0 +1,145 @@
+// Verification-overhead benchmark: what ABFT checksums and the stochastic
+// residual gate cost relative to an unverified solve.
+//
+// Rows are [measured] on this machine's CPU build; the interesting numbers
+// are the overhead percentages, not the absolute seconds. Every row is also
+// mirrored into BENCH_verify.json so the perf-trajectory tooling can track
+// the verification overhead the same way BENCH_gemm.json tracks the GEMM
+// kernels.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/blas/abft.hpp"
+#include "src/blas/blas.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/verify.hpp"
+#include "src/evd/evd.hpp"
+#include "src/tensorcore/engine.hpp"
+
+namespace {
+
+using namespace tcevd;
+
+struct Row {
+  std::string name;
+  double seconds = 0.0;
+  double overhead_pct = 0.0;  // vs the matching baseline row
+};
+
+std::vector<Row> g_rows;
+
+void emit(const std::string& name, double seconds, double baseline_s) {
+  Row row;
+  row.name = name;
+  row.seconds = seconds;
+  row.overhead_pct = baseline_s > 0.0 ? 100.0 * (seconds - baseline_s) / baseline_s : 0.0;
+  std::printf("  %-44s %9.2f ms   %+7.2f %%\n", name.c_str(), seconds * 1e3,
+              row.overhead_pct);
+  g_rows.push_back(row);
+}
+
+Matrix<float> random_symmetric(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<float> a(n, n);
+  fill_normal(rng, a.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) a(i, j) = a(j, i);
+  return a;
+}
+
+double solve_time(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                  const evd::EvdOptions& opt) {
+  Context ctx(engine);
+  // Warm the arena so every timed solve is steady-state (allocation-free).
+  (void)evd::solve(a, ctx, opt);
+  return bench::time_s([&] {
+    auto r = evd::solve(a, ctx, opt);
+    if (!r.ok()) std::fprintf(stderr, "solve failed: %s\n", r.status().to_string().c_str());
+  });
+}
+
+void bench_solve_overhead(index_t n) {
+  bench::section("verified evd::solve overhead, n = " + std::to_string(n) +
+                 " (tc-fp16, vectors)");
+  auto a = random_symmetric(n, 42 + n);
+  const auto av = ConstMatrixView<float>(a.view());
+  tc::TcEngine engine;
+
+  evd::EvdOptions opt;
+  opt.vectors = true;
+  const double base = solve_time(av, engine, opt);
+  emit("solve/n=" + std::to_string(n) + "/baseline", base, base);
+
+  evd::EvdOptions est = opt;
+  est.verify = verify::Policy::Estimate;
+  emit("solve/n=" + std::to_string(n) + "/estimate", solve_time(av, engine, est), base);
+
+  evd::EvdOptions abft = opt;
+  abft.abft = true;
+  emit("solve/n=" + std::to_string(n) + "/abft", solve_time(av, engine, abft), base);
+
+  evd::EvdOptions both = opt;
+  both.verify = verify::Policy::EstimateEscalate;
+  both.abft = true;
+  emit("solve/n=" + std::to_string(n) + "/abft+estimate", solve_time(av, engine, both),
+       base);
+}
+
+void bench_gemm_abft(index_t n) {
+  bench::section("raw packed-GEMM ABFT overhead, n = " + std::to_string(n));
+  Rng rng(7);
+  Matrix<float> a(n, n), b(n, n), c(n, n);
+  fill_normal(rng, a.view());
+  fill_normal(rng, b.view());
+  set_zero(c.view());
+  const auto av = ConstMatrixView<float>(a.view());
+  const auto bv = ConstMatrixView<float>(b.view());
+
+  const double base = bench::time_s([&] {
+    blas::gemm<float>(blas::Trans::No, blas::Trans::No, 1.0f, av, bv, 0.0f, c.view());
+  });
+  emit("gemm/n=" + std::to_string(n) + "/baseline", base, base);
+
+  blas::abft::AbftScope abft;
+  const double checked = bench::time_s([&] {
+    blas::gemm<float>(blas::Trans::No, blas::Trans::No, 1.0f, av, bv, 0.0f, c.view());
+  });
+  emit("gemm/n=" + std::to_string(n) + "/abft", checked, base);
+}
+
+void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"seconds\": %.9f, \"overhead_pct\": %.3f}%s\n",
+                 r.name.c_str(), r.seconds, r.overhead_pct,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu rows to %s\n", g_rows.size(), path);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("verification overhead: ABFT checksums + residual gate",
+                "DESIGN.md §12 (verified solves)");
+  std::printf("  %-44s %12s   %9s\n", "case", "median", "overhead");
+
+  bench_solve_overhead(128);
+  bench_solve_overhead(256);
+  bench_gemm_abft(512);
+  bench_gemm_abft(1024);
+
+  write_json("BENCH_verify.json");
+  return 0;
+}

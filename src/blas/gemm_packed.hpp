@@ -19,15 +19,28 @@
 // first use, so a steady-state call performs zero heap allocations whether it
 // runs serial or pooled.
 //
+// ABFT (see src/blas/abft.hpp): when an AbftScope is active, every C
+// micro-tile is verified against a column-checksum invariant computed from
+// the packed A panel and recomputed in place on mismatch — detect, locate,
+// recompute — before it is applied to C. The ABFT tile path accumulates into
+// a private buffer holding exactly the value the direct path would have
+// added, so clean results are bitwise-identical with ABFT on or off.
+//
 // These entry points do NOT touch the FlopCounter — callers (blas::gemm,
 // tc_gemm, ec_tcgemm, tc_syr2k) account for their own logical flops.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <vector>
 
+#include "src/blas/abft.hpp"
 #include "src/blas/blas.hpp"
 #include "src/blas/gemm_threading.hpp"
+#include "src/common/fault.hpp"
 #include "src/common/thread_pool.hpp"
 
 namespace tcevd {
@@ -69,6 +82,165 @@ template <typename T>
 PackBuffers<T>& pack_buffers() {
   thread_local PackBuffers<T> bufs;
   return bufs;
+}
+
+// --- ABFT column checksums -------------------------------------------------
+
+/// Per-micro-panel checksum capacity: mtiles <= kMC/kMR panels, kc <= kKC
+/// k-steps each. Checksums carry a plain and an absolute-value sum (the
+/// latter scales the floating-point comparison tolerance).
+inline constexpr std::size_t kAcsumElems =
+    static_cast<std::size_t>(kMC / kMR) * kKC;
+
+/// Thread-local checksum storage, allocated lazily on a thread's first ABFT
+/// GEMM (non-ABFT callers never touch it). The second pair backs the
+/// dual-A-operand pair kernel (tc_syr2k).
+struct AbftBuffers {
+  std::vector<double> sa, sa_abs, sa2, sa2_abs;
+  AbftBuffers()
+      : sa(kAcsumElems), sa_abs(kAcsumElems), sa2(kAcsumElems), sa2_abs(kAcsumElems) {}
+};
+
+inline AbftBuffers& abft_buffers() {
+  thread_local AbftBuffers bufs;
+  return bufs;
+}
+
+/// Row-sum checksum vector of a packed A block: sa[p*kc + k] sums the kMR
+/// lanes of micro-panel p at k-step k (zero-padded lanes contribute zero),
+/// sa_abs the absolute values. Reads the freshly packed, cache-resident
+/// panel, so the sweep rides the pack's memory traffic the way the fused
+/// rounding transform rides the operand read.
+template <typename T>
+void compute_a_checksums(const T* buf, index_t mc, index_t kc, double* sa,
+                         double* sa_abs) {
+  const index_t mtiles = (mc + kMR - 1) / kMR;
+  for (index_t p = 0; p < mtiles; ++p) {
+    const T* panel = buf + p * kMR * kc;
+    double* s = sa + p * kc;
+    double* sabs = sa_abs + p * kc;
+    for (index_t k = 0; k < kc; ++k) {
+      const T* col = panel + k * kMR;
+      double sum = 0.0;
+      double asum = 0.0;
+      for (index_t r = 0; r < kMR; ++r) {
+        const double v = static_cast<double>(col[r]);
+        sum += v;
+        asum += std::abs(v);
+      }
+      s[k] = sum;
+      sabs[k] = asum;
+    }
+  }
+}
+
+/// The injected "corrupted tile" bit damage (fault site gemm.tile_corrupt):
+/// flip the sign bit and walk the exponent field up by 10 (down when that
+/// would overflow past the finite range), with a magnitude floor of 2^10.
+/// Deterministic and always a large *finite* change — at least ~2^10 in
+/// absolute terms and at least ~2^10 relative to the original value — so the
+/// corruption reliably breaches the end-to-end residual gate without
+/// poisoning the pipeline with Inf/NaN (a raw high-exponent bit flip can
+/// produce either a negligible perturbation or an infinity, both of which
+/// make fault-injection tests flaky).
+template <typename T>
+inline void corrupt_value(T& v) noexcept {
+  if constexpr (sizeof(T) == 4) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    const std::uint32_t exp = (bits >> 23) & 0xFFu;
+    if (exp == 0)
+      bits = 0x44800000u;  // zero/denormal -> 1024.0f
+    else if (exp <= 244)
+      bits = (bits ^ 0x80000000u) + (std::uint32_t{10} << 23);
+    else
+      bits = (bits ^ 0x80000000u) - (std::uint32_t{10} << 23);
+    std::memcpy(&v, &bits, sizeof(bits));
+    if (v > -1024.0f && v < 1024.0f) v = v < 0.0f ? -1024.0f : 1024.0f;
+  } else {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    const std::uint64_t exp = (bits >> 52) & 0x7FFull;
+    if (exp == 0)
+      bits = 0x4090000000000000ull;  // zero/denormal -> 1024.0
+    else if (exp <= 2036)
+      bits = (bits ^ 0x8000000000000000ull) + (std::uint64_t{10} << 52);
+    else
+      bits = (bits ^ 0x8000000000000000ull) - (std::uint64_t{10} << 52);
+    std::memcpy(&v, &bits, sizeof(bits));
+    if (v > -1024.0 && v < 1024.0) v = v < 0.0 ? -1024.0 : 1024.0;
+  }
+}
+
+/// Safety factor on the analytic fp accumulation bound. False positives only
+/// cost a redundant (bitwise-identical) tile recompute, never correctness.
+inline constexpr double kAbftSafety = 8.0;
+
+/// Tolerance for one column's checksum comparison: the micro-kernel
+/// accumulates kc products in T precision and the tile sums <= kMR of them,
+/// so the drift between the double-precision expected sum and the actual
+/// tile column sum is bounded by ~(kc + kMR) * eps_T * (sum of |terms|).
+template <typename T>
+inline double abft_tolerance(index_t kc, double abs_scale) noexcept {
+  return kAbftSafety * static_cast<double>(std::numeric_limits<T>::epsilon()) *
+             (static_cast<double>(kc) + static_cast<double>(kMR)) * abs_scale +
+         1e-300;
+}
+
+/// Column-checksum verification of one accumulated tile (kMR-ld buffer
+/// holding fl(alpha*acc)): for every column j,
+///   sum_i tile(i, j)  ?=  alpha * sum_k sa(k) * bp(k, j).
+template <typename T>
+bool tile_checksum_ok(const T* tile, index_t mr, index_t nr, index_t kc, const T* bp,
+                      T alpha, const double* sa, const double* sa_abs) {
+  const double al = static_cast<double>(alpha);
+  const double al_abs = std::abs(al);
+  for (index_t jj = 0; jj < nr; ++jj) {
+    double expect = 0.0;
+    double scale = 0.0;
+    for (index_t k = 0; k < kc; ++k) {
+      const double bv = static_cast<double>(bp[k * kNR + jj]);
+      expect += sa[k] * bv;
+      scale += sa_abs[k] * std::abs(bv);
+    }
+    expect *= al;
+    scale *= al_abs;
+    double actual = 0.0;
+    const T* tcol = tile + jj * kMR;
+    for (index_t ii = 0; ii < mr; ++ii) actual += static_cast<double>(tcol[ii]);
+    if (std::abs(actual - expect) > abft_tolerance<T>(kc, scale)) return false;
+  }
+  return true;
+}
+
+/// Pair-kernel variant: tile holds fl(alpha*(acc1+acc2)), so the expected
+/// column sum combines both products' checksums.
+template <typename T>
+bool tile_checksum_ok_pair(const T* tile, index_t mr, index_t nr, index_t kc,
+                           const T* bp1, const T* bp2, T alpha, const double* sa1,
+                           const double* sa1_abs, const double* sa2,
+                           const double* sa2_abs) {
+  const double al = static_cast<double>(alpha);
+  const double al_abs = std::abs(al);
+  for (index_t jj = 0; jj < nr; ++jj) {
+    double expect = 0.0;
+    double scale = 0.0;
+    for (index_t k = 0; k < kc; ++k) {
+      const double b1 = static_cast<double>(bp1[k * kNR + jj]);
+      const double b2 = static_cast<double>(bp2[k * kNR + jj]);
+      expect += sa1[k] * b1 + sa2[k] * b2;
+      scale += sa1_abs[k] * std::abs(b1) + sa2_abs[k] * std::abs(b2);
+    }
+    expect *= al;
+    scale *= al_abs;
+    double actual = 0.0;
+    const T* tcol = tile + jj * kMR;
+    for (index_t ii = 0; ii < mr; ++ii) actual += static_cast<double>(tcol[ii]);
+    // The pair kernel carries two accumulators per k-step, so double the
+    // single-product accumulation bound.
+    if (std::abs(actual - expect) > 2.0 * abft_tolerance<T>(kc, scale)) return false;
+  }
+  return true;
 }
 
 /// op(A)(i0:i0+mc, k0:k0+kc) -> MR-row panels, k-major, f applied per element.
@@ -238,6 +410,11 @@ void run_tile(void* vctx, long idx) {
   const T* bp = ctx->bpack + (jr / kNR) * ctx->kc * kNR;
   micro_kernel(ctx->kc, ap, bp, ctx->alpha, ctx->cbase + ir + jr * ctx->ldc, ctx->ldc, mr,
                nr);
+  // Post-micro-kernel corruption injection: with ABFT off nothing checks the
+  // tile, and the bad value flows into the result (exactly the silent fault
+  // the end-to-end verification tier exists to catch).
+  if (fault::should_fire(fault::Site::GemmTileCorrupt))
+    corrupt_value(*(ctx->cbase + ir + jr * ctx->ldc));
 }
 
 /// Split-B tile: one A panel against head and tail B panels, into two
@@ -269,6 +446,8 @@ void run_split_tile(void* vctx, long idx) {
                ctx->c0base + ir + jr * ctx->ldc0, ctx->ldc0, mr, nr);
   micro_kernel(ctx->kc, ap, ctx->bpackt + poff, T{1},
                ctx->c1base + ir + jr * ctx->ldc1, ctx->ldc1, mr, nr);
+  if (fault::should_fire(fault::Site::GemmTileCorrupt))
+    corrupt_value(*(ctx->c0base + ir + jr * ctx->ldc0));
 }
 
 template <typename T>
@@ -296,6 +475,161 @@ void run_pair_tile(void* vctx, long idx) {
   micro_kernel_pair(ctx->kc, ctx->apack1 + aoff, ctx->bpack1 + boff, ctx->apack2 + aoff,
                     ctx->bpack2 + boff, ctx->alpha, ctx->cbase + ir + jr * ctx->ldc,
                     ctx->ldc, mr, nr);
+  if (fault::should_fire(fault::Site::GemmTileCorrupt))
+    corrupt_value(*(ctx->cbase + ir + jr * ctx->ldc));
+}
+
+// --- ABFT tile runners -----------------------------------------------------
+//
+// Each runner accumulates its tile into a private kMR x kNR buffer holding
+// exactly fl(alpha*acc) — the value the direct runner would have added to C —
+// verifies it against the packed-A checksum vector, recomputes in place on a
+// mismatch (same packed panels, same accumulation order: the recompute is
+// bitwise the uncorrupted tile), and only then applies it to C. The injected
+// gemm.tile_corrupt flip lands on the private tile after the micro-kernel,
+// modeling a corrupted C tile before anything downstream consumed it.
+
+template <typename T>
+struct AbftTileCtx {
+  const T* apack;
+  const T* bpack;
+  T alpha;
+  T* cbase;
+  index_t ldc;
+  index_t mc, nc, kc;
+  index_t mtiles;
+  const double* sa;
+  const double* sa_abs;
+  index_t gi0, gj0;  ///< global C coordinates of this macro block
+  abft::CallStats* stats;
+};
+
+template <typename T>
+void run_tile_abft(void* vctx, long idx) {
+  const auto* ctx = static_cast<const AbftTileCtx<T>*>(vctx);
+  const index_t ir = (static_cast<index_t>(idx) % ctx->mtiles) * kMR;
+  const index_t jr = (static_cast<index_t>(idx) / ctx->mtiles) * kNR;
+  const index_t mr = std::min(kMR, ctx->mc - ir);
+  const index_t nr = std::min(kNR, ctx->nc - jr);
+  const T* ap = ctx->apack + (ir / kMR) * ctx->kc * kMR;
+  const T* bp = ctx->bpack + (jr / kNR) * ctx->kc * kNR;
+  const double* sa = ctx->sa + (ir / kMR) * ctx->kc;
+  const double* sa_abs = ctx->sa_abs + (ir / kMR) * ctx->kc;
+
+  T tile[kNR * kMR] = {};
+  micro_kernel(ctx->kc, ap, bp, ctx->alpha, tile, kMR, mr, nr);
+  if (fault::should_fire(fault::Site::GemmTileCorrupt)) corrupt_value(tile[0]);
+  if (!tile_checksum_ok(tile, mr, nr, ctx->kc, bp, ctx->alpha, sa, sa_abs)) {
+    std::fill(tile, tile + kNR * kMR, T{});
+    micro_kernel(ctx->kc, ap, bp, ctx->alpha, tile, kMR, mr, nr);
+    ctx->stats->record_detection(ctx->gi0 + ir, ctx->gj0 + jr);
+  }
+  T* cc0 = ctx->cbase + ir + jr * ctx->ldc;
+  for (index_t jj = 0; jj < nr; ++jj) {
+    T* cc = cc0 + jj * ctx->ldc;
+    const T* tcol = tile + jj * kMR;
+    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += tcol[ii];
+  }
+}
+
+template <typename T>
+struct AbftSplitTileCtx {
+  const T* apack;
+  const T* bpackh;
+  const T* bpackt;
+  T* c0base;
+  index_t ldc0;
+  T* c1base;
+  index_t ldc1;
+  index_t mc, nc, kc;
+  index_t mtiles;
+  const double* sa;
+  const double* sa_abs;
+  index_t gi0, gj0;
+  abft::CallStats* stats;
+};
+
+template <typename T>
+void run_split_tile_abft(void* vctx, long idx) {
+  const auto* ctx = static_cast<const AbftSplitTileCtx<T>*>(vctx);
+  const index_t ir = (static_cast<index_t>(idx) % ctx->mtiles) * kMR;
+  const index_t jr = (static_cast<index_t>(idx) / ctx->mtiles) * kNR;
+  const index_t mr = std::min(kMR, ctx->mc - ir);
+  const index_t nr = std::min(kNR, ctx->nc - jr);
+  const T* ap = ctx->apack + (ir / kMR) * ctx->kc * kMR;
+  const index_t poff = (jr / kNR) * ctx->kc * kNR;
+  const double* sa = ctx->sa + (ir / kMR) * ctx->kc;
+  const double* sa_abs = ctx->sa_abs + (ir / kMR) * ctx->kc;
+
+  const T* bps[2] = {ctx->bpackh + poff, ctx->bpackt + poff};
+  T* cbases[2] = {ctx->c0base + ir + jr * ctx->ldc0, ctx->c1base + ir + jr * ctx->ldc1};
+  const index_t ldcs[2] = {ctx->ldc0, ctx->ldc1};
+  for (int s = 0; s < 2; ++s) {
+    T tile[kNR * kMR] = {};
+    micro_kernel(ctx->kc, ap, bps[s], T{1}, tile, kMR, mr, nr);
+    if (s == 0 && fault::should_fire(fault::Site::GemmTileCorrupt)) corrupt_value(tile[0]);
+    if (!tile_checksum_ok(tile, mr, nr, ctx->kc, bps[s], T{1}, sa, sa_abs)) {
+      std::fill(tile, tile + kNR * kMR, T{});
+      micro_kernel(ctx->kc, ap, bps[s], T{1}, tile, kMR, mr, nr);
+      ctx->stats->record_detection(ctx->gi0 + ir, ctx->gj0 + jr);
+    }
+    for (index_t jj = 0; jj < nr; ++jj) {
+      T* cc = cbases[s] + jj * ldcs[s];
+      const T* tcol = tile + jj * kMR;
+      for (index_t ii = 0; ii < mr; ++ii) cc[ii] += tcol[ii];
+    }
+  }
+}
+
+template <typename T>
+struct AbftPairTileCtx {
+  const T* apack1;
+  const T* bpack1;
+  const T* apack2;
+  const T* bpack2;
+  T alpha;
+  T* cbase;
+  index_t ldc;
+  index_t mc, nc, kc;
+  index_t mtiles;
+  const double* sa1;
+  const double* sa1_abs;
+  const double* sa2;
+  const double* sa2_abs;
+  index_t gi0, gj0;
+  abft::CallStats* stats;
+};
+
+template <typename T>
+void run_pair_tile_abft(void* vctx, long idx) {
+  const auto* ctx = static_cast<const AbftPairTileCtx<T>*>(vctx);
+  const index_t ir = (static_cast<index_t>(idx) % ctx->mtiles) * kMR;
+  const index_t jr = (static_cast<index_t>(idx) / ctx->mtiles) * kNR;
+  const index_t mr = std::min(kMR, ctx->mc - ir);
+  const index_t nr = std::min(kNR, ctx->nc - jr);
+  const index_t aoff = (ir / kMR) * ctx->kc * kMR;
+  const index_t boff = (jr / kNR) * ctx->kc * kNR;
+  const index_t soff = (ir / kMR) * ctx->kc;
+
+  T tile[kNR * kMR] = {};
+  micro_kernel_pair(ctx->kc, ctx->apack1 + aoff, ctx->bpack1 + boff, ctx->apack2 + aoff,
+                    ctx->bpack2 + boff, ctx->alpha, tile, kMR, mr, nr);
+  if (fault::should_fire(fault::Site::GemmTileCorrupt)) corrupt_value(tile[0]);
+  if (!tile_checksum_ok_pair(tile, mr, nr, ctx->kc, ctx->bpack1 + boff,
+                             ctx->bpack2 + boff, ctx->alpha, ctx->sa1 + soff,
+                             ctx->sa1_abs + soff, ctx->sa2 + soff, ctx->sa2_abs + soff)) {
+    std::fill(tile, tile + kNR * kMR, T{});
+    micro_kernel_pair(ctx->kc, ctx->apack1 + aoff, ctx->bpack1 + boff,
+                      ctx->apack2 + aoff, ctx->bpack2 + boff, ctx->alpha, tile, kMR, mr,
+                      nr);
+    ctx->stats->record_detection(ctx->gi0 + ir, ctx->gj0 + jr);
+  }
+  T* cc0 = ctx->cbase + ir + jr * ctx->ldc;
+  for (index_t jj = 0; jj < nr; ++jj) {
+    T* cc = cc0 + jj * ctx->ldc;
+    const T* tcol = tile + jj * kMR;
+    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += tcol[ii];
+  }
 }
 
 /// Scale C by beta in place (beta == 0 overwrites, never reads).
@@ -315,9 +649,11 @@ void prescale(T beta, MatrixView<T> c) {
 
 template <bool TA, bool TB, typename T, typename FA, typename FB>
 void gemm_packed_impl(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
-                      index_t m, index_t n, index_t k, const FA& fa, const FB& fb) {
+                      index_t m, index_t n, index_t k, const FA& fa, const FB& fb,
+                      abft::CallStats* abft_stats) {
   PackBuffers<T>& bufs = pack_buffers<T>();
   const bool pooled = blas::detail::use_gemm_pool(m, n, k);
+  AbftBuffers* ab = abft_stats != nullptr ? &abft_buffers() : nullptr;
 
   for (index_t j0 = 0; j0 < n; j0 += kNC) {
     const index_t nc = std::min(kNC, n - j0);
@@ -327,10 +663,22 @@ void gemm_packed_impl(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, Matri
       for (index_t i0 = 0; i0 < m; i0 += kMC) {
         const index_t mc = std::min(kMC, m - i0);
         pack_a_block<TA>(a, i0, k0, mc, kc, bufs.a.data(), fa);
-        TileCtx<T> ctx{bufs.a.data(), bufs.b.data(), alpha, &c(i0, j0), c.ld(),
-                       mc,            nc,            kc,    (mc + kMR - 1) / kMR};
-        const long ntiles = static_cast<long>(ctx.mtiles) * ((nc + kNR - 1) / kNR);
-        dispatch_tiles(ntiles, pooled, &run_tile<T>, &ctx);
+        const index_t mtiles = (mc + kMR - 1) / kMR;
+        const long ntiles = static_cast<long>(mtiles) * ((nc + kNR - 1) / kNR);
+        if (abft_stats == nullptr) {
+          TileCtx<T> ctx{bufs.a.data(), bufs.b.data(), alpha, &c(i0, j0), c.ld(),
+                         mc,            nc,            kc,    mtiles};
+          dispatch_tiles(ntiles, pooled, &run_tile<T>, &ctx);
+        } else {
+          compute_a_checksums(bufs.a.data(), mc, kc, ab->sa.data(), ab->sa_abs.data());
+          AbftTileCtx<T> ctx{bufs.a.data(), bufs.b.data(), alpha,
+                             &c(i0, j0),    c.ld(),        mc,
+                             nc,            kc,            mtiles,
+                             ab->sa.data(), ab->sa_abs.data(),
+                             i0,            j0,            abft_stats};
+          dispatch_tiles(ntiles, pooled, &run_tile_abft<T>, &ctx);
+          abft_stats->checked += ntiles;
+        }
       }
     }
   }
@@ -339,9 +687,11 @@ void gemm_packed_impl(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, Matri
 template <bool TA, bool TB, typename T, typename FA, typename FSplit>
 void gemm_packed_split_b_impl(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c0,
                               MatrixView<T> c1, index_t m, index_t n, index_t k,
-                              const FA& fa, const FSplit& split) {
+                              const FA& fa, const FSplit& split,
+                              abft::CallStats* abft_stats) {
   PackBuffers<T>& bufs = pack_buffers<T>();
   const bool pooled = blas::detail::use_gemm_pool(m, n, k);
+  AbftBuffers* ab = abft_stats != nullptr ? &abft_buffers() : nullptr;
 
   for (index_t j0 = 0; j0 < n; j0 += kNC) {
     const index_t nc = std::min(kNC, n - j0);
@@ -351,12 +701,25 @@ void gemm_packed_split_b_impl(ConstMatrixView<T> a, ConstMatrixView<T> b, Matrix
       for (index_t i0 = 0; i0 < m; i0 += kMC) {
         const index_t mc = std::min(kMC, m - i0);
         pack_a_block<TA>(a, i0, k0, mc, kc, bufs.a.data(), fa);
-        SplitTileCtx<T> ctx{bufs.a.data(), bufs.b.data(), bufs.b2.data(),
-                            &c0(i0, j0),   c0.ld(),       &c1(i0, j0),
-                            c1.ld(),       mc,            nc,
-                            kc,            (mc + kMR - 1) / kMR};
-        const long ntiles = static_cast<long>(ctx.mtiles) * ((nc + kNR - 1) / kNR);
-        dispatch_tiles(ntiles, pooled, &run_split_tile<T>, &ctx);
+        const index_t mtiles = (mc + kMR - 1) / kMR;
+        const long ntiles = static_cast<long>(mtiles) * ((nc + kNR - 1) / kNR);
+        if (abft_stats == nullptr) {
+          SplitTileCtx<T> ctx{bufs.a.data(), bufs.b.data(), bufs.b2.data(),
+                              &c0(i0, j0),   c0.ld(),       &c1(i0, j0),
+                              c1.ld(),       mc,            nc,
+                              kc,            mtiles};
+          dispatch_tiles(ntiles, pooled, &run_split_tile<T>, &ctx);
+        } else {
+          compute_a_checksums(bufs.a.data(), mc, kc, ab->sa.data(), ab->sa_abs.data());
+          AbftSplitTileCtx<T> ctx{bufs.a.data(), bufs.b.data(), bufs.b2.data(),
+                                  &c0(i0, j0),   c0.ld(),       &c1(i0, j0),
+                                  c1.ld(),       mc,            nc,
+                                  kc,            mtiles,        ab->sa.data(),
+                                  ab->sa_abs.data(), i0,        j0,
+                                  abft_stats};
+          dispatch_tiles(ntiles, pooled, &run_split_tile_abft<T>, &ctx);
+          abft_stats->checked += 2 * ntiles;  // head and tail product per tile
+        }
       }
     }
   }
@@ -383,14 +746,17 @@ void gemm_packed(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
   packed::prescale(beta, c);
   if (ka == 0 || alpha == T{}) return;
 
+  abft::CallStats stats;
+  abft::CallStats* sp = abft::enabled() ? &stats : nullptr;
   if (transa == Trans::No && transb == Trans::No)
-    packed::gemm_packed_impl<false, false>(alpha, a, b, c, m, n, ka, fa, fb);
+    packed::gemm_packed_impl<false, false>(alpha, a, b, c, m, n, ka, fa, fb, sp);
   else if (transa == Trans::Yes && transb == Trans::No)
-    packed::gemm_packed_impl<true, false>(alpha, a, b, c, m, n, ka, fa, fb);
+    packed::gemm_packed_impl<true, false>(alpha, a, b, c, m, n, ka, fa, fb, sp);
   else if (transa == Trans::No && transb == Trans::Yes)
-    packed::gemm_packed_impl<false, true>(alpha, a, b, c, m, n, ka, fa, fb);
+    packed::gemm_packed_impl<false, true>(alpha, a, b, c, m, n, ka, fa, fb, sp);
   else
-    packed::gemm_packed_impl<true, true>(alpha, a, b, c, m, n, ka, fa, fb);
+    packed::gemm_packed_impl<true, true>(alpha, a, b, c, m, n, ka, fa, fb, sp);
+  if (sp != nullptr) abft::finish_call(stats, "gemm");
 }
 
 /// EC-TC first sweep: C0 = op(A)·head(op(B)) and C1 = op(A)·tail(op(B)) in
@@ -415,14 +781,17 @@ void gemm_packed_split_b(Trans transa, Trans transb, ConstMatrixView<T> a,
   packed::prescale(T{}, c1);
   if (ka == 0) return;
 
+  abft::CallStats stats;
+  abft::CallStats* sp = abft::enabled() ? &stats : nullptr;
   if (transa == Trans::No && transb == Trans::No)
-    packed::gemm_packed_split_b_impl<false, false>(a, b, c0, c1, m, n, ka, fa, split);
+    packed::gemm_packed_split_b_impl<false, false>(a, b, c0, c1, m, n, ka, fa, split, sp);
   else if (transa == Trans::Yes && transb == Trans::No)
-    packed::gemm_packed_split_b_impl<true, false>(a, b, c0, c1, m, n, ka, fa, split);
+    packed::gemm_packed_split_b_impl<true, false>(a, b, c0, c1, m, n, ka, fa, split, sp);
   else if (transa == Trans::No && transb == Trans::Yes)
-    packed::gemm_packed_split_b_impl<false, true>(a, b, c0, c1, m, n, ka, fa, split);
+    packed::gemm_packed_split_b_impl<false, true>(a, b, c0, c1, m, n, ka, fa, split, sp);
   else
-    packed::gemm_packed_split_b_impl<true, true>(a, b, c0, c1, m, n, ka, fa, split);
+    packed::gemm_packed_split_b_impl<true, true>(a, b, c0, c1, m, n, ka, fa, split, sp);
+  if (sp != nullptr) abft::finish_call(stats, "gemm.split_b");
 }
 
 /// C += alpha * (A1·B1ᵀ + A2·B2ᵀ) with the paired micro-kernel (both
@@ -445,6 +814,9 @@ void gemm_packed_nt_pair(T alpha, ConstMatrixView<T> a1, ConstMatrixView<T> b1,
 
   PackBuffers<T>& bufs = pack_buffers<T>();
   const bool pooled = blas::detail::use_gemm_pool(m, n, k);
+  abft::CallStats stats;
+  abft::CallStats* sp = abft::enabled() ? &stats : nullptr;
+  packed::AbftBuffers* ab = sp != nullptr ? &packed::abft_buffers() : nullptr;
 
   for (index_t j0 = 0; j0 < n; j0 += kNC) {
     const index_t nc = std::min(kNC, n - j0);
@@ -456,14 +828,34 @@ void gemm_packed_nt_pair(T alpha, ConstMatrixView<T> a1, ConstMatrixView<T> b1,
         const index_t mc = std::min(kMC, m - i0);
         pack_a_block<false>(a1, i0, k0, mc, kc, bufs.a.data(), fa);
         pack_a_block<false>(a2, i0, k0, mc, kc, bufs.a2.data(), fa);
-        PairTileCtx<T> ctx{bufs.a.data(), bufs.b.data(), bufs.a2.data(), bufs.b2.data(),
-                           alpha,         &c(i0, j0),    c.ld(),         mc,
-                           nc,            kc,            (mc + kMR - 1) / kMR};
-        const long ntiles = static_cast<long>(ctx.mtiles) * ((nc + kNR - 1) / kNR);
-        dispatch_tiles(ntiles, pooled, &run_pair_tile<T>, &ctx);
+        const index_t mtiles = (mc + kMR - 1) / kMR;
+        const long ntiles = static_cast<long>(mtiles) * ((nc + kNR - 1) / kNR);
+        if (sp == nullptr) {
+          PairTileCtx<T> ctx{bufs.a.data(), bufs.b.data(), bufs.a2.data(), bufs.b2.data(),
+                             alpha,         &c(i0, j0),    c.ld(),         mc,
+                             nc,            kc,            mtiles};
+          dispatch_tiles(ntiles, pooled, &run_pair_tile<T>, &ctx);
+        } else {
+          packed::compute_a_checksums(bufs.a.data(), mc, kc, ab->sa.data(),
+                                      ab->sa_abs.data());
+          packed::compute_a_checksums(bufs.a2.data(), mc, kc, ab->sa2.data(),
+                                      ab->sa2_abs.data());
+          packed::AbftPairTileCtx<T> ctx{bufs.a.data(),  bufs.b.data(),
+                                         bufs.a2.data(), bufs.b2.data(),
+                                         alpha,          &c(i0, j0),
+                                         c.ld(),         mc,
+                                         nc,             kc,
+                                         mtiles,         ab->sa.data(),
+                                         ab->sa_abs.data(), ab->sa2.data(),
+                                         ab->sa2_abs.data(), i0,
+                                         j0,             sp};
+          dispatch_tiles(ntiles, pooled, &packed::run_pair_tile_abft<T>, &ctx);
+          sp->checked += ntiles;
+        }
       }
     }
   }
+  if (sp != nullptr) abft::finish_call(stats, "syr2k");
 }
 
 }  // namespace blas

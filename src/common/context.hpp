@@ -166,11 +166,42 @@ class Context {
   void absorb_sibling_telemetry();
 
  private:
+  friend class EngineOverrideScope;
   tc::GemmEngine* engine_;
   std::unique_ptr<tc::GemmEngine> owned_;
   Workspace workspace_;
   Telemetry telemetry_;
   std::unique_ptr<Context> sibling_;
+};
+
+/// RAII engine swap on an existing Context: while the scope is alive every
+/// GEMM issued through `ctx` (and its look-ahead sibling, existing or created
+/// during the scope) runs on `engine`; the destructor restores the original.
+/// This is how verified solves escalate precision without rebuilding the
+/// context — the warm workspace arena and accumulated telemetry carry over,
+/// only the numerics change. The override engine is borrowed and must outlive
+/// the scope; scopes nest (each restores what it saw). Same thread-ownership
+/// rule as the Context itself: do not override an engine another thread is
+/// solving on.
+class EngineOverrideScope {
+ public:
+  EngineOverrideScope(Context& ctx, tc::GemmEngine& engine) noexcept
+      : ctx_(&ctx), prev_(ctx.engine_) {
+    ctx.engine_ = &engine;
+    if (ctx.sibling_) ctx.sibling_->engine_ = &engine;
+  }
+  ~EngineOverrideScope() {
+    ctx_->engine_ = prev_;
+    // The sibling always shares the parent's engine, including one created
+    // lazily while the override was live — restore it to the parent's.
+    if (ctx_->sibling_) ctx_->sibling_->engine_ = prev_;
+  }
+  EngineOverrideScope(const EngineOverrideScope&) = delete;
+  EngineOverrideScope& operator=(const EngineOverrideScope&) = delete;
+
+ private:
+  Context* ctx_;
+  tc::GemmEngine* prev_;
 };
 
 /// Per-thread scratch context for the deprecated `GemmEngine&` compatibility

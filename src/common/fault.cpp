@@ -13,7 +13,19 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "steqr.exhaust",
     "reconstruct_wy.singular",
     "stein.stagnate",
+    "gemm.tile_corrupt",
+    "verify.residual",
 };
+
+/// [first, last) of `s` with surrounding ASCII whitespace stripped.
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
 
 struct SiteState {
   std::atomic<int> budget{0};  // 0 = disarmed, -1 = unlimited, >0 = fires left
@@ -29,17 +41,9 @@ SiteState& state(Site site) { return g_sites[static_cast<int>(site)]; }
 bool init_from_env() {
   const char* env = std::getenv("TCEVD_FAULTS");
   if (!env || !*env) return true;
-  std::string spec;
-  for (const char* p = env;; ++p) {
-    if (*p == ',' || *p == '\0') {
-      if (!spec.empty() && !arm_from_spec(spec))
-        std::fprintf(stderr, "tcevd: ignoring unknown TCEVD_FAULTS entry '%s'\n", spec.c_str());
-      spec.clear();
-      if (*p == '\0') break;
-    } else {
-      spec.push_back(*p);
-    }
-  }
+  std::string bad;
+  if (!arm_from_env_value(env, &bad))
+    std::fprintf(stderr, "tcevd: ignoring malformed TCEVD_FAULTS entry '%s'\n", bad.c_str());
   return true;
 }
 
@@ -110,21 +114,41 @@ bool armed(Site site) noexcept {
 int fired(Site site) noexcept { return state(site).fired.load(std::memory_order_relaxed); }
 
 bool arm_from_spec(const std::string& spec) {
-  std::string name = spec;
+  const std::string trimmed = trim(spec);
+  std::string name = trimmed;
   int fires = 1;
-  const auto colon = spec.find(':');
+  const auto colon = trimmed.find(':');
   if (colon != std::string::npos) {
-    name = spec.substr(0, colon);
-    const std::string count = spec.substr(colon + 1);
+    name = trim(trimmed.substr(0, colon));
+    const std::string count = trim(trimmed.substr(colon + 1));
+    if (count.empty()) return false;
     char* end = nullptr;
     const long v = std::strtol(count.c_str(), &end, 10);
-    if (count.empty() || (end && *end != '\0')) return false;
+    if (end != count.c_str() + count.size()) return false;
+    if (v < -1 || v > 1'000'000'000) return false;  // reject overflowed counts
     fires = static_cast<int>(v);
   }
   Site site;
   if (!site_from_name(name, &site)) return false;
   arm(site, fires);
   return true;
+}
+
+bool arm_from_env_value(const std::string& value, std::string* first_bad) {
+  bool all_ok = true;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::size_t end = (comma == std::string::npos) ? value.size() : comma;
+    const std::string entry = trim(value.substr(pos, end - pos));
+    if (!entry.empty() && !arm_from_spec(entry)) {
+      if (all_ok && first_bad != nullptr) *first_bad = entry;
+      all_ok = false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return all_ok;
 }
 
 }  // namespace tcevd::fault

@@ -25,6 +25,10 @@ enum class Site : int {
   SteqrExhaust,          ///< "steqr.exhaust" — force QL iteration exhaustion
   ReconstructSingular,   ///< "reconstruct_wy.singular" — force a singular LU pivot
   SteinStagnate,         ///< "stein.stagnate" — force inverse-iteration failure
+  GemmTileCorrupt,       ///< "gemm.tile_corrupt" — flip bits in one packed C tile
+                         ///< right after its micro-kernel ran (ABFT test vector)
+  VerifyResidual,        ///< "verify.residual" — force a residual-estimate breach
+                         ///< in evd verification (escalation test vector)
   Count,                 // sentinel
 };
 
@@ -47,8 +51,17 @@ bool armed(Site site) noexcept;
 int fired(Site site) noexcept;
 
 /// Parse one "site[:count]" spec (the TCEVD_FAULTS grammar) and arm it.
-/// Returns false for an unknown site name or malformed count.
+/// Whitespace around the site name and the count is tolerated. Returns false
+/// for an unknown site name or a malformed/empty count.
 bool arm_from_spec(const std::string& spec);
+
+/// Parse a full comma-separated TCEVD_FAULTS value ("a, b:2, c:-1") and arm
+/// every well-formed entry. Empty entries (leading/trailing/duplicated
+/// commas) are skipped. Returns true when every non-empty entry parsed; on
+/// failure the valid entries are still armed and, when `first_bad` is
+/// non-null, it receives the first malformed spec (trimmed) so the caller
+/// can say *which* entry was rejected instead of a bare false.
+bool arm_from_env_value(const std::string& value, std::string* first_bad = nullptr);
 
 namespace detail {
 extern std::atomic<int> g_armed_sites;

@@ -44,6 +44,7 @@ void solve_one(ConstMatrixView<float> a, Context& ctx, const BatchOptions& opt,
       out.eigenvalues = std::move(r->eigenvalues);
       out.vectors = std::move(r->vectors);
       out.recovery = std::move(r->recovery);
+      out.verify = std::move(r->verify);
       out.status = ok_status();
     } else {
       out.status = r.status();
@@ -105,6 +106,16 @@ BatchResult solve_many(std::span<const ConstMatrixView<float>> problems,
 
   // Workers are quiescent after parallel_for, so the merge is race-free.
   for (Context& ctx : contexts) result.telemetry.merge_from(ctx.telemetry());
+  for (const ProblemResult& p : result.problems) {
+    result.verify_escalations += p.verify.escalations;
+    // A failure is a checked-but-breached verdict (Estimate returns those
+    // annotated) or an escalation chain that gave up (PrecisionLoss status
+    // under an active verify policy).
+    if (p.verify.checked && !p.verify.passed) ++result.verify_failures;
+    if (!p.status.ok() && p.status.code() == ErrorCode::PrecisionLoss &&
+        opt.evd.verify == verify::Policy::EstimateEscalate)
+      ++result.verify_failures;
+  }
   result.total_s = total.seconds();
   return result;
 }

@@ -52,6 +52,9 @@ struct ProblemResult {
   std::vector<float> eigenvalues;  ///< ascending (iu-il+1 values when selected)
   Matrix<float> vectors;           ///< empty unless evd.vectors
   RecoveryLog recovery;            ///< per-problem degradation events
+  /// Per-problem verification verdict (evd.verify != Off, full solves only;
+  /// the selected-spectrum driver does not verify).
+  verify::Report verify;
   int worker = -1;                 ///< pool worker that solved it (diagnostics)
   double seconds = 0.0;            ///< wall time of this problem's solve
 };
@@ -64,6 +67,13 @@ struct BatchResult {
   Telemetry telemetry;
   int num_threads = 0;  ///< workers actually used
   double total_s = 0.0; ///< batch wall time (pool spin-up included)
+  /// Verification aggregates over the batch (zero when evd.verify is Off):
+  /// total engine escalations taken, and problems whose verification never
+  /// passed — an Estimate-policy result returned annotated, or an
+  /// EstimateEscalate problem that exhausted its chain/budget and failed
+  /// with PrecisionLoss.
+  long verify_escalations = 0;
+  long verify_failures = 0;
 
   std::size_t num_ok() const noexcept;
   bool all_ok() const noexcept;

@@ -1,7 +1,10 @@
 #include "src/evd/evd.hpp"
 
 #include <cmath>
+#include <memory>
+#include <optional>
 
+#include "src/blas/abft.hpp"
 #include "src/blas/blas.hpp"
 #include "src/bulge/bulge_chasing.hpp"
 #include "src/common/context.hpp"
@@ -65,18 +68,10 @@ Status screen_input(ConstMatrixView<float> a, float asym_tol) {
   return ok_status();
 }
 
-}  // namespace
-
-const char* tri_solver_name(TriSolver solver) noexcept {
-  switch (solver) {
-    case TriSolver::Ql: return "ql";
-    case TriSolver::DivideConquer: return "divide-conquer";
-    case TriSolver::Bisection: return "bisection";
-  }
-  return "?";
-}
-
-StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt) {
+/// One unverified solve attempt — the full pipeline exactly as it ran before
+/// verification existed. The public solve() wraps this with the VerifyPolicy
+/// machinery (and calls it directly when verification is off).
+StatusOr<EvdResult> solve_once(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "evd::solve requires a square symmetric matrix");
 
@@ -208,6 +203,163 @@ StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptio
   result.recovery = rscope.take();
   ctx.telemetry().record_recovery(result.recovery);
   return result;
+}
+
+/// Next engine in the accuracy-ascending escalation chain
+/// Tc -> EcTc -> Fp32, or nullptr when `kind` is already the most accurate.
+/// `prec` carries the Tc operand precision across the Tc -> EcTc step so an
+/// escalated tc-tf32 solve corrects tf32 numerics, not fp16.
+std::unique_ptr<tc::GemmEngine> next_escalation_engine(tc::EngineKind kind,
+                                                       tc::TcPrecision prec) {
+  switch (kind) {
+    case tc::EngineKind::Tc: return std::make_unique<tc::EcTcEngine>(prec);
+    case tc::EngineKind::EcTc: return std::make_unique<tc::Fp32Engine>();
+    case tc::EngineKind::Fp32: return nullptr;  // already the terminal engine
+  }
+  return nullptr;
+}
+
+/// Estimate-and-escalate driver for VerifyPolicy != Off. Owns the attempt
+/// loop: solve, estimate, and on breach either annotate (Estimate) or swap
+/// the context's engine for the next one in the chain and retry
+/// (EstimateEscalate) until the estimate passes, the attempt budget is
+/// spent, or the chain ends at fp32.
+StatusOr<EvdResult> solve_verified(ConstMatrixView<float> a, Context& ctx,
+                                   const EvdOptions& opt) {
+  const int max_attempts = std::max(1, opt.verify_max_attempts);
+  verify::Options vopt;
+  vopt.probes = opt.verify_probes;
+  vopt.tol_scale = static_cast<double>(opt.verify_tol_scale);
+
+  recovery::Scope vscope;  // breach + escalation notes land here
+  RecoveryLog accumulated; // per-attempt logs, in attempt order
+
+  std::unique_ptr<tc::GemmEngine> escalated;        // owns the override engine
+  std::optional<EngineOverrideScope> engine_scope;  // keeps ctx on `escalated`
+  int attempts = 0;
+  int escalations = 0;
+
+  for (;;) {
+    ++attempts;
+    StatusOr<EvdResult> attempt = solve_once(a, ctx, opt);
+    if (!attempt.ok()) {
+      // A recoverable pipeline failure (e.g. corruption drove the solver to
+      // NoConvergence after its own fallbacks) is escalated like a breached
+      // estimate: corruption that poisons the pipeline outright and
+      // corruption that merely skews the result get the same answer, a
+      // re-solve on a better engine. Non-recoverable failures and the
+      // estimate-only policy keep their pre-verification semantics.
+      // (The failed attempt's recovery notes propagated into vscope when its
+      // inner scope unwound, so they are not lost.)
+      if (opt.verify != verify::Policy::EstimateEscalate ||
+          !is_recoverable(attempt.status()) || attempts >= max_attempts)
+        return attempt.status();
+      tc::TcPrecision prec = tc::TcPrecision::Fp16;
+      if (const auto* tc_engine = dynamic_cast<const tc::TcEngine*>(&ctx.engine()))
+        prec = tc_engine->precision();
+      std::unique_ptr<tc::GemmEngine> next =
+          next_escalation_engine(ctx.engine().kind(), prec);
+      if (next == nullptr) return attempt.status();
+      recovery::note("evd.verify",
+                     "solve attempt " + std::to_string(attempts) + " failed (" +
+                         attempt.status().to_string() +
+                         "); re-solving with higher-accuracy engine '" + next->name() +
+                         "'");
+      ++escalations;
+      ctx.telemetry().record_stage("evd.verify.escalation", 0.0);
+      engine_scope.emplace(ctx, *next);
+      escalated = std::move(next);
+      continue;
+    }
+    EvdResult result = std::move(*attempt);
+    accumulated.insert(accumulated.end(), result.recovery.begin(), result.recovery.end());
+
+    const tc::GemmEngine& engine = ctx.engine();
+    Timer tv;
+    verify::Report report =
+        opt.vectors
+            ? verify::estimate(a, result.eigenvalues,
+                               ConstMatrixView<float>(result.vectors.view()),
+                               engine.kind(), vopt)
+            : verify::estimate_values(a, result.eigenvalues, engine.kind(), vopt);
+    result.timings.verify_s = tv.seconds();
+    ctx.telemetry().record_stage("evd.verify", result.timings.verify_s);
+    report.attempts = attempts;
+    report.escalations = escalations;
+    report.engine = engine.name();
+
+    const bool accept = report.passed || opt.verify == verify::Policy::Estimate;
+    if (!report.passed) {
+      recovery::note(
+          "evd.verify",
+          "residual estimate " + std::to_string(report.residual) + " (tol " +
+              std::to_string(report.residual_tol) + "), orthogonality estimate " +
+              std::to_string(report.orthogonality) + " (tol " +
+              std::to_string(report.orthogonality_tol) + ") breached on engine '" +
+              engine.name() + "'" +
+              (accept ? "; policy is estimate-only, returning the result annotated"
+                      : ""));
+    }
+    if (accept) {
+      result.verify = std::move(report);
+      RecoveryLog notes = vscope.take();
+      ctx.telemetry().record_recovery(notes);
+      accumulated.insert(accumulated.end(), notes.begin(), notes.end());
+      result.recovery = std::move(accumulated);
+      return result;
+    }
+
+    // Escalate: next engine in the chain, same warm context.
+    tc::TcPrecision prec = tc::TcPrecision::Fp16;
+    if (const auto* tc_engine = dynamic_cast<const tc::TcEngine*>(&engine))
+      prec = tc_engine->precision();
+    std::unique_ptr<tc::GemmEngine> next =
+        next_escalation_engine(engine.kind(), prec);
+    if (next == nullptr || attempts >= max_attempts) {
+      const std::string reason =
+          next == nullptr ? "the escalation chain is exhausted (already on '" +
+                                engine.name() + "')"
+                          : "the attempt budget (" + std::to_string(max_attempts) +
+                                ") is spent";
+      recovery::note("evd.verify", "verification still failing and " + reason);
+      ctx.telemetry().record_recovery(vscope.take());
+      return precision_loss_error(
+          "evd::solve: verification failed after " + std::to_string(attempts) +
+          " attempt(s) (residual estimate " + std::to_string(report.residual) +
+          ", tol " + std::to_string(report.residual_tol) + ", engine '" +
+          engine.name() + "'); " + reason);
+    }
+    recovery::note("evd.verify", "re-solving with higher-accuracy engine '" +
+                                     next->name() + "' (attempt " +
+                                     std::to_string(attempts + 1) + "/" +
+                                     std::to_string(max_attempts) + ")");
+    ++escalations;
+    ctx.telemetry().record_stage("evd.verify.escalation", 0.0);
+    engine_scope.emplace(ctx, *next);  // destroys any previous override first
+    escalated = std::move(next);
+  }
+}
+
+}  // namespace
+
+const char* tri_solver_name(TriSolver solver) noexcept {
+  switch (solver) {
+    case TriSolver::Ql: return "ql";
+    case TriSolver::DivideConquer: return "divide-conquer";
+    case TriSolver::Bisection: return "bisection";
+  }
+  return "?";
+}
+
+StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt) {
+  // ABFT covers every packed GEMM for the whole solve, verification attempts
+  // and escalated re-solves included.
+  std::optional<blas::abft::AbftScope> abft_scope;
+  if (opt.abft) abft_scope.emplace();
+
+  if (opt.verify == verify::Policy::Off || a.rows() <= 1)
+    return solve_once(a, ctx, opt);
+  return solve_verified(a, ctx, opt);
 }
 
 // Deprecated compatibility overload: per-thread scratch context (see

@@ -14,6 +14,7 @@
 #include "src/common/matrix.hpp"
 #include "src/common/recovery.hpp"
 #include "src/common/status.hpp"
+#include "src/common/verify.hpp"
 #include "src/sbr/sbr.hpp"
 #include "src/tensorcore/engine.hpp"
 
@@ -68,12 +69,38 @@ struct EvdOptions {
   /// DivideConquer -> Ql -> Bisection chain (each fallback recorded in
   /// EvdResult::recovery). When false, the first failure propagates.
   bool allow_fallbacks = true;
+
+  // --- verified solves (see src/common/verify.hpp and DESIGN.md §12) -------
+  /// Post-solve verification policy. Off skips verification entirely.
+  /// Estimate computes stochastic residual/orthogonality estimates (or the
+  /// trace/Frobenius invariants for eigenvalue-only solves), records the
+  /// verdict in EvdResult::verify and notes a breach at recovery site
+  /// "evd.verify" — but still returns the result. EstimateEscalate
+  /// additionally re-solves a breached problem on the next higher-accuracy
+  /// engine (Tc -> EcTc -> Fp32) under `verify_max_attempts`; when the chain
+  /// or the budget is exhausted without a passing estimate, the solve
+  /// returns PrecisionLoss instead of a result.
+  verify::Policy verify = verify::Policy::Off;
+  /// Probe vectors per verification (see verify::Options::probes).
+  int verify_probes = 4;
+  /// Total solve attempts (initial + escalated re-solves) EstimateEscalate
+  /// may spend before giving up.
+  int verify_max_attempts = 3;
+  /// Multiplies both verification thresholds (tighten < 1, loosen > 1).
+  float verify_tol_scale = 1.0f;
+  /// Run every packed GEMM issued during this solve under ABFT checksum
+  /// protection (src/blas/abft.hpp): each C micro-tile is verified against a
+  /// column-checksum invariant and a corrupted tile is recomputed in place,
+  /// with the event recorded at recovery site "blas.abft". ~10% GEMM
+  /// overhead; a recovered solve is bitwise-identical to a fault-free one.
+  bool abft = false;
 };
 
 struct EvdTimings {
   double reduction_s = 0.0;  ///< SBR or sytrd
   double bulge_s = 0.0;      ///< bulge chasing (two-stage only)
   double solver_s = 0.0;     ///< tridiagonal eigensolver
+  double verify_s = 0.0;     ///< residual estimation (verified solves only)
   double total_s = 0.0;
 };
 
@@ -83,9 +110,15 @@ struct EvdResult {
   EvdTimings timings;
   bool converged = false;
   /// Every graceful-degradation event taken while solving (panel QR
-  /// fallbacks, fp32 GEMM retries, tridiagonal solver fallbacks). Empty on
-  /// a clean run.
+  /// fallbacks, fp32 GEMM retries, tridiagonal solver fallbacks, ABFT tile
+  /// recomputations, verification escalations). Empty on a clean run.
   RecoveryLog recovery;
+  /// Verification verdict (EvdOptions::verify != Off only; default-initial
+  /// otherwise, with checked == false). Under EstimateEscalate a returned
+  /// result always has verify.passed == true — a breach either escalated to
+  /// a passing re-solve recorded here (attempts/escalations/engine) or the
+  /// solve failed with PrecisionLoss.
+  verify::Report verify;
 };
 
 /// Full single-precision EVD with the context's engine supplying every SBR

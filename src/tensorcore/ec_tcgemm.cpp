@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "src/blas/gemm_packed.hpp"
@@ -41,12 +42,19 @@ struct HeadTailSplit {
 /// +-inf (fp16 saturation). NaN/Inf already present in the input is passed
 /// through untouched — that is the caller's upstream problem, not a
 /// precision loss of this GEMM. Scans the stored matrix directly: op(X) is a
-/// permutation of the same element set, so the transpose is irrelevant.
-bool operand_saturates(ConstMatrixView<float> x, TcPrecision prec) {
+/// permutation of the same element set, so the transpose is irrelevant —
+/// which is also why the reported (si, sj) are *storage* coordinates of the
+/// operand as passed, not coordinates in op(X).
+bool operand_saturates(ConstMatrixView<float> x, TcPrecision prec, index_t* si,
+                       index_t* sj) {
   for (index_t j = 0; j < x.cols(); ++j)
     for (index_t i = 0; i < x.rows(); ++i) {
       const float v = x(i, j);
-      if (std::isfinite(v) && !std::isfinite(round_operand(v, prec))) return true;
+      if (std::isfinite(v) && !std::isfinite(round_operand(v, prec))) {
+        *si = i;
+        *sj = j;
+        return true;
+      }
     }
   return false;
 }
@@ -96,8 +104,16 @@ Status ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatri
   // accounting — a screened-out call performs no TC products.
   if (fault::should_fire(fault::Site::EcTcSaturate))
     return fault_injected_error(fault::site_name(fault::Site::EcTcSaturate));
-  if (operand_saturates(a, prec) || operand_saturates(b, prec))
-    return precision_loss_error("ec_tcgemm: operand exceeds the fp16 range (head saturated)");
+  index_t si = -1;
+  index_t sj = -1;
+  if (operand_saturates(a, prec, &si, &sj))
+    return precision_loss_error("ec_tcgemm: operand A exceeds the fp16 range (head "
+                                "saturated, first at A(" + std::to_string(si) + ", " +
+                                std::to_string(sj) + "))");
+  if (operand_saturates(b, prec, &si, &sj))
+    return precision_loss_error("ec_tcgemm: operand B exceeds the fp16 range (head "
+                                "saturated, first at B(" + std::to_string(si) + ", " +
+                                std::to_string(sj) + "))");
   FlopCounter::instance().add(3 * gemm_flops(m, n, ka));
 
   EcScratch& scratch = ec_scratch();

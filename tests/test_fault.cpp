@@ -70,6 +70,56 @@ TEST_F(FaultTest, ArmFromSpecGrammar) {
   EXPECT_FALSE(fault::arm_from_spec(""));
 }
 
+TEST_F(FaultTest, ArmFromSpecToleratesWhitespace) {
+  EXPECT_TRUE(fault::arm_from_spec("  steqr.exhaust  "));
+  EXPECT_TRUE(fault::armed(fault::Site::SteqrExhaust));
+  EXPECT_TRUE(fault::arm_from_spec(" panel.nan : 2 "));
+  EXPECT_TRUE(fault::armed(fault::Site::PanelNan));
+  EXPECT_TRUE(fault::arm_from_spec("\tgemm.tile_corrupt\t:\t-1\t"));
+  EXPECT_TRUE(fault::armed(fault::Site::GemmTileCorrupt));
+}
+
+TEST_F(FaultTest, ArmFromSpecRejectsMalformedCounts) {
+  EXPECT_FALSE(fault::arm_from_spec("panel.nan:"));        // empty count
+  EXPECT_FALSE(fault::arm_from_spec("panel.nan: "));       // whitespace-only count
+  EXPECT_FALSE(fault::arm_from_spec("panel.nan:2x"));      // trailing junk
+  EXPECT_FALSE(fault::arm_from_spec("panel.nan:2:3"));     // second colon
+  EXPECT_FALSE(fault::arm_from_spec("panel.nan:-2"));      // only -1 means unlimited
+  EXPECT_FALSE(fault::arm_from_spec("panel.nan:99999999999"));  // overflows int
+  EXPECT_FALSE(fault::armed(fault::Site::PanelNan));
+}
+
+TEST_F(FaultTest, ArmFromEnvValueParsesLists) {
+  EXPECT_TRUE(fault::arm_from_env_value("steqr.exhaust, panel.nan:2 ,verify.residual:-1"));
+  EXPECT_TRUE(fault::armed(fault::Site::SteqrExhaust));
+  EXPECT_TRUE(fault::armed(fault::Site::PanelNan));
+  EXPECT_TRUE(fault::armed(fault::Site::VerifyResidual));
+  // Empty entries (leading/trailing/doubled commas) are skipped, not errors.
+  fault::disarm_all();
+  EXPECT_TRUE(fault::arm_from_env_value(",steqr.exhaust,,panel.nan, "));
+  EXPECT_TRUE(fault::armed(fault::Site::SteqrExhaust));
+  EXPECT_TRUE(fault::armed(fault::Site::PanelNan));
+  EXPECT_TRUE(fault::arm_from_env_value(""));
+}
+
+TEST_F(FaultTest, ArmFromEnvValueReportsFirstMalformedEntryAndArmsTheRest) {
+  std::string bad;
+  EXPECT_FALSE(fault::arm_from_env_value(
+      "steqr.exhaust, bogus.site:3, panel.nan, also.bad", &bad));
+  EXPECT_EQ(bad, "bogus.site:3");  // first malformed entry, trimmed
+  // Valid entries on either side of the malformed ones are still armed.
+  EXPECT_TRUE(fault::armed(fault::Site::SteqrExhaust));
+  EXPECT_TRUE(fault::armed(fault::Site::PanelNan));
+}
+
+TEST_F(FaultTest, NewSiteNamesRegistered) {
+  fault::Site site{};
+  ASSERT_TRUE(fault::site_from_name("gemm.tile_corrupt", &site));
+  EXPECT_EQ(site, fault::Site::GemmTileCorrupt);
+  ASSERT_TRUE(fault::site_from_name("verify.residual", &site));
+  EXPECT_EQ(site, fault::Site::VerifyResidual);
+}
+
 TEST_F(FaultTest, OneShotBudgetAutoDisarms) {
   fault::arm(fault::Site::SteqrExhaust, 1);
   EXPECT_TRUE(fault::armed(fault::Site::SteqrExhaust));
