@@ -1,0 +1,155 @@
+// Detached Band Reduction sweep: how the (b, nb) split moves time between
+// the two stages.
+//
+// With the classic coupled WY-SBR, bandwidth == blocksize, so shrinking the
+// band (cheaper bulge chasing) also shrinks every trailing-update GEMM
+// (worse stage one). DBR breaks the coupling: stage one always issues
+// k = nb trailing updates while stage two sees only the b-wide band. This
+// harness sweeps the grid and reports the split, so the crossover is
+// visible on this machine rather than argued from the flop model.
+//
+// Rows are [measured]; each is mirrored into BENCH_dbr.json for the
+// perf-trajectory tooling (same shape as BENCH_verify.json).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/common/context.hpp"
+#include "src/common/rng.hpp"
+#include "src/evd/evd.hpp"
+#include "src/sbr/sbr.hpp"
+#include "src/tensorcore/engine.hpp"
+
+namespace {
+
+using namespace tcevd;
+
+struct Row {
+  std::string name;
+  double total_s = 0.0;
+  double sbr_s = 0.0;    // stage one (dense -> band), k = nb GEMMs
+  double bulge_s = 0.0;  // stage two (band -> tridiagonal), width b
+  double solver_s = 0.0;
+};
+
+std::vector<Row> g_rows;
+
+void emit(const Row& row) {
+  std::printf("  %-28s %9.2f ms   sbr %8.2f   bulge %8.2f   solver %8.2f\n",
+              row.name.c_str(), row.total_s * 1e3, row.sbr_s * 1e3, row.bulge_s * 1e3,
+              row.solver_s * 1e3);
+  g_rows.push_back(row);
+}
+
+Matrix<float> random_symmetric(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<float> a(n, n);
+  fill_normal(rng, a.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) a(i, j) = a(j, i);
+  return a;
+}
+
+void sweep_evd(index_t n, tc::GemmEngine& engine) {
+  bench::section("full EVD split across the (b, nb) grid, n = " + std::to_string(n) +
+                 " (" + std::string(engine.name()) + ", vectors)");
+  auto a = random_symmetric(n, 42 + n);
+  const auto av = ConstMatrixView<float>(a.view());
+
+  const index_t bandwidths[] = {4, 8, 16, 32};
+  const index_t big_blocks[] = {32, 64};
+  for (index_t nb : big_blocks) {
+    for (index_t b : bandwidths) {
+      if (b > nb) continue;
+      evd::EvdOptions opt;
+      opt.reduction = evd::Reduction::TwoStageDbr;
+      opt.bandwidth = b;
+      opt.big_block = nb;
+      opt.vectors = true;
+      Context ctx(engine);
+      (void)evd::solve(av, ctx, opt);  // warm the arena: timed run is steady-state
+      auto res = evd::solve(av, ctx, opt);
+      if (!res.ok()) {
+        std::fprintf(stderr, "solve failed: %s\n", res.status().to_string().c_str());
+        continue;
+      }
+      Row row;
+      row.name = "evd/n=" + std::to_string(n) + "/b=" + std::to_string(b) +
+                 "/nb=" + std::to_string(nb);
+      row.total_s = res->timings.total_s;
+      row.sbr_s = res->timings.reduction_s;
+      row.bulge_s = res->timings.bulge_s;
+      row.solver_s = res->timings.solver_s;
+      emit(row);
+    }
+  }
+}
+
+void sweep_sbr_only(index_t n, tc::GemmEngine& engine) {
+  bench::section("stage one only: sbr_dbr vs coupled sbr_wy, n = " + std::to_string(n) +
+                 " (" + std::string(engine.name()) + ")");
+  auto a = random_symmetric(n, 7 + n);
+  const auto av = ConstMatrixView<float>(a.view());
+
+  struct Case {
+    index_t b, nb;
+  };
+  const Case cases[] = {{4, 4}, {4, 32}, {8, 8}, {8, 32}, {8, 64}, {16, 64}, {32, 32}};
+  for (const Case& c : cases) {
+    sbr::SbrOptions opt;
+    opt.bandwidth = c.b;
+    opt.big_block = c.nb;
+    Context ctx(engine);
+    (void)sbr::sbr_dbr(av, ctx, opt);  // warm
+    ctx.telemetry().clear_stages();
+    const double secs = bench::time_once_s([&] { (void)sbr::sbr_dbr(av, ctx, opt); });
+    Row row;
+    row.name = "sbr/n=" + std::to_string(n) + "/b=" + std::to_string(c.b) +
+               "/nb=" + std::to_string(c.nb);
+    row.total_s = secs;
+    row.sbr_s = secs;
+    row.bulge_s = 0.0;
+    row.solver_s = ctx.telemetry().stage_seconds("sbr.dbr.trailing");
+    emit(row);
+  }
+  std::printf("    (sbr rows: the last column is the detached trailing-update time,\n"
+              "     not a solver; b == nb rows run the coupled WY path verbatim)\n");
+}
+
+void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"seconds\": %.9f, \"sbr_s\": %.9f, "
+                 "\"bulge_s\": %.9f, \"solver_s\": %.9f}%s\n",
+                 r.name.c_str(), r.total_s, r.sbr_s, r.bulge_s, r.solver_s,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu rows to %s\n", g_rows.size(), path);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("detached band reduction: (bandwidth, blocksize) decoupling",
+                "DESIGN.md §13 (DBR); paper §3 blocksize discussion");
+  std::printf("  %-28s %12s\n", "case", "total");
+
+  tc::TcEngine tc_engine;
+  sweep_evd(256, tc_engine);
+  sweep_sbr_only(256, tc_engine);
+  tc::Fp32Engine fp32;
+  sweep_sbr_only(256, fp32);
+
+  write_json("BENCH_dbr.json");
+  return 0;
+}

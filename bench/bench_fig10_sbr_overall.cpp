@@ -67,6 +67,25 @@ int main() {
               "MAGMA, ~1.3x over ZY-TC beyond n ~ 20000); WY-EC costs ~3x the GEMM\n"
               "time yet stays at or below the MAGMA baseline (paper: ~1.3x faster).\n");
 
+  bench::section("[modeled] detached band reduction: narrow bands, same nb = 1024");
+  // DBR keeps every trailing-update GEMM at inner dimension nb while the
+  // band handed to bulge chasing narrows to b, so stage one stays near the
+  // coupled optimum as b drops. The coupled column forces nb = b — what
+  // shrinking the band costs when the blocksize must follow it.
+  std::printf("%8s %6s | %10s %10s | %8s\n", "n", "b", "DBR-TC", "coupled", "ratio");
+  for (index_t n : {8192, 16384, 32768}) {
+    for (index_t bw : {16, 32, 128}) {
+      auto dbr = perf::trace_sbr_dbr(n, bw, nb, /*cache_oa=*/true);
+      auto coupled = perf::trace_sbr_wy(n, bw, bw, /*cache_oa=*/true);
+      const double t_dbr =
+          perf::total_time_s(perf::Device::TensorCore, dbr) + panels_s(n, bw, true);
+      const double t_cp =
+          perf::total_time_s(perf::Device::TensorCore, coupled) + panels_s(n, bw, true);
+      std::printf("%8lld %6lld | %10.2f %10.2f | %8.2f\n", static_cast<long long>(n),
+                  static_cast<long long>(bw), t_dbr, t_cp, t_cp / t_dbr);
+    }
+  }
+
   bench::section("[measured] this machine (n = 256, b = 16, nb = 64), wall ms");
   {
     Rng rng(11);
@@ -102,6 +121,17 @@ int main() {
     std::printf("ZY  fp32+syr2k (MAGMA-like): %8.1f\n",
                 1e3 * bench::time_once_s([&] { (void)sbr::sbr_zy(a.view(), c_fp, magma); }));
     bench::stage_splits(c_fp.telemetry());
+
+    // Detached variant at the same nb with a 4x narrower band: stage one
+    // stays in WY territory, the band handed downstream shrinks to b = 4.
+    sbr::SbrOptions dbr;
+    dbr.bandwidth = 4;
+    dbr.big_block = 64;
+    tc::TcEngine e_dbr;
+    Context c_dbr(e_dbr);
+    std::printf("DBR tc-fp16 (b=4, nb=64): %8.1f\n",
+                1e3 * bench::time_once_s([&] { (void)sbr::sbr_dbr(a.view(), c_dbr, dbr); }));
+    bench::stage_splits(c_dbr.telemetry());
   }
 
   bench::section("[measured] look-ahead overlap (b = 64, nb = 128, fp32), wall ms");

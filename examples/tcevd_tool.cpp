@@ -3,7 +3,8 @@
 //
 // Usage:
 //   tcevd_tool [--n N] [--type normal|uniform|cluster0|cluster1|arith|geo]
-//              [--cond C] [--engine fp32|tc|tf32|ectc] [--reduction wy|zy|one]
+//              [--cond C] [--engine fp32|tc|tf32|ectc]
+//              [--reduction wy|dbr|zy|one]
 //              [--solver dc|ql|bisect] [--b B] [--nb NB] [--vectors]
 //              [--lookahead] [--check] [--seed S]
 //
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--reduction") {
       const std::string r = next();
       if (r == "wy") opt.reduction = evd::Reduction::TwoStageWy;
+      else if (r == "dbr") opt.reduction = evd::Reduction::TwoStageDbr;
       else if (r == "zy") opt.reduction = evd::Reduction::TwoStageZy;
       else if (r == "one") opt.reduction = evd::Reduction::OneStage;
       else usage("unknown --reduction");

@@ -8,6 +8,8 @@ const char* error_code_name(ErrorCode code) noexcept {
       return "Ok";
     case ErrorCode::InvalidInput:
       return "InvalidInput";
+    case ErrorCode::InvalidArgument:
+      return "InvalidArgument";
     case ErrorCode::NoConvergence:
       return "NoConvergence";
     case ErrorCode::PrecisionLoss:
@@ -37,6 +39,10 @@ std::string Status::to_string() const {
 
 Status invalid_input_error(std::string message) {
   return Status(ErrorCode::InvalidInput, std::move(message));
+}
+
+Status invalid_argument_error(std::string message) {
+  return Status(ErrorCode::InvalidArgument, std::move(message));
 }
 
 Status no_convergence_error(std::string message, std::int64_t detail) {

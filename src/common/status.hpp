@@ -20,6 +20,7 @@ namespace tcevd {
 enum class ErrorCode {
   Ok = 0,
   InvalidInput,    ///< NaN/Inf/asymmetric input, contract-level bad data
+  InvalidArgument, ///< inconsistent caller options (e.g. big_block < bandwidth)
   NoConvergence,   ///< an iteration-capped solver exhausted its budget
   PrecisionLoss,   ///< low-precision path saturated/overflowed (fp16 range)
   SingularPanel,   ///< panel factorization hit a (near-)zero pivot
@@ -55,6 +56,7 @@ class [[nodiscard]] Status {
 
 inline Status ok_status() { return Status(); }
 Status invalid_input_error(std::string message);
+Status invalid_argument_error(std::string message);
 Status no_convergence_error(std::string message, std::int64_t detail = -1);
 Status precision_loss_error(std::string message);
 Status singular_panel_error(std::string message, std::int64_t detail = -1);
@@ -62,8 +64,9 @@ Status singular_panel_error(std::string message, std::int64_t detail = -1);
 Status fault_injected_error(std::string site);
 
 /// True for failures a driver may answer with a degradation path (solver
-/// fallback, precision escalation, panel retry). InvalidInput and Internal
-/// are not recoverable: retrying with a different algorithm cannot fix them.
+/// fallback, precision escalation, panel retry). InvalidInput,
+/// InvalidArgument, and Internal are not recoverable: retrying with a
+/// different algorithm cannot fix them.
 bool is_recoverable(const Status& status) noexcept;
 
 /// Value-or-error return. Converts implicitly from both Status (errors) and

@@ -121,17 +121,25 @@ StatusOr<EvdResult> solve_once(ConstMatrixView<float> a, Context& ctx, const Evd
   } else {
     sbr::SbrOptions sopt;
     sopt.bandwidth = std::min(opt.bandwidth, n - 1);
+    if (opt.big_block < sopt.bandwidth)
+      // The SBR layer rejects nb < b outright; here the caller's big_block is
+      // a default that a large bandwidth can legitimately outgrow, so raise
+      // it — but say so instead of mutating the options invisibly.
+      recovery::note("evd.options",
+                     "big_block " + std::to_string(opt.big_block) +
+                         " is below the bandwidth " + std::to_string(sopt.bandwidth) +
+                         "; raising it to the bandwidth");
     sopt.big_block = std::max(opt.big_block, sopt.bandwidth);
-    // Keep nb a multiple of b as sbr_wy requires.
-    sopt.big_block -= sopt.big_block % sopt.bandwidth;
     sopt.panel = opt.panel;
     sopt.accumulate_q = opt.vectors;
-    sopt.lookahead = opt.lookahead && opt.reduction == Reduction::TwoStageWy;
+    sopt.lookahead = opt.lookahead && (opt.reduction == Reduction::TwoStageWy ||
+                                       opt.reduction == Reduction::TwoStageDbr);
 
     Timer t;
-    StatusOr<sbr::SbrResult> sres_or = (opt.reduction == Reduction::TwoStageWy)
-                                          ? sbr::sbr_wy(a, ctx, sopt)
-                                          : sbr::sbr_zy(a, ctx, sopt);
+    StatusOr<sbr::SbrResult> sres_or =
+        (opt.reduction == Reduction::TwoStageWy)    ? sbr::sbr_wy(a, ctx, sopt)
+        : (opt.reduction == Reduction::TwoStageDbr) ? sbr::sbr_dbr(a, ctx, sopt)
+                                                    : sbr::sbr_zy(a, ctx, sopt);
     if (!sres_or.ok()) return sres_or.status();
     sbr::SbrResult& sres = *sres_or;
     result.timings.reduction_s = t.seconds();

@@ -25,9 +25,11 @@ class Context;
 namespace tcevd::evd {
 
 enum class Reduction {
-  TwoStageWy,  ///< WY-based SBR (the paper's method) + bulge chasing
-  TwoStageZy,  ///< ZY-based SBR (MAGMA-style baseline) + bulge chasing
-  OneStage,    ///< direct Householder tridiagonalization (sytrd)
+  TwoStageWy,   ///< WY-based SBR (the paper's method) + bulge chasing
+  TwoStageZy,   ///< ZY-based SBR (MAGMA-style baseline) + bulge chasing
+  TwoStageDbr,  ///< Detached Band Reduction (narrow band b, wide accumulation
+                ///< nb — sbr::sbr_dbr) + bulge chasing on the narrow band
+  OneStage,     ///< direct Householder tridiagonalization (sytrd)
 };
 
 enum class TriSolver {
@@ -42,8 +44,16 @@ const char* tri_solver_name(TriSolver solver) noexcept;
 struct EvdOptions {
   Reduction reduction = Reduction::TwoStageWy;
   TriSolver solver = TriSolver::DivideConquer;
-  index_t bandwidth = 32;                       ///< SBR band half-width b
-  index_t big_block = 128;                      ///< WY big block nb
+  /// SBR band half-width b (size-clamped to n - 1; for TwoStageDbr pick it
+  /// small — the second stage is O(n^2 b) — and pick big_block large).
+  index_t bandwidth = 32;
+  /// WY/DBR accumulation blocksize nb. The driver derives a valid SbrOptions
+  /// pair from (bandwidth, big_block): values below the (clamped) bandwidth
+  /// are raised to it and non-multiples rounded down, each adjustment noted
+  /// in EvdResult::recovery (site "evd.options" / "sbr.options") rather than
+  /// silently applied. Direct sbr::* callers get strict InvalidArgument
+  /// rejection instead — see sbr::validate_options.
+  index_t big_block = 128;
   sbr::PanelKind panel = sbr::PanelKind::Tsqr;
   bool vectors = false;                         ///< compute eigenvectors
   /// Run bulge chasing on compact O(n*b) band storage instead of the full
@@ -54,10 +64,11 @@ struct EvdOptions {
   /// "evd.second_stage") so callers relying on the compact path's memory
   /// profile find out.
   bool compact_second_stage = false;
-  /// Forwarded to SbrOptions::lookahead for the TwoStageWy reduction:
-  /// overlap each big block's panel factorization with the previous block's
-  /// trailing update. Numerically identical banded output; ignored by the
-  /// ZY and one-stage reductions.
+  /// Forwarded to SbrOptions::lookahead for the TwoStageWy and TwoStageDbr
+  /// reductions: overlap each big block's panel factorization with the
+  /// previous block's trailing update. Numerically identical banded output;
+  /// ignored by the ZY and one-stage reductions, and noted + run serial by
+  /// DBR when b < nb (site "sbr.dbr").
   bool lookahead = false;
   /// Reject NaN/Inf entries and gross asymmetry up front (InvalidInput)
   /// instead of feeding garbage to the pipeline. O(n^2) scan.

@@ -51,13 +51,18 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, Context& ctx,
   } else {
     sbr::SbrOptions sopt;
     sopt.bandwidth = std::min(opt.bandwidth, n - 1);
+    if (opt.big_block < sopt.bandwidth)
+      recovery::note("evd.options",
+                     "big_block " + std::to_string(opt.big_block) +
+                         " is below the bandwidth " + std::to_string(sopt.bandwidth) +
+                         "; raising it to the bandwidth");
     sopt.big_block = std::max(opt.big_block, sopt.bandwidth);
-    sopt.big_block -= sopt.big_block % sopt.bandwidth;
     sopt.panel = opt.panel;
     sopt.accumulate_q = vectors;
-    StatusOr<sbr::SbrResult> sres_or = (opt.reduction == Reduction::TwoStageWy)
-                                           ? sbr::sbr_wy(a, ctx, sopt)
-                                           : sbr::sbr_zy(a, ctx, sopt);
+    StatusOr<sbr::SbrResult> sres_or =
+        (opt.reduction == Reduction::TwoStageWy)    ? sbr::sbr_wy(a, ctx, sopt)
+        : (opt.reduction == Reduction::TwoStageDbr) ? sbr::sbr_dbr(a, ctx, sopt)
+                                                    : sbr::sbr_zy(a, ctx, sopt);
     if (!sres_or.ok()) return sres_or.status();
     sbr::SbrResult& sres = *sres_or;
     MatrixView<float> qv = sres.q.view();

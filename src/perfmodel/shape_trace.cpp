@@ -12,9 +12,15 @@ void emit(std::vector<GemmShape>& out, index_t m, index_t n, index_t k) {
   out.push_back(GemmShape{m, n, k});
 }
 
-/// Mirrors sbr_wy.cpp::process_block; returns columns reduced.
+/// Trailing-update form of trace_wy_block — mirrors
+/// sbr/wy_block.hpp::TrailingKind.
+enum class Trailing { Multiplicative, DetachedSyr2k };
+
+/// Mirrors sbr_wy.cpp::process_wy_block; returns columns reduced.
 index_t trace_wy_block(std::vector<GemmShape>& out, index_t n, index_t s, index_t b,
-                       index_t nb, bool cache_oa) {
+                       index_t nb, bool cache_oa,
+                       Trailing trailing = Trailing::Multiplicative,
+                       bool use_tc_syr2k = false) {
   const index_t na = n - s;
   if (na - b < 2) return 0;
   const index_t mt = na - b;
@@ -46,9 +52,19 @@ index_t trace_wy_block(std::vector<GemmShape>& out, index_t n, index_t s, index_
   const index_t tw = mt - t0;
   if (tw > 0) {
     if (!cache_oa) emit(out, mt, cols_done, mt);  // big = OA * W
-    emit(out, mt, tw, cols_done);            // M -= big * Y(C2)^T
-    emit(out, cols_done, tw, mt);            // W^T M
-    emit(out, tw, tw, cols_done);            // GA2
+    if (trailing == Trailing::DetachedSyr2k) {
+      emit(out, cols_done, cols_done, mt);   // S = W^T P
+      emit(out, tw, cols_done, cols_done);   // Z -= 1/2 Y_t S
+      if (!use_tc_syr2k) {
+        emit(out, tw, tw, cols_done);        // GA -= Y_t Z^T
+        emit(out, tw, tw, cols_done);        // GA -= Z Y_t^T
+      }
+      // tc_syr2k runs outside the engine: no shapes recorded, as real runs.
+    } else {
+      emit(out, mt, tw, cols_done);          // M -= big * Y(C2)^T
+      emit(out, cols_done, tw, mt);          // W^T M
+      emit(out, tw, tw, cols_done);          // GA2
+    }
   }
   return cols_done;
 }
@@ -60,6 +76,23 @@ std::vector<GemmShape> trace_sbr_wy(index_t n, index_t b, index_t nb, bool cache
   index_t s = 0;
   for (;;) {
     const index_t done = trace_wy_block(out, n, s, b, std::max(nb, b), cache_oa);
+    if (done == 0) break;
+    s += done;
+  }
+  return out;
+}
+
+std::vector<GemmShape> trace_sbr_dbr(index_t n, index_t b, index_t nb, bool cache_oa,
+                                     bool use_tc_syr2k) {
+  const index_t nb_eff = std::max(nb, b);
+  // b == nb runs the multiplicative path verbatim (see sbr_dbr).
+  const Trailing trailing =
+      b < nb_eff ? Trailing::DetachedSyr2k : Trailing::Multiplicative;
+  std::vector<GemmShape> out;
+  index_t s = 0;
+  for (;;) {
+    const index_t done =
+        trace_wy_block(out, n, s, b, nb_eff, cache_oa, trailing, use_tc_syr2k);
     if (done == 0) break;
     s += done;
   }

@@ -50,6 +50,14 @@ void bulge_chase_band(BandMatrix<T>& a, std::vector<T>& d, std::vector<T>& e) {
   const index_t n = a.size();
   const index_t bw = a.bandwidth();
 
+  // bw <= 1 (the DBR narrow-band fast path): already tridiagonal, nothing
+  // to chase — the dd loop below would not run, but skipping it keeps the
+  // fast path obvious and O(n).
+  if (bw <= 1 || n <= 2) {
+    a.extract_tridiagonal(d, e);
+    return;
+  }
+
   for (index_t dd = std::min(bw, n - 1); dd >= 2; --dd) {
     for (index_t col = 0; col + dd < n; ++col) {
       index_t tcol = col;
@@ -71,12 +79,7 @@ void bulge_chase_band(BandMatrix<T>& a, std::vector<T>& d, std::vector<T>& e) {
     }
   }
 
-  d.assign(static_cast<std::size_t>(n), T{});
-  e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), T{});
-  for (index_t i = 0; i < n; ++i) {
-    d[static_cast<std::size_t>(i)] = a.get(i, i);
-    if (i + 1 < n) e[static_cast<std::size_t>(i)] = a.get(i + 1, i);
-  }
+  a.extract_tridiagonal(d, e);
 }
 
 template void bulge_chase_band<float>(BandMatrix<float>&, std::vector<float>&,

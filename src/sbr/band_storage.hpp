@@ -65,6 +65,18 @@ class BandMatrix {
     return a;
   }
 
+  /// Read off the tridiagonal (d, e) directly. For bw <= 1 bands — what the
+  /// DBR first stage produces at its narrowest — this IS the second stage:
+  /// the matrix is already tridiagonal and no rotation is ever applied.
+  void extract_tridiagonal(std::vector<T>& d, std::vector<T>& e) const {
+    d.assign(static_cast<std::size_t>(n_), T{});
+    e.assign(static_cast<std::size_t>(std::max<index_t>(n_ - 1, 0)), T{});
+    for (index_t i = 0; i < n_; ++i) {
+      d[static_cast<std::size_t>(i)] = get(i, i);
+      if (i + 1 < n_) e[static_cast<std::size_t>(i)] = get(i + 1, i);
+    }
+  }
+
   /// Bytes of storage held — the O(n b) footprint claim, testable.
   std::size_t storage_bytes() const noexcept { return data_.size() * sizeof(T); }
 

@@ -17,6 +17,16 @@
 //     near-square GEMMs (inner dimension grows to nb) that Tensor Cores run
 //     near peak.
 //
+//   * sbr_dbr — Detached Band Reduction (Wang et al., arXiv 2410.02170, the
+//     follow-up to the source paper): same chained sub-panel factorization
+//     and nb-wide (W, Y) accumulation as sbr_wy, but with bandwidth b fully
+//     decoupled from nb (b <= nb, nb/b sub-panels per big block) and the
+//     once-per-block trailing update rewritten as a symmetric rank-2k with
+//     inner dimension nb:  GA = OA - Y Z^T - Z Y^T,  Z = OA W - (1/2) Y S,
+//     S = W^T OA W. Stage one keeps its near-square k = nb GEMMs while
+//     stage two (bulge chasing) receives a cheap narrow band. With b == nb
+//     sbr_dbr runs the sbr_wy code path verbatim (bitwise identical output).
+//
 // All level-3 updates go through the Context's GemmEngine, so the same code
 // runs in fp32, emulated-Tensor-Core, or error-corrected TC numerics, and
 // shape recording on the context's telemetry sink captures exactly the GEMM
@@ -47,8 +57,13 @@ enum class PanelKind {
 };
 
 struct SbrOptions {
-  index_t bandwidth = 32;          ///< b: output band half-width
-  index_t big_block = 128;         ///< nb: WY big block (clamped to >= bandwidth)
+  /// b: output band half-width. Validated (not clamped): 1 <= b < n.
+  index_t bandwidth = 32;
+  /// nb: WY/DBR accumulation blocksize. Independent of `bandwidth`, but must
+  /// satisfy nb >= b — smaller values are rejected with InvalidArgument by
+  /// validate_options (no silent mutation). A non-multiple of b is rounded
+  /// down to one, noted on the ambient recovery scope (site "sbr.options").
+  index_t big_block = 128;
   PanelKind panel = PanelKind::Tsqr;
   bool accumulate_q = false;       ///< form the explicit n x n Q
   bool zy_use_syr2k = false;       ///< ZY only: use fp32 syr2k for the rank-2b
@@ -67,6 +82,12 @@ struct SbrOptions {
   /// flop count brackets the paper's Table 2 from below while the literal
   /// form brackets it from above. See EXPERIMENTS.md.
   bool wy_cache_oa_product = true;
+  /// DBR only: run the detached trailing update A <- A - Y Z^T - Z Y^T
+  /// through the Tensor-Core-native symmetric rank-2k kernel (tc::tc_syr2k)
+  /// when the engine is a TcEngine — half the tile work of the two-GEMM
+  /// form. Ignored for non-TC engines and when b == nb (where the trailing
+  /// update is the multiplicative sbr_wy form).
+  bool dbr_use_tc_syr2k = false;
   /// WY only: left-looking look-ahead. The post-block trailing update is
   /// split so the next block's first-panel columns are updated first; that
   /// panel is then factored (TSQR + WY reconstruction) on the context's
@@ -100,7 +121,24 @@ StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, Context& ctx, const SbrOpti
 /// WY-based recursive SBR (paper Algorithm 1).
 StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt);
 
-/// Peak workspace-arena bytes one sbr_wy/sbr_zy call of size n needs
+/// Detached Band Reduction: reduce to bandwidth b while accumulating W/Y
+/// over nb >= b columns; the per-block trailing update is the detached
+/// symmetric rank-2k form with inner dimension nb (see the header comment).
+/// Stage telemetry lands under "sbr.dbr" / "sbr.dbr.trailing". With b == nb
+/// the output is bitwise identical to sbr_wy (same code path). Look-ahead is
+/// not supported for b < nb: the request is noted at recovery site "sbr.dbr"
+/// and the block schedule runs serial.
+StatusOr<SbrResult> sbr_dbr(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt);
+
+/// Validate and normalize caller options against problem size n: rejects
+/// bandwidth outside [1, n) and big_block < bandwidth with InvalidArgument;
+/// rounds a big_block that is not a multiple of bandwidth down to one,
+/// noting the adjustment on the ambient recovery scope (site "sbr.options").
+/// Every SBR entry point runs its options through this — callers that want
+/// to fail fast can call it themselves.
+StatusOr<SbrOptions> validate_options(const SbrOptions& opt, index_t n);
+
+/// Peak workspace-arena bytes one sbr_wy/sbr_zy/sbr_dbr call of size n needs
 /// (LAPACK-lwork style, conservative). Reserve it on the context's arena —
 /// `ctx.workspace().reserve(workspace_query(n, opt))` — to make every solve
 /// after the first allocation-free; the drivers also reserve it themselves
@@ -160,6 +198,8 @@ StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, tc::GemmEngine& engine,
                            const SbrOptions& opt);
 StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
                            const SbrOptions& opt);
+StatusOr<SbrResult> sbr_dbr(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                            const SbrOptions& opt);
 Status panel_factor_wy(PanelKind kind, MatrixView<float> panel, MatrixView<float> w,
                        MatrixView<float> y);
 void form_wy_product(const std::vector<WyBlock>& blocks, index_t n, tc::GemmEngine& engine,

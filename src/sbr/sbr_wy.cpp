@@ -36,6 +36,7 @@
 // accumulation when its iteration begins. Same reflectors, different
 // schedule; see DESIGN.md §10 for the arena-ownership rules.
 #include <optional>
+#include <string>
 
 #include "src/blas/blas.hpp"
 #include "src/blas/gemm_threading.hpp"
@@ -43,48 +44,39 @@
 #include "src/common/recovery.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/sbr/sbr.hpp"
+#include "src/sbr/wy_block.hpp"
+#include "src/tensorcore/tc_syr2k.hpp"
 
 namespace tcevd::sbr {
 
-namespace {
-
 using blas::Trans;
 
-struct WyParams {
-  MatrixView<float> A;  // full n x n storage
-  index_t n = 0;
-  index_t b = 0;
-  index_t nb = 0;
-  Context* ctx = nullptr;
-  PanelKind panel_kind = PanelKind::Tsqr;
-  std::vector<WyBlock>* blocks = nullptr;
-  bool cache_oa = false;  // maintain P = OA*W incrementally instead of
-                          // recomputing it with the full W every panel
-  bool lookahead = false;
-};
-
-/// Next-block panel prefactored during the look-ahead overlap window. The
-/// reflectors live in the sibling arena under `scope`, which stays open
-/// across the block boundary until block i+1 consumes them; A already holds
-/// the panel's [R; 0] columns (mirroring waits for the join — the row strip
-/// it writes belongs to the concurrent trailing task).
-struct LookaheadPanel {
-  MatrixView<float> w, y;
-  std::optional<Workspace::Scope> scope;
-  index_t owner = -1;  // global block offset s' these reflectors belong to
-  bool valid = false;
-
-  void drop() {
-    valid = false;
-    w = MatrixView<float>();
-    y = MatrixView<float>();
-    scope.reset();
+StatusOr<SbrOptions> validate_options(const SbrOptions& opt, index_t n) {
+  SbrOptions v = opt;
+  if (v.bandwidth < 1 || v.bandwidth >= n)
+    return invalid_argument_error("sbr: bandwidth must satisfy 1 <= b < n (b = " +
+                                  std::to_string(v.bandwidth) + ", n = " +
+                                  std::to_string(n) + ")");
+  if (v.big_block < v.bandwidth)
+    return invalid_argument_error("sbr: big_block (nb = " + std::to_string(v.big_block) +
+                                  ") must be >= bandwidth (b = " +
+                                  std::to_string(v.bandwidth) + ")");
+  if (v.big_block % v.bandwidth != 0) {
+    const index_t rounded = v.big_block - v.big_block % v.bandwidth;
+    recovery::note("sbr.options", "big_block " + std::to_string(v.big_block) +
+                                      " is not a multiple of bandwidth " +
+                                      std::to_string(v.bandwidth) + "; rounding down to " +
+                                      std::to_string(rounded));
+    v.big_block = rounded;
   }
-};
+  return v;
+}
+
+namespace detail {
 
 /// Process the big block starting at global offset s; returns the number of
 /// columns reduced (0 when the active matrix is already banded).
-StatusOr<index_t> process_block(WyParams& prm, index_t s, LookaheadPanel& la) {
+StatusOr<index_t> process_wy_block(WyBlockParams& prm, index_t s, LookaheadPanel& la) {
   const index_t na = prm.n - s;  // active size
   const index_t b = prm.b;
   if (na - b < 2) return index_t{0};
@@ -207,8 +199,12 @@ StatusOr<index_t> process_block(WyParams& prm, index_t s, LookaheadPanel& la) {
   // panel has next_rows = tw - b reflector rows and process_block requires
   // at least 2 of them.
   const index_t next_rows = tw - b;
-  const bool overlap = prm.lookahead && tw > 0 && next_rows >= 2;
+  const bool overlap = prm.trailing == TrailingKind::Multiplicative && prm.lookahead &&
+                       tw > 0 && next_rows >= 2;
   if (tw > 0) {
+    std::optional<StageTimer> trail_timer;
+    if (prm.trailing_stage != nullptr)
+      trail_timer.emplace(ctx.telemetry(), prm.trailing_stage);
     auto trail_scope = ws.scope();
     auto Wv = W.sub(0, 0, mt, cols_done);
 
@@ -221,7 +217,32 @@ StatusOr<index_t> process_block(WyParams& prm, index_t s, LookaheadPanel& la) {
       big_v = big;
     }
 
-    if (!overlap) {
+    if (prm.trailing == TrailingKind::DetachedSyr2k) {
+      // Detached rank-2k form (DBR): with P = OA W the block invariant
+      // expands to GA = OA - Y Z^T - Z Y^T where S = W^T P (symmetric) and
+      // Z = P - (1/2) Y S; restricted to the trailing rows/cols [t0, mt)
+      // only Z's trailing rows are needed. Both update GEMMs carry inner
+      // dimension cols_done (= nb on every full block) — the near-square
+      // syr2k shape DBR exists to produce.
+      const auto yt = ConstMatrixView<float>(Y.sub(t0, 0, tw, cols_done));
+      auto smat = trail_scope.matrix<float>(cols_done, cols_done);
+      ctx.gemm(Trans::Yes, Trans::No, 1.0f, Wv, big_v, 0.0f, smat);
+      auto z = trail_scope.matrix<float>(tw, cols_done);
+      copy_matrix<float>(big_v.sub(t0, 0, tw, cols_done), z);
+      ctx.gemm(Trans::No, Trans::No, -0.5f, yt, ConstMatrixView<float>(smat), 1.0f, z);
+
+      auto a22 = A.sub(s + cols_done, s + cols_done, tw, tw);
+      copy_matrix<float>(oa.sub(t0, t0, tw, tw), a22);
+      auto* tc_engine = dynamic_cast<tc::TcEngine*>(&ctx.engine());
+      if (prm.use_tc_syr2k && tc_engine != nullptr) {
+        tc::tc_syr2k(blas::Uplo::Lower, -1.0f, yt, ConstMatrixView<float>(z), 1.0f, a22,
+                     tc_engine->precision());
+        symmetrize_from_lower<float>(a22);
+      } else {
+        ctx.gemm(Trans::No, Trans::Yes, -1.0f, yt, ConstMatrixView<float>(z), 1.0f, a22);
+        ctx.gemm(Trans::No, Trans::Yes, -1.0f, ConstMatrixView<float>(z), yt, 1.0f, a22);
+      }
+    } else if (!overlap) {
       auto mcol = trail_scope.matrix<float>(mt, tw);
       copy_matrix<float>(oa.sub(0, t0, mt, tw), mcol);
       ctx.gemm(Trans::No, Trans::Yes, -1.0f, big_v,
@@ -329,41 +350,40 @@ StatusOr<index_t> process_block(WyParams& prm, index_t s, LookaheadPanel& la) {
   return cols_done;
 }
 
-}  // namespace
+}  // namespace detail
 
-StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt) {
+namespace {
+
+/// Shared driver loop of sbr_wy / sbr_dbr: run process_wy_block over the
+/// recursion, absorb look-ahead telemetry, form Q on request.
+StatusOr<SbrResult> run_wy_blocks(ConstMatrixView<float> a, Context& ctx,
+                                  const SbrOptions& opt, index_t nb,
+                                  detail::TrailingKind trailing, bool lookahead,
+                                  const char* trailing_stage) {
   const index_t n = a.rows();
-  TCEVD_CHECK(a.cols() == n, "sbr_wy requires a square symmetric matrix");
-  const index_t b = opt.bandwidth;
-  TCEVD_CHECK(b >= 1 && b < n, "sbr_wy bandwidth out of range");
-  const index_t nb = std::max(opt.big_block, b);
-  TCEVD_CHECK(nb % b == 0, "sbr_wy big_block must be a multiple of bandwidth");
-
-  ctx.workspace().reserve(workspace_query(n, opt));
-  if (opt.lookahead)
-    ctx.lookahead_sibling().workspace().reserve(lookahead_workspace_query(n, opt));
-  StageTimer stage(ctx.telemetry(), "sbr.wy");
-
   SbrResult result;
   result.band = Matrix<float>(n, n);
   copy_matrix(a, result.band.view());
 
-  WyParams prm;
+  detail::WyBlockParams prm;
   prm.A = result.band.view();
   prm.n = n;
-  prm.b = b;
+  prm.b = opt.bandwidth;
   prm.nb = nb;
   prm.ctx = &ctx;
   prm.panel_kind = opt.panel;
   prm.blocks = &result.blocks;
   prm.cache_oa = opt.wy_cache_oa_product;
-  prm.lookahead = opt.lookahead;
+  prm.lookahead = lookahead;
+  prm.trailing = trailing;
+  prm.use_tc_syr2k = opt.dbr_use_tc_syr2k;
+  prm.trailing_stage = trailing_stage;
 
   {
-    LookaheadPanel la;  // prefactored panel carried across block boundaries
+    detail::LookaheadPanel la;  // prefactored panel carried across block boundaries
     index_t s = 0;
     for (;;) {
-      StatusOr<index_t> done = process_block(prm, s, la);
+      StatusOr<index_t> done = detail::process_wy_block(prm, s, la);
       if (!done.ok()) return done.status();
       if (*done == 0) break;
       s += *done;
@@ -375,6 +395,53 @@ StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOpti
     result.q = form_q(result.blocks, n, ctx);
   }
   return result;
+}
+
+}  // namespace
+
+StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n, "sbr_wy requires a square symmetric matrix");
+  StatusOr<SbrOptions> vopt_or = validate_options(opt, n);
+  if (!vopt_or.ok()) return vopt_or.status();
+  const SbrOptions vopt = *vopt_or;
+
+  ctx.workspace().reserve(workspace_query(n, vopt));
+  if (vopt.lookahead)
+    ctx.lookahead_sibling().workspace().reserve(lookahead_workspace_query(n, vopt));
+  StageTimer stage(ctx.telemetry(), "sbr.wy");
+  return run_wy_blocks(a, ctx, vopt, vopt.big_block, detail::TrailingKind::Multiplicative,
+                       vopt.lookahead, nullptr);
+}
+
+StatusOr<SbrResult> sbr_dbr(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt) {
+  const index_t n = a.rows();
+  TCEVD_CHECK(a.cols() == n, "sbr_dbr requires a square symmetric matrix");
+  StatusOr<SbrOptions> vopt_or = validate_options(opt, n);
+  if (!vopt_or.ok()) return vopt_or.status();
+  const SbrOptions vopt = *vopt_or;
+
+  // b == nb degenerates to one sub-panel per block, where the detached form
+  // buys nothing: run the multiplicative sbr_wy path verbatim so the output
+  // is bitwise identical to sbr_wy (including its look-ahead schedule).
+  const bool detached = vopt.bandwidth < vopt.big_block;
+  bool lookahead = vopt.lookahead;
+  if (detached && lookahead) {
+    // The detached trailing update is one fused rank-2k, not a column-
+    // splittable two-step — there is no overlap window to schedule into.
+    recovery::note("sbr.dbr",
+                   "look-ahead is not supported for b < nb; running the serial schedule");
+    lookahead = false;
+  }
+
+  ctx.workspace().reserve(workspace_query(n, vopt));
+  if (lookahead)
+    ctx.lookahead_sibling().workspace().reserve(lookahead_workspace_query(n, vopt));
+  StageTimer stage(ctx.telemetry(), "sbr.dbr");
+  return run_wy_blocks(a, ctx, vopt, vopt.big_block,
+                       detached ? detail::TrailingKind::DetachedSyr2k
+                                : detail::TrailingKind::Multiplicative,
+                       lookahead, "sbr.dbr.trailing");
 }
 
 std::size_t workspace_query(index_t n, const SbrOptions& opt) {
@@ -392,6 +459,9 @@ std::size_t workspace_query(index_t n, const SbrOptions& opt) {
   f += double(mt) * nb;            // literal-recompute OA*W ("big")
   f += 2.0 * double(mt) * mt;      // trailing M and GA
   f += double(nb) * mt;            // W^T M
+  // DBR detached trailing update: S (nb x nb) and Z (tw x nb <= mt x nb).
+  // Counted unconditionally — the bound stays one formula for all variants.
+  f += double(nb) * nb + double(mt) * nb;
   // Panel factorization: w/y, TSQR q/r + tree scratch (one work copy per
   // level plus six (2b x b)-ish combine buffers over ~log2 levels), the
   // reconstruction LU copy, and the blocked-QR fallback work buffer.
@@ -427,6 +497,11 @@ std::size_t lookahead_workspace_query(index_t n, const SbrOptions& opt) {
 StatusOr<SbrResult> sbr_wy(ConstMatrixView<float> a, tc::GemmEngine& engine,
                            const SbrOptions& opt) {
   return sbr_wy(a, compat_context(engine), opt);
+}
+
+StatusOr<SbrResult> sbr_dbr(ConstMatrixView<float> a, tc::GemmEngine& engine,
+                            const SbrOptions& opt) {
+  return sbr_dbr(a, compat_context(engine), opt);
 }
 
 }  // namespace tcevd::sbr

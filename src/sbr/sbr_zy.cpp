@@ -10,6 +10,8 @@
 // (half the flops, the classic CPU/MAGMA route); otherwise it runs as two
 // engine GEMMs, which is how a Tensor Core must execute it ("TC does not
 // support syr2k natively").
+#include <string>
+
 #include "src/blas/blas.hpp"
 #include "src/common/context.hpp"
 #include "src/sbr/sbr.hpp"
@@ -20,8 +22,12 @@ namespace tcevd::sbr {
 StatusOr<SbrResult> sbr_zy(ConstMatrixView<float> a, Context& ctx, const SbrOptions& opt) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "sbr_zy requires a square symmetric matrix");
+  // ZY ignores big_block, so only the bandwidth rule applies (validated,
+  // not clamped — same contract as validate_options).
   const index_t b = opt.bandwidth;
-  TCEVD_CHECK(b >= 1 && b < n, "sbr_zy bandwidth out of range");
+  if (b < 1 || b >= n)
+    return invalid_argument_error("sbr_zy: bandwidth must satisfy 1 <= b < n (b = " +
+                                  std::to_string(b) + ", n = " + std::to_string(n) + ")");
 
   ctx.workspace().reserve(workspace_query(n, opt));
   StageTimer stage(ctx.telemetry(), "sbr.zy");

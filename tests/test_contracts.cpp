@@ -4,7 +4,10 @@
 // are NOT contracts — they return Status and are covered in test_fault.cpp.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/common/context.hpp"
+#include "src/common/recovery.hpp"
 #include "src/blas/blas.hpp"
 #include "src/evd/evd.hpp"
 #include "src/evd/partial.hpp"
@@ -43,23 +46,38 @@ TEST_F(ContractsDeath, SbrNonSquareAborts) {
   EXPECT_DEATH((void)sbr::sbr_wy(a.view(), ctx, opt), "square");
 }
 
-TEST_F(ContractsDeath, SbrBandwidthOutOfRangeAborts) {
+// Option inconsistencies are no longer process aborts: since the detached
+// band reduction decoupled bandwidth from big_block, the SBR entry points
+// validate caller options and return InvalidArgument (or round down with a
+// recovery note for a non-multiple big_block). See tests/test_dbr.cpp for
+// the full validation matrix; the Status form is pinned here so the old
+// death contract can't silently come back.
+TEST(Contracts, SbrBandwidthOutOfRangeIsInvalidArgument) {
   auto a = test::random_symmetric<float>(8, 1);
   tc::Fp32Engine eng;
   Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = 8;  // must be < n
-  EXPECT_DEATH((void)sbr::sbr_wy(a.view(), ctx, opt), "bandwidth");
+  auto res = sbr::sbr_wy(a.view(), ctx, opt);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(res.status().message().find("bandwidth"), std::string::npos);
 }
 
-TEST_F(ContractsDeath, SbrBigBlockNotMultipleAborts) {
+TEST(Contracts, SbrBigBlockNotMultipleRoundsDown) {
   auto a = test::random_symmetric<float>(64, 2);
   tc::Fp32Engine eng;
   Context ctx(eng);
   sbr::SbrOptions opt;
   opt.bandwidth = 8;
-  opt.big_block = 12;  // not a multiple of 8
-  EXPECT_DEATH((void)sbr::sbr_wy(a.view(), ctx, opt), "multiple");
+  opt.big_block = 12;  // not a multiple of 8: rounds down to 8, with a note
+  recovery::Scope scope;
+  auto res = sbr::sbr_wy(a.view(), ctx, opt);
+  ASSERT_TRUE(res.ok());
+  RecoveryLog log = scope.take();
+  bool noted = false;
+  for (const RecoveryEvent& ev : log) noted = noted || ev.site == "sbr.options";
+  EXPECT_TRUE(noted);
 }
 
 TEST_F(ContractsDeath, TsqrWideInputAborts) {
