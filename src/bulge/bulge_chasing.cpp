@@ -1,81 +1,45 @@
 #include "src/bulge/bulge_chasing.hpp"
 
-#include <cmath>
+#include <algorithm>
 
 #include "src/common/context.hpp"
 #include "src/sbr/band.hpp"
 
 namespace tcevd::bulge {
 
-namespace {
-
-/// Two-sided Givens rotation A <- G^T A G in the plane (i, i+1), touching
-/// only columns/rows in [lo, hi) (the band window). G([i,i+1],[i,i+1]) =
-/// [[c, -s], [s, c]].
 template <typename T>
-void apply_sym_rotation(MatrixView<T> a, index_t i, T c, T s, index_t lo, index_t hi) {
-  const index_t j = i + 1;
-  for (index_t k = lo; k < hi; ++k) {
-    const T t1 = a(i, k);
-    const T t2 = a(j, k);
-    a(i, k) = c * t1 + s * t2;
-    a(j, k) = -s * t1 + c * t2;
-  }
-  for (index_t k = lo; k < hi; ++k) {
-    const T t1 = a(k, i);
-    const T t2 = a(k, j);
-    a(k, i) = c * t1 + s * t2;
-    a(k, j) = -s * t1 + c * t2;
-  }
-}
-
-/// Right-multiply q by the same rotation (accumulates the similarity).
-template <typename T>
-void apply_q_rotation(MatrixView<T> q, index_t i, T c, T s) {
-  const index_t j = i + 1;
-  for (index_t k = 0; k < q.rows(); ++k) {
-    const T t1 = q(k, i);
-    const T t2 = q(k, j);
-    q(k, i) = c * t1 + s * t2;
-    q(k, j) = -s * t1 + c * t2;
-  }
-}
-
-}  // namespace
-
-template <typename T>
-BulgeResult<T> bulge_chase(MatrixView<T> a, index_t bw, MatrixView<T>* q) {
+BulgeResult<T> bulge_chase(MatrixView<T> a, index_t bw, MatrixView<T>* q,
+                           QRowProfile q_profile) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "bulge_chase requires a square matrix");
   TCEVD_CHECK(bw >= 1, "bulge_chase bandwidth must be >= 1");
   if (q) TCEVD_CHECK(q->cols() == n, "bulge_chase Q must have n columns");
 
-  // Peel diagonals d = bw, bw-1, ..., 2 (distance-1 entries remain).
+  // Optional Q support windows (only when the caller vouched for a band
+  // profile). The serial driver keeps them in short-lived vectors — the
+  // zero-steady-state-allocation path is the Context overloads below, and
+  // those route band-profiled Q through the same windows held in the arena
+  // via the wavefront driver when it is engaged.
+  std::vector<index_t> q_lo, q_hi;
+  detail::QSupport qs;
+  if (q != nullptr && q_profile.band >= 0) {
+    q_lo.resize(static_cast<std::size_t>(n));
+    q_hi.resize(static_cast<std::size_t>(n));
+    qs.lo = q_lo.data();
+    qs.hi = q_hi.data();
+    detail::init_q_support(qs, n, q->rows(), q_profile.band);
+  }
+
+  // Peel diagonals d = bw, bw-1, ..., 2 (distance-1 entries remain). Sweep s
+  // zeroes column s of the d-th diagonal and chases the resulting bulge off
+  // the matrix; the (d, s, k) indexing is shared with the wavefront driver
+  // (bulge_wavefront.cpp), which runs the same chase_elim calls in a
+  // dependency-respecting order.
   for (index_t d = std::min(bw, n - 1); d >= 2; --d) {
-    for (index_t col = 0; col + d < n; ++col) {
-      // Chase the entry at (row, tcol), starting on the d-th diagonal; each
-      // elimination re-creates it d rows further down (one outside the band)
-      // until it falls off the matrix.
-      index_t tcol = col;
-      index_t row = col + d;
-      while (row < n) {
-        const T f = a(row - 1, tcol);
-        const T g = a(row, tcol);
-        if (g != T{}) {
-          const T h = std::hypot(f, g);
-          const T c = f / h;
-          const T s = g / h;
-          // Window: the rotated rows/cols carry entries within the current
-          // band (+1 for the live bulge) around indices row-1, row.
-          const index_t lo = (tcol > 0) ? tcol : 0;
-          const index_t hi = std::min(n, row + d + 1);
-          apply_sym_rotation(a, row - 1, c, s, lo, hi);
-          a(row, tcol) = T{};   // exact zero by construction
-          a(tcol, row) = T{};
-          if (q) apply_q_rotation(*q, row - 1, c, s);
-        }
-        tcol = row - 1;
-        row += d;
+    for (index_t s = 0; s + d < n; ++s) {
+      const index_t len = detail::sweep_length(n, d, s);
+      for (index_t k = 0; k < len; ++k) {
+        detail::chase_elim(a, q, n, d, s, k, qs);
       }
     }
   }
@@ -85,14 +49,21 @@ BulgeResult<T> bulge_chase(MatrixView<T> a, index_t bw, MatrixView<T>* q) {
   return out;
 }
 
-template BulgeResult<float> bulge_chase<float>(MatrixView<float>, index_t, MatrixView<float>*);
+template BulgeResult<float> bulge_chase<float>(MatrixView<float>, index_t,
+                                               MatrixView<float>*, QRowProfile);
 template BulgeResult<double> bulge_chase<double>(MatrixView<double>, index_t,
-                                                 MatrixView<double>*);
+                                                 MatrixView<double>*, QRowProfile);
 
 BulgeResult<float> bulge_chase(Context& ctx, MatrixView<float> a, index_t bw,
-                               MatrixView<float>* q) {
+                               MatrixView<float>* q, QRowProfile q_profile) {
   StageTimer stage(ctx.telemetry(), "bulge.chase");
-  return bulge_chase<float>(a, bw, q);
+  return bulge_chase<float>(a, bw, q, q_profile);
+}
+
+BulgeResult<double> bulge_chase(Context& ctx, MatrixView<double> a, index_t bw,
+                                MatrixView<double>* q, QRowProfile q_profile) {
+  StageTimer stage(ctx.telemetry(), "bulge.chase");
+  return bulge_chase<double>(a, bw, q, q_profile);
 }
 
 }  // namespace tcevd::bulge

@@ -209,6 +209,17 @@ ThreadPool& gemm_pool() {
   return pool;
 }
 
+void spin_wait_hint(int& backoff) noexcept {
+  if (backoff < 64) {
+    ++backoff;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
 int ThreadPool::hardware_threads() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -132,6 +132,15 @@ class ThreadPool {
   } bcast_;
 };
 
+/// Progressive spin-wait backoff for short cross-thread waits (the bulge
+/// wavefront's progress-vector spins, and any future lock-free handoff).
+/// Call in the body of a spin loop with a caller-owned counter initialized
+/// to 0: early iterations issue cheap CPU pause hints (the expected wait is
+/// a few chunk lengths of rotation work), later ones yield the timeslice so
+/// an oversubscribed machine — or a 1-hardware-thread CI box running every
+/// lane on one core — still makes progress.
+void spin_wait_hint(int& backoff) noexcept;
+
 /// Small process-wide pool backing two-task overlap joins (the look-ahead
 /// schedule in sbr_wy). Lazily constructed on first use with
 /// min(4, hardware_threads()) workers and shared by every overlapping driver

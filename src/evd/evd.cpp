@@ -7,6 +7,7 @@
 #include "src/blas/abft.hpp"
 #include "src/blas/blas.hpp"
 #include "src/bulge/bulge_chasing.hpp"
+#include "src/bulge/bulge_wavefront.hpp"
 #include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/common/timer.hpp"
@@ -157,7 +158,8 @@ StatusOr<EvdResult> solve_once(ConstMatrixView<float> a, Context& ctx, const Evd
                        "rotations must stream into Q; proceeding on full storage");
       MatrixView<float> qv = sres.q.view();
       MatrixView<float>* qp = opt.vectors ? &qv : nullptr;
-      auto tri = bulge::bulge_chase(ctx, sres.band.view(), sopt.bandwidth, qp);
+      auto tri = bulge::bulge_chase_auto<float>(ctx, sres.band.view(), sopt.bandwidth, qp,
+                                                opt.bulge_threads);
       d = std::move(tri.d);
       e = std::move(tri.e);
     }
@@ -391,6 +393,10 @@ std::size_t workspace_query(index_t n, const EvdOptions& opt) {
   // Solver-fallback restore point (q0) + bisection inverse-iteration S and
   // the z*S product buffer.
   bytes += 3 * nn * sizeof(float);
+  // Wavefront bulge chasing's progress vector + Q support windows (two-stage
+  // reductions with bulge_threads != 1 may take the wavefront path).
+  if (opt.reduction != Reduction::OneStage && opt.bulge_threads != 1)
+    bytes += bulge::wavefront_workspace_bytes(n);
   bytes += 64 * Workspace::kAlignment;  // per-checkout alignment slop
   return bytes;
 }

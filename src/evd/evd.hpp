@@ -64,6 +64,17 @@ struct EvdOptions {
   /// "evd.second_stage") so callers relying on the compact path's memory
   /// profile find out.
   bool compact_second_stage = false;
+  /// Threading of the second stage (full-storage bulge chasing only; the
+  /// compact eigenvalues-only path is already O(n*b) and stays serial).
+  /// 0 = auto: the wavefront engine (src/bulge/bulge_wavefront.hpp) on the
+  /// shared gemm_pool() when the problem is big enough (n >= 256, band >= 2)
+  /// and the caller is not itself a pool worker (solve_many workers keep the
+  /// serial chase — they ARE the parallelism). 1 = always the serial chase.
+  /// k >= 2 = wavefront with at most k lanes. Every setting produces
+  /// bitwise-identical output — the wavefront schedule is pinned to the
+  /// serial rotation sequence (DESIGN.md §14) — so this is a performance
+  /// knob, never an accuracy one.
+  int bulge_threads = 0;
   /// Forwarded to SbrOptions::lookahead for the TwoStageWy and TwoStageDbr
   /// reductions: overlap each big block's panel factorization with the
   /// previous block's trailing update. Numerically identical banded output;

@@ -2,6 +2,7 @@
 
 #include "src/blas/blas.hpp"
 #include "src/bulge/bulge_chasing.hpp"
+#include "src/bulge/bulge_wavefront.hpp"
 #include "src/common/context.hpp"
 #include "src/lapack/stein.hpp"
 #include "src/lapack/sytrd.hpp"
@@ -67,7 +68,8 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, Context& ctx,
     sbr::SbrResult& sres = *sres_or;
     MatrixView<float> qv = sres.q.view();
     MatrixView<float>* qp = vectors ? &qv : nullptr;
-    auto tri = bulge::bulge_chase(ctx, sres.band.view(), sopt.bandwidth, qp);
+    auto tri = bulge::bulge_chase_auto<float>(ctx, sres.band.view(), sopt.bandwidth, qp,
+                                              opt.bulge_threads);
     d = std::move(tri.d);
     e = std::move(tri.e);
     if (vectors) q = std::move(sres.q);

@@ -1,14 +1,24 @@
-// Bulge chasing band -> tridiagonal.
+// Bulge chasing band -> tridiagonal: the serial reference chase and the
+// wavefront-parallel engine, which is pinned BITWISE-equal to serial (d, e,
+// and accumulated Q) for every shape, thread count, and blocking choice —
+// the parallel schedule only commutes rotation pairs with disjoint
+// footprints (DESIGN.md §14), so any arithmetic divergence is a scheduler
+// bug, not roundoff.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "src/blas/blas.hpp"
 #include "src/bulge/bulge_chasing.hpp"
+#include "src/bulge/bulge_wavefront.hpp"
+#include "src/common/context.hpp"
 #include "src/common/norms.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/lapack/sytrd.hpp"
 #include "src/lapack/tridiag.hpp"
 #include "src/sbr/band.hpp"
+#include "src/tensorcore/engine.hpp"
 #include "test_util.hpp"
 
 namespace tcevd {
@@ -112,6 +122,212 @@ TEST(Bulge, DiagonalMatrixIsFixedPoint) {
   auto res = bulge::bulge_chase<double>(a.view(), 5, nullptr);
   for (index_t i = 0; i < n; ++i) EXPECT_EQ(res.d[static_cast<std::size_t>(i)], double(i));
   for (index_t i = 0; i + 1 < n; ++i) EXPECT_EQ(res.e[static_cast<std::size_t>(i)], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Wavefront engine: bitwise equality with the serial reference.
+// ---------------------------------------------------------------------------
+
+/// Run the serial chase and the wavefront chase on copies of the same band
+/// matrix and require element-exact agreement of the tridiagonal (d, e), the
+/// chased matrix, and (when requested) the accumulated Q.
+template <typename T>
+void expect_wavefront_bitwise(index_t n, index_t bw, bool with_q,
+                              const bulge::WavefrontOptions& wopt, std::uint64_t seed) {
+  SCOPED_TRACE(::testing::Message() << "n=" << n << " bw=" << bw << " with_q=" << with_q
+                                    << " lanes=" << wopt.max_lanes
+                                    << " block=" << wopt.sweep_block
+                                    << " tile_rows=" << wopt.tile_rows);
+  auto a = random_band<T>(n, bw, seed);
+
+  auto serial = a;
+  Matrix<T> q_serial(n, n), q_wave(n, n);
+  set_identity(q_serial.view());
+  set_identity(q_wave.view());
+  auto qs = q_serial.view();
+  auto ref = bulge::bulge_chase<T>(serial.view(), bw, with_q ? &qs : nullptr);
+
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  auto wave = a;
+  auto qw = q_wave.view();
+  auto got = bulge::bulge_chase_wavefront<T>(ctx, wave.view(), bw,
+                                             with_q ? &qw : nullptr, wopt);
+
+  ASSERT_EQ(ref.d.size(), got.d.size());
+  ASSERT_EQ(ref.e.size(), got.e.size());
+  for (std::size_t i = 0; i < ref.d.size(); ++i) EXPECT_EQ(ref.d[i], got.d[i]) << "d[" << i << "]";
+  for (std::size_t i = 0; i < ref.e.size(); ++i) EXPECT_EQ(ref.e[i], got.e[i]) << "e[" << i << "]";
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      EXPECT_EQ(serial(i, j), wave(i, j)) << "A(" << i << "," << j << ")";
+      if (with_q) EXPECT_EQ(q_serial(i, j), q_wave(i, j)) << "Q(" << i << "," << j << ")";
+    }
+}
+
+/// One shared pool for the whole binary: 7 workers + the broadcasting caller
+/// = up to 8 lanes, capped per-case via WavefrontOptions::max_lanes.
+ThreadPool& bulge_test_pool() {
+  static ThreadPool pool(7);
+  return pool;
+}
+
+class BulgeWavefrontBitwise : public ::testing::TestWithParam<index_t> {};
+
+// Edge/odd/prime/pow2 sizes x bandwidths (1 = no-op, 2 = the DBR narrow-band
+// shape, 3, 8, n-1 = full) x lane counts {1, 2, 8}, with and without Q.
+TEST_P(BulgeWavefrontBitwise, MatchesSerialAcrossBandwidthsAndLanes) {
+  const index_t n = GetParam();
+  std::vector<index_t> bws = {1, 2, 3, 8};
+  if (n > 1) bws.push_back(n - 1);
+  std::uint64_t seed = 1000 + static_cast<std::uint64_t>(n);
+  for (index_t bw : bws) {
+    if (bw < 1 || bw > std::max<index_t>(n - 1, 1)) continue;
+    for (int lanes : {1, 2, 8}) {
+      bulge::WavefrontOptions wopt;
+      wopt.pool = &bulge_test_pool();
+      wopt.max_lanes = lanes;
+      expect_wavefront_bitwise<double>(n, bw, /*with_q=*/false, wopt, seed);
+      expect_wavefront_bitwise<double>(n, bw, /*with_q=*/true, wopt, ++seed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulgeWavefrontBitwise,
+                         ::testing::Values<index_t>(1, 2, 3, 7, 64, 129, 257));
+
+TEST(BulgeWavefront, FloatMatchesSerialBitwise) {
+  bulge::WavefrontOptions wopt;
+  wopt.pool = &bulge_test_pool();
+  expect_wavefront_bitwise<float>(129, 8, /*with_q=*/true, wopt, 42);
+  expect_wavefront_bitwise<float>(257, 2, /*with_q=*/true, wopt, 43);
+}
+
+// Output must be invariant under every cache-blocking choice: the sweep-set
+// size and tile height only reshape the schedule, never the rotation values
+// or any conflicting pair's order.
+TEST(BulgeWavefront, BlockingChoicesDoNotChangeOutput) {
+  for (index_t sweep_block : {index_t{1}, index_t{2}, index_t{5}, index_t{32}}) {
+    for (index_t tile_rows : {index_t{1}, index_t{64}, index_t{192}}) {
+      bulge::WavefrontOptions wopt;
+      wopt.pool = &bulge_test_pool();
+      wopt.sweep_block = sweep_block;
+      wopt.tile_rows = tile_rows;
+      expect_wavefront_bitwise<double>(129, 3, /*with_q=*/true, wopt, 77);
+      expect_wavefront_bitwise<double>(97, 8, /*with_q=*/false, wopt, 78);
+    }
+  }
+}
+
+// No pool at all: the caller drains every sweep-block inline — still the
+// exact serial rotation sequence.
+TEST(BulgeWavefront, NullPoolRunsInline) {
+  bulge::WavefrontOptions wopt;  // pool == nullptr
+  expect_wavefront_bitwise<double>(64, 8, /*with_q=*/true, wopt, 5);
+}
+
+// A Q entering with a band row profile: the window-tracked update must equal
+// (as values) the dense full-row update, in both drivers, and the drivers
+// must agree bitwise with each other.
+TEST(BulgeWavefront, QRowProfileMatchesDenseUpdate) {
+  const index_t n = 96, bw = 4;
+  auto a = random_band<double>(n, bw, 21);
+
+  // Dense reference: serial chase, full-row Q updates on an identity.
+  auto dense = a;
+  Matrix<double> q_dense(n, n);
+  set_identity(q_dense.view());
+  auto qd = q_dense.view();
+  (void)bulge::bulge_chase<double>(dense.view(), bw, &qd);
+
+  // Serial with the identity's exact profile (band = 0).
+  auto hinted = a;
+  Matrix<double> q_hint(n, n);
+  set_identity(q_hint.view());
+  auto qh = q_hint.view();
+  (void)bulge::bulge_chase<double>(hinted.view(), bw, &qh, bulge::QRowProfile{0});
+
+  // Wavefront with the same profile.
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  auto wave = a;
+  Matrix<double> q_wave(n, n);
+  set_identity(q_wave.view());
+  auto qw = q_wave.view();
+  bulge::WavefrontOptions wopt;
+  wopt.pool = &bulge_test_pool();
+  wopt.q_profile.band = 0;
+  (void)bulge::bulge_chase_wavefront<double>(ctx, wave.view(), bw, &qw, wopt);
+
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      // Skipped rows hold exact zeros, so the hinted update equals the dense
+      // one as VALUES (EXPECT_EQ; a skipped row cannot flip a zero's sign
+      // because it is never touched).
+      EXPECT_EQ(q_dense(i, j), q_hint(i, j)) << "serial hinted Q(" << i << "," << j << ")";
+      EXPECT_EQ(q_hint(i, j), q_wave(i, j)) << "wavefront Q(" << i << "," << j << ")";
+    }
+}
+
+// The double Context overload must exist and attribute its time to the
+// "bulge.chase" telemetry stage (regression: it used to be float-only, so
+// double reference pipelines lost stage attribution).
+TEST(BulgeWavefront, ContextOverloadsRecordStageForBothPrecisions) {
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  {
+    auto a = random_band<double>(40, 4, 3);
+    (void)bulge::bulge_chase(ctx, a.view(), 4, nullptr);
+  }
+  {
+    auto a = random_band<float>(40, 4, 3);
+    (void)bulge::bulge_chase(ctx, a.view(), 4, nullptr);
+  }
+  const auto& stages = ctx.telemetry().stages();
+  long calls = 0;
+  for (const auto& s : stages)
+    if (s.name == "bulge.chase") calls += s.calls;
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(BulgeWavefront, RecordsWavefrontStages) {
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  auto a = random_band<double>(64, 8, 13);
+  bulge::WavefrontOptions wopt;
+  wopt.pool = &bulge_test_pool();
+  (void)bulge::bulge_chase_wavefront<double>(ctx, a.view(), 8, nullptr, wopt);
+  EXPECT_GT(ctx.telemetry().stage_seconds("bulge.chase.wavefront"), 0.0);
+  // One fan-out window per peeled diagonal: d = 8 .. 2.
+  for (const auto& s : ctx.telemetry().stages()) {
+    if (s.name == "bulge.chase.sweep") {
+      EXPECT_EQ(s.calls, 7);
+    }
+  }
+}
+
+// The bulge_threads routing shim: 1 = serial, >= 2 = forced wavefront on the
+// shared gemm pool — all bitwise-identical.
+TEST(BulgeWavefront, AutoRouteIsBitwiseInvariant) {
+  const index_t n = 80, bw = 8;  // n < kAutoWavefrontMinN: auto stays serial
+  auto a = random_band<float>(n, bw, 31);
+  tc::Fp32Engine eng;
+
+  std::vector<bulge::BulgeResult<float>> results;
+  for (int threads : {0, 1, 2, 8}) {
+    Context ctx(eng);
+    auto work = a;
+    results.push_back(bulge::bulge_chase_auto<float>(ctx, work.view(), bw, nullptr, threads));
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[0].d.size(), results[r].d.size());
+    for (std::size_t i = 0; i < results[0].d.size(); ++i) {
+      EXPECT_EQ(results[0].d[i], results[r].d[i]);
+      if (i + 1 < results[0].d.size()) {
+        EXPECT_EQ(results[0].e[i], results[r].e[i]);
+      }
+    }
+  }
 }
 
 }  // namespace

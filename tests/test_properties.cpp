@@ -483,6 +483,74 @@ TEST(Degenerate, TinyMatrices) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Property: the wavefront second stage preserves the spectrum end-to-end.
+// Random matrices with SIGNED spectra at prime orders (worst case for both
+// the SBR blocking and the wavefront's sweep-block remainders), solved
+// through evd::solve with the wavefront forced on (bulge_threads = 8), for
+// both full-width (TwoStageWy) and narrow-band (TwoStageDbr, b = 2) second
+// stages — and the whole solve must be bitwise-identical to bulge_threads=1,
+// vectors included, because the wavefront is pinned to the serial rotation
+// sequence.
+// ---------------------------------------------------------------------------
+
+class BulgeWavefrontInvariant
+    : public ::testing::TestWithParam<std::tuple<index_t, evd::Reduction>> {};
+
+TEST_P(BulgeWavefrontInvariant, SpectrumPreservedAndBitwiseEqualToSerial) {
+  const auto [n, reduction] = GetParam();
+  Rng rng(3100 + static_cast<std::uint64_t>(n));
+  // matgen Normal draws a prescribed spectrum from N(0,1): signed by
+  // construction (negative and positive eigenvalues in every draw).
+  auto ad = matgen::generate(matgen::MatrixType::Normal, n, 0.0, rng);
+  Matrix<float> a(n, n);
+  convert_matrix<double, float>(ad.view(), a.view());
+  auto ref = *evd::reference_eigenvalues(ad.view());
+
+  tc::Fp32Engine eng;
+  evd::EvdOptions opt;
+  opt.reduction = reduction;
+  opt.vectors = true;
+  if (reduction == evd::Reduction::TwoStageDbr) {
+    opt.bandwidth = 2;  // the DBR narrow-band shape: bulge does all the work
+    opt.big_block = 32;
+  } else {
+    opt.bandwidth = 8;
+    opt.big_block = 32;
+  }
+
+  opt.bulge_threads = 8;  // force the wavefront path
+  Context cw(eng);
+  auto wave = *evd::solve(a.view(), cw, opt);
+  ASSERT_TRUE(wave.converged);
+
+  // Signed spectrum preserved against the double one-stage reference.
+  std::vector<double> got(wave.eigenvalues.begin(), wave.eigenvalues.end());
+  EXPECT_LT(eigenvalue_error(ref.data(), got.data(), n), 1e-4) << "n=" << n;
+  EXPECT_LT(got.front(), 0.0) << "spectrum not signed — test lost its point";
+  EXPECT_GT(got.back(), 0.0);
+
+  // The whole solve — eigenvalues AND eigenvectors — is bitwise-equal to the
+  // serial second stage.
+  opt.bulge_threads = 1;
+  Context cs(eng);
+  auto serial = *evd::solve(a.view(), cs, opt);
+  ASSERT_TRUE(serial.converged);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_EQ(wave.eigenvalues[static_cast<std::size_t>(i)],
+              serial.eigenvalues[static_cast<std::size_t>(i)])
+        << "lambda[" << i << "]";
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_EQ(wave.vectors(i, j), serial.vectors(i, j)) << "V(" << i << "," << j << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrimeOrders, BulgeWavefrontInvariant,
+    ::testing::Combine(::testing::Values<index_t>(61, 101, 127),
+                       ::testing::Values(evd::Reduction::TwoStageWy,
+                                         evd::Reduction::TwoStageDbr)));
+
 TEST(Degenerate, HugeBandwidthClampedToMatrix) {
   const index_t n = 24;
   auto a = test::random_symmetric<float>(n, 48);

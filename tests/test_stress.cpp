@@ -18,6 +18,8 @@
 
 #include "src/blas/blas.hpp"
 #include "src/blas/gemm_threading.hpp"
+#include "src/bulge/bulge_chasing.hpp"
+#include "src/bulge/bulge_wavefront.hpp"
 #include "src/common/context.hpp"
 #include "src/common/norms.hpp"
 #include "src/common/rng.hpp"
@@ -254,6 +256,83 @@ TEST(BroadcastStress, BackToBackBroadcastsRunEachIndexExactlyOnce) {
       ASSERT_EQ(ctx.hits[i].load(std::memory_order_relaxed), 1)
           << "round " << r << " index " << i << " of " << count;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Wavefront bulge chasing under contention: repeated chases broadcasting on a
+// shared pool while solve_many traffic churns on ANOTHER pool's workers. The
+// chase's progress-vector spins, per-chunk release publishes, and the block
+// ticket all run with lanes preempted mid-chunk (oversubscribed machine), and
+// every chase must still be bitwise-equal to the serial reference. Run under
+// TSan in CI — the acquire/release protocol on the progress vector is the
+// happens-before spine the whole scheduler leans on.
+// ---------------------------------------------------------------------------
+
+TEST(BulgeWavefrontStress, RepeatedChasesUnderConcurrentSolveTraffic) {
+  tc::Fp32Engine engine;
+
+  // Background solve_many traffic on its own pool, kept alive for the whole
+  // hammer via a submitted task.
+  ThreadPool traffic_pool(kThreads / 2);
+  std::atomic<bool> stop_traffic{false};
+  std::atomic<long> traffic_failures{0};
+  traffic_pool.submit([&] {
+    std::vector<Matrix<float>> batch;
+    for (int i = 0; i < 6; ++i) batch.push_back(test::random_symmetric<float>(36, 4400 + i));
+    evd::BatchOptions bopt;
+    bopt.evd.bandwidth = 4;
+    bopt.evd.big_block = 8;
+    bopt.num_threads = 2;
+    while (!stop_traffic.load(std::memory_order_relaxed)) {
+      auto res = evd::solve_many(batch, engine, bopt);
+      if (!res.all_ok()) traffic_failures.fetch_add(1);
+    }
+  });
+
+  // The chase hammer: one broadcast pool, many back-to-back chases with
+  // varying shapes and blocking, each checked bitwise against serial.
+  ThreadPool chase_pool(kThreads);
+  Context ctx(engine);
+  long mismatches = 0;
+  for (int round = 0; round < 40; ++round) {
+    Rng rng(0xBC0DE000u + static_cast<std::uint64_t>(round));
+    const index_t n = 48 + static_cast<index_t>(rng.bounded(80));
+    const index_t bws[] = {2, 3, 8};
+    const index_t bw = bws[static_cast<std::size_t>(rng.bounded(3))];
+    Matrix<double> a(n, n);
+    fill_normal(rng, a.view());
+    make_symmetric(a.view());
+    sbr::truncate_to_band<double>(a.view(), bw);
+
+    auto serial = a;
+    Matrix<double> q_serial(n, n), q_wave(n, n);
+    set_identity(q_serial.view());
+    set_identity(q_wave.view());
+    auto qs = q_serial.view();
+    auto ref = bulge::bulge_chase<double>(serial.view(), bw, &qs);
+
+    auto wave = a;
+    auto qw = q_wave.view();
+    bulge::WavefrontOptions wopt;
+    wopt.pool = &chase_pool;
+    wopt.sweep_block = 1 + static_cast<index_t>(rng.bounded(8));
+    wopt.tile_rows = 1 + static_cast<index_t>(rng.bounded(192));
+    auto got = bulge::bulge_chase_wavefront<double>(ctx, wave.view(), bw, &qw, wopt);
+
+    for (std::size_t i = 0; i < ref.d.size(); ++i)
+      if (ref.d[i] != got.d[i]) ++mismatches;
+    for (std::size_t i = 0; i < ref.e.size(); ++i)
+      if (ref.e[i] != got.e[i]) ++mismatches;
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i)
+        if (q_serial(i, j) != q_wave(i, j)) ++mismatches;
+  }
+  stop_traffic.store(true);
+  traffic_pool.wait_idle();
+
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ(traffic_failures.load(), 0);
+  EXPECT_EQ(ctx.workspace().bytes_in_use(), 0u);
 }
 
 }  // namespace

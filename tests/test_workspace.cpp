@@ -9,8 +9,12 @@
 #include <new>
 
 #include "src/blas/blas.hpp"
+#include "src/bulge/bulge_chasing.hpp"
+#include "src/bulge/bulge_wavefront.hpp"
 #include "src/common/context.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/common/workspace.hpp"
+#include "src/sbr/band.hpp"
 #include "src/evd/evd.hpp"
 #include "src/tensorcore/engine.hpp"
 #include "src/tensorcore/tc_gemm.hpp"
@@ -345,6 +349,47 @@ TEST(Workspace, SteadyStateGemmAndTcGemmAreAllocationFree) {
   const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
   EXPECT_EQ(after, before) << (after - before)
                            << " heap allocations in steady-state gemm/tc_gemm calls";
+}
+
+// The wavefront bulge chase's steady-state allocation budget must equal the
+// serial chase's exactly (the two unavoidable result-vector allocations of
+// BulgeResult::d/e and nothing else): progress vector and Q support live in
+// the warm workspace arena, lanes fan out through the allocation-free
+// try_broadcast, and telemetry stage names are interned on the warm-up call.
+TEST(Workspace, SteadyStateWavefrontChaseMatchesSerialAllocations) {
+  const index_t n = 128, bw = 8;
+  Rng rng(2024);
+  Matrix<double> a(n, n);
+  fill_normal(rng, a.view());
+  make_symmetric(a.view());
+  sbr::truncate_to_band<double>(a.view(), bw);
+
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  ThreadPool pool(3);
+  bulge::WavefrontOptions wopt;
+  wopt.pool = &pool;
+
+  // Warm-up: sizes the arena, interns the stage names, spins up the pool.
+  Matrix<double> warm = a;
+  (void)bulge::bulge_chase_wavefront<double>(ctx, warm.view(), bw, nullptr, wopt);
+  const std::size_t blocks = ctx.workspace().block_count();
+  const long spills = ctx.workspace().spill_count();
+
+  Matrix<double> w1 = a, w2 = a;  // copies made BEFORE the measured window
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  auto r_wave = bulge::bulge_chase_wavefront<double>(ctx, w1.view(), bw, nullptr, wopt);
+  const std::uint64_t mid = g_heap_allocs.load(std::memory_order_relaxed);
+  auto r_serial = bulge::bulge_chase<double>(w2.view(), bw, nullptr);
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(mid - before, after - mid)
+      << "wavefront chase allocated " << (mid - before) << " vs serial " << (after - mid);
+  EXPECT_EQ(ctx.workspace().block_count(), blocks) << "steady-state chase grew the arena";
+  EXPECT_EQ(ctx.workspace().spill_count(), spills) << "steady-state chase spilled";
+  EXPECT_EQ(ctx.workspace().bytes_in_use(), 0u);
+  for (std::size_t i = 0; i < r_wave.d.size(); ++i)
+    EXPECT_EQ(r_wave.d[i], r_serial.d[i]);
 }
 
 TEST(Workspace, WorkspaceQueryCoversEvdSolve) {
