@@ -145,6 +145,6 @@ int main() {
   // the chase itself at this size on one core).
   sweep(2048, {2, 8}, /*with_q=*/false, pool);
 
-  write_json("BENCH_bulge.json");
+  write_json(bench::out_path("BENCH_bulge.json").c_str());
   return 0;
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/common/context.hpp"
@@ -49,6 +50,18 @@ double time_once_s(F&& f) {
   Timer timer;
   f();
   return timer.seconds();
+}
+
+/// Where a harness should write its BENCH_*.json mirror. Defaults to
+/// `filename` in the working directory; TCEVD_BENCH_OUT, when set, names a
+/// directory to collect every harness's JSON in one place (CI exports it as
+/// an artifact without fishing files out of per-binary working dirs).
+inline std::string out_path(const std::string& filename) {
+  const char* dir = std::getenv("TCEVD_BENCH_OUT");
+  if (dir == nullptr || *dir == '\0') return filename;
+  std::string path(dir);
+  if (path.back() != '/') path.push_back('/');
+  return path + filename;
 }
 
 /// Print the per-stage wall-clock splits a context's telemetry accumulated —

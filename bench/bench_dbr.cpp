@@ -150,6 +150,6 @@ int main() {
   tc::Fp32Engine fp32;
   sweep_sbr_only(256, fp32);
 
-  write_json("BENCH_dbr.json");
+  write_json(bench::out_path("BENCH_dbr.json").c_str());
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/blas/gemm_threading.hpp"
@@ -307,10 +308,11 @@ void register_gemm_sweep() {
 // doubles as a machine-readable perf-trajectory baseline.
 int main(int argc, char** argv) {
   tcevd::register_gemm_sweep();
-  // Default the file output to BENCH_gemm.json unless the caller picked their
-  // own --benchmark_out destination/format on the command line.
+  // Default the file output to BENCH_gemm.json (redirected by
+  // TCEVD_BENCH_OUT) unless the caller picked their own --benchmark_out
+  // destination/format on the command line.
   std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_gemm.json";
+  std::string out_flag = "--benchmark_out=" + tcevd::bench::out_path("BENCH_gemm.json");
   std::string fmt_flag = "--benchmark_out_format=json";
   bool has_out = false;
   for (int i = 1; i < argc; ++i)

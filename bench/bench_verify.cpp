@@ -140,6 +140,6 @@ int main() {
   bench_gemm_abft(512);
   bench_gemm_abft(1024);
 
-  write_json("BENCH_verify.json");
+  write_json(bench::out_path("BENCH_verify.json").c_str());
   return 0;
 }

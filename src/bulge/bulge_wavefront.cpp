@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <new>
+#include <string>
 #include <type_traits>
 
 #include "src/common/context.hpp"
+#include "src/common/recovery.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
 #include "src/sbr/band.hpp"
@@ -184,6 +186,19 @@ BulgeResult<T> bulge_chase_auto(Context& ctx, MatrixView<T> a, index_t bw,
   const bool forced = bulge_threads >= 2;
   const bool eligible = bulge_threads != 1 && bw >= 2 && n > 2 &&
                         !ThreadPool::on_worker_thread();
+  if (forced && !eligible) {
+    // An explicit lane request that cannot engage used to serialize without
+    // a trace; say why the lanes never lit up so perf-knob users can see it.
+    const char* why = ThreadPool::on_worker_thread()
+                          ? "the caller is already a thread-pool worker (nested "
+                            "parallelism stays serial)"
+                      : bw < 2 ? "the band is too narrow (bandwidth < 2)"
+                               : "the matrix is too small (n <= 2)";
+    recovery::note("evd.second_stage",
+                   "bulge_threads = " + std::to_string(bulge_threads) +
+                       " requested but the wavefront cannot engage: " + why +
+                       "; running the serial chase (bitwise-identical output)");
+  }
   if (eligible && (forced || n >= kAutoWavefrontMinN)) {
     WavefrontOptions wopt;
     wopt.pool = &gemm_pool();

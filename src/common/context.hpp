@@ -20,6 +20,7 @@
 // engine.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -62,6 +63,30 @@ class Telemetry {
   double stage_seconds(std::string_view stage) const noexcept;
   void clear_stages() noexcept { stages_.clear(); }
 
+  // --- latency histograms ---------------------------------------------------
+  // Per-event-class latency distributions for the streaming service tier
+  // (service.queue admission wait, service.stage.* per-stage step times).
+  // Buckets are log2-spaced in microseconds: bucket 0 covers [0, 2) us and
+  // bucket i >= 1 covers [2^i, 2^(i+1)) us, so forty buckets span sub-
+  // microsecond noise up to multi-day outliers without per-sample storage.
+  static constexpr int kLatencyBuckets = 40;
+  struct LatencyStat {
+    std::string name;
+    long count = 0;
+    double sum_s = 0.0;
+    double min_s = 0.0;  ///< smallest recorded sample (0 until first record)
+    double max_s = 0.0;
+    std::array<long, kLatencyBuckets> buckets{};
+  };
+  /// Add one latency sample under `name` (same name accumulates).
+  void record_latency(std::string_view name, double seconds);
+  const std::vector<LatencyStat>& latencies() const noexcept { return latencies_; }
+  /// Approximate q-quantile (q in [0, 1]) of the samples recorded under
+  /// `name`: the upper edge of the bucket holding the q-th sample, clamped to
+  /// the observed max. Returns 0.0 when nothing was recorded under `name`.
+  double latency_quantile(std::string_view name, double q) const noexcept;
+  void clear_latencies() noexcept { latencies_.clear(); }
+
   // --- recovery aggregation -----------------------------------------------
   /// Degradation events accumulated across every call on this context (each
   /// driver call still returns its own per-call log, e.g. EvdResult::recovery).
@@ -72,7 +97,8 @@ class Telemetry {
   // --- cross-context aggregation --------------------------------------------
   /// Fold another telemetry sink into this one: recorded GEMM shapes are
   /// appended, stage timers accumulate by name (seconds and call counts both
-  /// add), and recovery events are appended. This is how batched drivers
+  /// add), latency histograms accumulate bucket-wise by name, and recovery
+  /// events are appended. This is how batched drivers
   /// collapse per-worker telemetry into one aggregate view; merging is
   /// lossless for totals (sum over workers == merged totals) but does not
   /// preserve interleaving order across sources. `other` is left untouched;
@@ -84,6 +110,7 @@ class Telemetry {
   bool recording_ = false;
   std::vector<tc::GemmShape> shapes_;
   std::vector<StageStat> stages_;
+  std::vector<LatencyStat> latencies_;
   RecoveryLog recovery_;
 };
 

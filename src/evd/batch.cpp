@@ -1,13 +1,13 @@
 #include "src/evd/batch.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "src/common/check.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
-#include "src/evd/partial.hpp"
+#include "src/evd/service.hpp"
 
 namespace tcevd::evd {
 
@@ -20,92 +20,87 @@ std::size_t BatchResult::num_ok() const noexcept {
 
 bool BatchResult::all_ok() const noexcept { return num_ok() == problems.size(); }
 
-namespace {
-
-/// Solve problem `a` on `ctx`, routing through the full or selected driver
-/// and flattening the result into the batch's per-problem record.
-void solve_one(ConstMatrixView<float> a, Context& ctx, const BatchOptions& opt,
-               ProblemResult& out) {
-  Timer t;
-  if (opt.selected) {
-    StatusOr<PartialResult> r =
-        solve_selected(a, ctx, opt.evd, opt.il, opt.iu, opt.evd.vectors);
-    if (r.ok()) {
-      out.eigenvalues = std::move(r->eigenvalues);
-      out.vectors = std::move(r->vectors);
-      out.recovery = std::move(r->recovery);
-      out.status = ok_status();
-    } else {
-      out.status = r.status();
-    }
-  } else {
-    StatusOr<EvdResult> r = solve(a, ctx, opt.evd);
-    if (r.ok()) {
-      out.eigenvalues = std::move(r->eigenvalues);
-      out.vectors = std::move(r->vectors);
-      out.recovery = std::move(r->recovery);
-      out.verify = std::move(r->verify);
-      out.status = ok_status();
-    } else {
-      out.status = r.status();
-    }
-  }
-  out.seconds = t.seconds();
-}
-
-}  // namespace
-
+// solve_many is a synchronous shell over the streaming EvdService: submit
+// every problem, wait in index order, flatten. The service is configured for
+// batch parity with the old dedicated pool — max_started == num_threads
+// keeps at most one problem mid-pipeline per worker (bounding live arenas
+// exactly as the old one-Context-per-worker layout did), and Block admission
+// with max_in_flight == count means submission never fails for capacity.
+// Results stay bitwise-identical to a sequential evd::solve loop because the
+// service runs the same SolveJob step sequence on a private warm Context.
 BatchResult solve_many(std::span<const ConstMatrixView<float>> problems,
                        tc::GemmEngine& engine, const BatchOptions& opt) {
   BatchResult result;
   const long count = static_cast<long>(problems.size());
   if (count == 0) return result;
 
-  const index_t n = problems[0].rows();
-  for (const ConstMatrixView<float>& a : problems)
-    TCEVD_CHECK(a.rows() == n && a.cols() == n,
-                "evd::solve_many requires same-shape square problems");
-  if (opt.selected)
-    TCEVD_CHECK(0 <= opt.il && opt.il <= opt.iu && opt.iu < n,
-                "evd::solve_many: selected range [il, iu] out of bounds");
-
   Timer total;
+  const index_t n = problems[0].rows();
   int threads = opt.num_threads > 0 ? opt.num_threads : ThreadPool::hardware_threads();
   threads = static_cast<int>(std::min<long>(threads, count));
   result.num_threads = threads;
   result.problems.resize(static_cast<std::size_t>(count));
 
-  // One pre-reserved Context per worker: the arena is sized once up front so
-  // every problem after the first runs allocation-free, and all per-solve
-  // mutable state (arena, telemetry, recovery scope) stays worker-private
-  // while the engine is shared (see the contract in src/common/context.hpp).
-  const std::size_t arena_bytes = workspace_query(n, opt.evd);
-  std::deque<Context> contexts;
-  for (int w = 0; w < threads; ++w) {
-    contexts.emplace_back(engine);
-    contexts.back().workspace().reserve(arena_bytes);
+  ServiceOptions sopt;
+  sopt.num_threads = threads;
+  sopt.max_in_flight = static_cast<int>(std::min<long>(count, 1 << 30));
+  sopt.overflow = OverflowPolicy::Block;
+  sopt.max_started = threads;
+  sopt.max_idle_contexts_per_class = threads;
+  EvdService service(engine, sopt);
+
+  RequestOptions ropt;
+  ropt.evd = opt.evd;
+  ropt.selected = opt.selected;
+  ropt.il = opt.il;
+  ropt.iu = opt.iu;
+
+  // Submit everything up front; a malformed problem is refused per slot
+  // (InvalidArgument) and its neighbors proceed — bad request data must
+  // never abort the batch.
+  std::vector<RequestId> ids(static_cast<std::size_t>(count), 0);
+  std::vector<char> live(static_cast<std::size_t>(count), 0);
+  for (long i = 0; i < count; ++i) {
+    const ConstMatrixView<float>& a = problems[static_cast<std::size_t>(i)];
+    ProblemResult& out = result.problems[static_cast<std::size_t>(i)];
+    if (a.cols() != a.rows()) {
+      out.status = invalid_argument_error(
+          "evd::solve_many: problem " + std::to_string(i) + " is " +
+          std::to_string(a.rows()) + " x " + std::to_string(a.cols()) + ", not square");
+      continue;
+    }
+    if (a.rows() != n) {
+      out.status = invalid_argument_error(
+          "evd::solve_many: problem " + std::to_string(i) + " has order " +
+          std::to_string(a.rows()) + " but the batch is order " + std::to_string(n) +
+          " (solve_many batches are same-shape; use EvdService for mixed sizes)");
+      continue;
+    }
+    StatusOr<RequestId> id = service.submit(a, ropt);
+    if (!id.ok()) {
+      out.status = id.status();
+      continue;
+    }
+    ids[static_cast<std::size_t>(i)] = *id;
+    live[static_cast<std::size_t>(i)] = 1;
   }
 
-  ThreadPool pool(threads);
-  pool.parallel_for(count, [&](int worker, long i) {
+  for (long i = 0; i < count; ++i) {
+    if (!live[static_cast<std::size_t>(i)]) continue;
+    RequestResult r = service.wait(ids[static_cast<std::size_t>(i)]);
     ProblemResult& out = result.problems[static_cast<std::size_t>(i)];
-    out.worker = worker;
-    // A throw out of a worker would take the process down (the pool's tasks
-    // are noexcept by contract), so unexpected exceptions become a
-    // per-problem Internal status like any other isolated failure.
-    try {
-      solve_one(problems[static_cast<std::size_t>(i)], contexts[static_cast<std::size_t>(worker)],
-                opt, out);
-    } catch (const std::exception& e) {
-      out.status = Status(ErrorCode::Internal,
-                          std::string("evd::solve_many: uncaught exception: ") + e.what());
-    } catch (...) {
-      out.status = Status(ErrorCode::Internal, "evd::solve_many: uncaught non-std exception");
-    }
-  });
+    out.status = std::move(r.status);
+    out.eigenvalues = std::move(r.eigenvalues);
+    out.vectors = std::move(r.vectors);
+    out.recovery = std::move(r.recovery);
+    out.verify = std::move(r.verify);
+    out.worker = r.worker;
+    out.seconds = r.seconds;
+  }
 
-  // Workers are quiescent after parallel_for, so the merge is race-free.
-  for (Context& ctx : contexts) result.telemetry.merge_from(ctx.telemetry());
+  // Everything waited => every context is idle, so the snapshot covers each
+  // problem's evd.* stages (plus the service.queue / service.stage.* tiers).
+  result.telemetry = service.telemetry_snapshot();
   for (const ProblemResult& p : result.problems) {
     result.verify_escalations += p.verify.escalations;
     // A failure is a checked-but-breached verdict (Estimate returns those

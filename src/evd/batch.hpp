@@ -1,21 +1,25 @@
 // Batched EVD driver: many same-shape symmetric problems, one shared GEMM
 // engine, a fixed worker pool.
 //
-// This is the N-threads x N-Contexts x 1-engine shape the Context/Workspace
-// split exists for (see src/common/context.hpp): each pool worker owns one
-// Context whose arena is pre-reserved with evd::workspace_query, so the
-// steady state of a long batch performs zero allocations per problem, while
-// the engine — stateless per call, its one diagnostic counter atomic — is
-// shared by every worker. Problems are work-stolen off an atomic index
-// (ThreadPool::parallel_for), so one slow or degrading problem never strands
-// the rest of the batch behind a static partition.
+// solve_many is a synchronous wrapper over the streaming EvdService
+// (src/evd/service.hpp): every problem is submitted up front, the workers
+// drain them with at most one problem mid-pipeline per worker, and the
+// wrapper waits in index order. The N-threads x N-Contexts x 1-engine shape
+// the Context/Workspace split exists for (see src/common/context.hpp) is
+// preserved through the service's context pool: each in-flight problem runs
+// on a warm Context whose arena is pre-reserved with evd::workspace_query,
+// so the steady state of a long batch performs zero arena growth per
+// problem, while the engine — stateless per call, its one diagnostic counter
+// atomic — is shared by every worker.
 //
 // Failure isolation: each problem reports its own Status and RecoveryLog in
 // BatchResult::problems; a poisoned problem (bad input, injected fault,
-// exhausted fallbacks) fails alone and its neighbors complete normally.
-// Determinism: per-problem results are computed on exactly the single-solve
-// code path with a private arena, so solve_many output is bitwise identical
-// to a sequential evd::solve loop, at any thread count.
+// exhausted fallbacks, a malformed request such as a non-square or
+// odd-shaped matrix or an out-of-range selected window) fails alone with a
+// per-problem Status — never a process abort — and its neighbors complete
+// normally. Determinism: per-problem results are computed on exactly the
+// single-solve step sequence with a private arena, so solve_many output is
+// bitwise identical to a sequential evd::solve loop, at any thread count.
 #pragma once
 
 #include <cstddef>
@@ -79,11 +83,11 @@ struct BatchResult {
   bool all_ok() const noexcept;
 };
 
-/// Solve every problem in `problems` (all square, all the same order n — a
-/// contract, checked) with `engine` shared across a pool of worker threads.
-/// Never throws out of a worker and never fails as a whole: per-problem
-/// errors land in BatchResult::problems[i].status. An empty batch returns an
-/// empty result.
+/// Solve every problem in `problems` (all square, all the same order as
+/// problems[0] — violations fail that problem with InvalidArgument, not the
+/// batch) with `engine` shared across a pool of worker threads. Never throws
+/// out of a worker and never fails as a whole: per-problem errors land in
+/// BatchResult::problems[i].status. An empty batch returns an empty result.
 BatchResult solve_many(std::span<const ConstMatrixView<float>> problems,
                        tc::GemmEngine& engine, const BatchOptions& opt);
 

@@ -3,6 +3,10 @@
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
+
+#include "src/evd/solve_job.hpp"
 
 #include "src/blas/abft.hpp"
 #include "src/blas/blas.hpp"
@@ -69,150 +73,14 @@ Status screen_input(ConstMatrixView<float> a, float asym_tol) {
   return ok_status();
 }
 
-/// One unverified solve attempt — the full pipeline exactly as it ran before
-/// verification existed. The public solve() wraps this with the VerifyPolicy
-/// machinery (and calls it directly when verification is off).
-StatusOr<EvdResult> solve_once(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt) {
-  const index_t n = a.rows();
-  TCEVD_CHECK(a.cols() == n, "evd::solve requires a square symmetric matrix");
-
-  if (opt.screen_input) TCEVD_RETURN_IF_ERROR(screen_input(a, opt.asymmetry_tol));
-
-  // Trivial sizes never reach the pipeline: SBR requires bandwidth >= 1 and
-  // bandwidth < n, which no clamp can satisfy for n <= 1 (and TCEVD_CHECK
-  // aborts, so batch drivers could not contain the failure either).
-  if (n <= 1) {
-    EvdResult trivial;
-    if (n == 1) {
-      trivial.eigenvalues.assign(1, a(0, 0));
-      if (opt.vectors) {
-        trivial.vectors = Matrix<float>(1, 1);
-        trivial.vectors(0, 0) = 1.0f;
-      }
-    } else if (opt.vectors) {
-      trivial.vectors = Matrix<float>(0, 0);
-    }
-    trivial.converged = true;
-    return trivial;
+/// Splice `tail` onto the end of `log`.
+void append_log(RecoveryLog& log, RecoveryLog&& tail) {
+  if (log.empty()) {
+    log = std::move(tail);
+    return;
   }
-
-  ctx.workspace().reserve(workspace_query(n, opt));
-  auto solve_scope = ctx.workspace().scope();
-
-  EvdResult result;
-  recovery::Scope rscope;  // collects degradation events from every layer
-  Timer total;
-
-  std::vector<float> d, e;
-  Matrix<float> q;  // accumulated orthogonal factor (vectors only)
-
-  if (opt.reduction == Reduction::OneStage) {
-    Timer t;
-    auto scope = ctx.workspace().scope();
-    auto work = scope.matrix<float>(n, n);
-    copy_matrix(a, work);
-    std::vector<float> tau;
-    lapack::sytrd_blocked(work, d, e, tau, std::min<index_t>(opt.bandwidth, n));
-    if (opt.vectors) {
-      q = Matrix<float>(n, n);
-      lapack::orgtr<float>(work, tau, q.view());
-    }
-    result.timings.reduction_s = t.seconds();
-    ctx.telemetry().record_stage("evd.reduction", result.timings.reduction_s);
-  } else {
-    sbr::SbrOptions sopt;
-    sopt.bandwidth = std::min(opt.bandwidth, n - 1);
-    if (opt.big_block < sopt.bandwidth)
-      // The SBR layer rejects nb < b outright; here the caller's big_block is
-      // a default that a large bandwidth can legitimately outgrow, so raise
-      // it — but say so instead of mutating the options invisibly.
-      recovery::note("evd.options",
-                     "big_block " + std::to_string(opt.big_block) +
-                         " is below the bandwidth " + std::to_string(sopt.bandwidth) +
-                         "; raising it to the bandwidth");
-    sopt.big_block = std::max(opt.big_block, sopt.bandwidth);
-    sopt.panel = opt.panel;
-    sopt.accumulate_q = opt.vectors;
-    sopt.lookahead = opt.lookahead && (opt.reduction == Reduction::TwoStageWy ||
-                                       opt.reduction == Reduction::TwoStageDbr);
-
-    Timer t;
-    StatusOr<sbr::SbrResult> sres_or =
-        (opt.reduction == Reduction::TwoStageWy)    ? sbr::sbr_wy(a, ctx, sopt)
-        : (opt.reduction == Reduction::TwoStageDbr) ? sbr::sbr_dbr(a, ctx, sopt)
-                                                    : sbr::sbr_zy(a, ctx, sopt);
-    if (!sres_or.ok()) return sres_or.status();
-    sbr::SbrResult& sres = *sres_or;
-    result.timings.reduction_s = t.seconds();
-    ctx.telemetry().record_stage("evd.reduction", result.timings.reduction_s);
-
-    t.reset();
-    if (opt.compact_second_stage && !opt.vectors) {
-      auto band = sbr::BandMatrix<float>::from_full(
-          ConstMatrixView<float>(sres.band.view()), sopt.bandwidth);
-      sbr::bulge_chase_band(band, d, e);
-    } else {
-      if (opt.compact_second_stage && opt.vectors)
-        recovery::note("evd.second_stage",
-                       "compact_second_stage ignored: eigenvectors requested, bulge "
-                       "rotations must stream into Q; proceeding on full storage");
-      MatrixView<float> qv = sres.q.view();
-      MatrixView<float>* qp = opt.vectors ? &qv : nullptr;
-      auto tri = bulge::bulge_chase_auto<float>(ctx, sres.band.view(), sopt.bandwidth, qp,
-                                                opt.bulge_threads);
-      d = std::move(tri.d);
-      e = std::move(tri.e);
-    }
-    result.timings.bulge_s = t.seconds();
-    ctx.telemetry().record_stage("evd.bulge", result.timings.bulge_s);
-    if (opt.vectors) q = std::move(sres.q);
-  }
-
-  Timer ts;
-  MatrixView<float> zv = q.view();
-  MatrixView<float>* zp = opt.vectors ? &zv : nullptr;
-
-  // The solvers destroy d/e (and fold rotations into q), so keep restore
-  // points for the fallback chain.
-  std::vector<float> d0, e0;
-  MatrixView<float> q0;
-  if (opt.allow_fallbacks) {
-    d0 = d;
-    e0 = e;
-    if (opt.vectors) {
-      q0 = solve_scope.matrix<float>(q.rows(), q.cols());
-      copy_matrix<float>(ConstMatrixView<float>(q.view()), q0);
-    }
-  }
-
-  Status sst = run_tri_solver(ctx.workspace(), opt.solver, d, e, zp);
-  if (!sst.ok() && opt.allow_fallbacks && is_recoverable(sst)) {
-    TriSolver tried = opt.solver;
-    for (TriSolver fb :
-         {TriSolver::DivideConquer, TriSolver::Ql, TriSolver::Bisection}) {
-      if (fb == opt.solver) continue;
-      d = d0;
-      e = e0;
-      if (opt.vectors) copy_matrix<float>(ConstMatrixView<float>(q0), q.view());
-      recovery::note("evd.solver", std::string(tri_solver_name(tried)) + " failed (" +
-                                       sst.to_string() + "); retrying with " +
-                                       tri_solver_name(fb));
-      sst = run_tri_solver(ctx.workspace(), fb, d, e, zp);
-      if (sst.ok() || !is_recoverable(sst)) break;
-      tried = fb;
-    }
-  }
-  result.timings.solver_s = ts.seconds();
-  ctx.telemetry().record_stage("evd.solver", result.timings.solver_s);
-  if (!sst.ok()) return sst;
-  result.converged = true;
-
-  result.eigenvalues = std::move(d);
-  if (opt.vectors) result.vectors = std::move(q);
-  result.timings.total_s = total.seconds();
-  result.recovery = rscope.take();
-  ctx.telemetry().record_recovery(result.recovery);
-  return result;
+  log.insert(log.end(), std::make_move_iterator(tail.begin()),
+             std::make_move_iterator(tail.end()));
 }
 
 /// Next engine in the accuracy-ascending escalation chain
@@ -229,128 +97,394 @@ std::unique_ptr<tc::GemmEngine> next_escalation_engine(tc::EngineKind kind,
   return nullptr;
 }
 
-/// Estimate-and-escalate driver for VerifyPolicy != Off. Owns the attempt
-/// loop: solve, estimate, and on breach either annotate (Estimate) or swap
-/// the context's engine for the next one in the chain and retry
-/// (EstimateEscalate) until the estimate passes, the attempt budget is
-/// spent, or the chain ends at fp32.
-StatusOr<EvdResult> solve_verified(ConstMatrixView<float> a, Context& ctx,
-                                   const EvdOptions& opt) {
-  const int max_attempts = std::max(1, opt.verify_max_attempts);
-  verify::Options vopt;
-  vopt.probes = opt.verify_probes;
-  vopt.tol_scale = static_cast<double>(opt.verify_tol_scale);
+}  // namespace
 
-  recovery::Scope vscope;  // breach + escalation notes land here
-  RecoveryLog accumulated; // per-attempt logs, in attempt order
+// ---------------------------------------------------------------------------
+// SolveJob: the solve pipeline as a resumable stage machine. Every stage body
+// is a verbatim port of the old monolithic solve_once / solve_verified code;
+// the only change is that control returns to the caller between stages, with
+// the in-flight state parked in members instead of stack locals. Each step
+// opens its own recovery::Scope and drains it into attempt_log_ before
+// returning, so the thread-local scope chain never spans a suspension point
+// (steps of one job may run on different scheduler threads).
+// ---------------------------------------------------------------------------
 
-  std::unique_ptr<tc::GemmEngine> escalated;        // owns the override engine
-  std::optional<EngineOverrideScope> engine_scope;  // keeps ctx on `escalated`
-  int attempts = 0;
-  int escalations = 0;
+SolveJob::SolveJob(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt)
+    : a_(a), ctx_(ctx), opt_(opt) {
+  TCEVD_CHECK(a_.cols() == a_.rows(), "evd::solve requires a square symmetric matrix");
+  if (opt_.abft) abft_.emplace();  // covers every attempt, escalations included
+  // Trivial sizes never reach the pipeline (SBR needs bandwidth in [1, n)),
+  // and never verify — matching the old solve() routing for n <= 1.
+  verified_ = opt_.verify != verify::Policy::Off && a_.rows() > 1;
+  max_attempts_ = std::max(1, opt_.verify_max_attempts);
+}
 
-  for (;;) {
-    ++attempts;
-    StatusOr<EvdResult> attempt = solve_once(a, ctx, opt);
-    if (!attempt.ok()) {
-      // A recoverable pipeline failure (e.g. corruption drove the solver to
-      // NoConvergence after its own fallbacks) is escalated like a breached
-      // estimate: corruption that poisons the pipeline outright and
-      // corruption that merely skews the result get the same answer, a
-      // re-solve on a better engine. Non-recoverable failures and the
-      // estimate-only policy keep their pre-verification semantics.
-      // (The failed attempt's recovery notes propagated into vscope when its
-      // inner scope unwound, so they are not lost.)
-      if (opt.verify != verify::Policy::EstimateEscalate ||
-          !is_recoverable(attempt.status()) || attempts >= max_attempts)
-        return attempt.status();
-      tc::TcPrecision prec = tc::TcPrecision::Fp16;
-      if (const auto* tc_engine = dynamic_cast<const tc::TcEngine*>(&ctx.engine()))
-        prec = tc_engine->precision();
-      std::unique_ptr<tc::GemmEngine> next =
-          next_escalation_engine(ctx.engine().kind(), prec);
-      if (next == nullptr) return attempt.status();
-      recovery::note("evd.verify",
-                     "solve attempt " + std::to_string(attempts) + " failed (" +
-                         attempt.status().to_string() +
-                         "); re-solving with higher-accuracy engine '" + next->name() +
-                         "'");
-      ++escalations;
-      ctx.telemetry().record_stage("evd.verify.escalation", 0.0);
-      engine_scope.emplace(ctx, *next);
-      escalated = std::move(next);
-      continue;
-    }
-    EvdResult result = std::move(*attempt);
-    accumulated.insert(accumulated.end(), result.recovery.begin(), result.recovery.end());
+SolveJob::~SolveJob() = default;
 
-    const tc::GemmEngine& engine = ctx.engine();
-    Timer tv;
-    verify::Report report =
-        opt.vectors
-            ? verify::estimate(a, result.eigenvalues,
-                               ConstMatrixView<float>(result.vectors.view()),
-                               engine.kind(), vopt)
-            : verify::estimate_values(a, result.eigenvalues, engine.kind(), vopt);
-    result.timings.verify_s = tv.seconds();
-    ctx.telemetry().record_stage("evd.verify", result.timings.verify_s);
-    report.attempts = attempts;
-    report.escalations = escalations;
-    report.engine = engine.name();
+const char* SolveJob::stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::Reduction: return "reduction";
+    case Stage::Bulge: return "bulge";
+    case Stage::Solver: return "solver";
+    case Stage::Finish: return "finish";
+    case Stage::Done: return "done";
+  }
+  return "?";
+}
 
-    const bool accept = report.passed || opt.verify == verify::Policy::Estimate;
-    if (!report.passed) {
-      recovery::note(
-          "evd.verify",
-          "residual estimate " + std::to_string(report.residual) + " (tol " +
-              std::to_string(report.residual_tol) + "), orthogonality estimate " +
-              std::to_string(report.orthogonality) + " (tol " +
-              std::to_string(report.orthogonality_tol) + ") breached on engine '" +
-              engine.name() + "'" +
-              (accept ? "; policy is estimate-only, returning the result annotated"
-                      : ""));
-    }
-    if (accept) {
-      result.verify = std::move(report);
-      RecoveryLog notes = vscope.take();
-      ctx.telemetry().record_recovery(notes);
-      accumulated.insert(accumulated.end(), notes.begin(), notes.end());
-      result.recovery = std::move(accumulated);
-      return result;
-    }
-
-    // Escalate: next engine in the chain, same warm context.
-    tc::TcPrecision prec = tc::TcPrecision::Fp16;
-    if (const auto* tc_engine = dynamic_cast<const tc::TcEngine*>(&engine))
-      prec = tc_engine->precision();
-    std::unique_ptr<tc::GemmEngine> next =
-        next_escalation_engine(engine.kind(), prec);
-    if (next == nullptr || attempts >= max_attempts) {
-      const std::string reason =
-          next == nullptr ? "the escalation chain is exhausted (already on '" +
-                                engine.name() + "')"
-                          : "the attempt budget (" + std::to_string(max_attempts) +
-                                ") is spent";
-      recovery::note("evd.verify", "verification still failing and " + reason);
-      ctx.telemetry().record_recovery(vscope.take());
-      return precision_loss_error(
-          "evd::solve: verification failed after " + std::to_string(attempts) +
-          " attempt(s) (residual estimate " + std::to_string(report.residual) +
-          ", tol " + std::to_string(report.residual_tol) + ", engine '" +
-          engine.name() + "'); " + reason);
-    }
-    recovery::note("evd.verify", "re-solving with higher-accuracy engine '" +
-                                     next->name() + "' (attempt " +
-                                     std::to_string(attempts + 1) + "/" +
-                                     std::to_string(max_attempts) + ")");
-    ++escalations;
-    ctx.telemetry().record_stage("evd.verify.escalation", 0.0);
-    engine_scope.emplace(ctx, *next);  // destroys any previous override first
-    escalated = std::move(next);
+void SolveJob::step() {
+  switch (stage_) {
+    case Stage::Reduction: step_reduction(); return;
+    case Stage::Bulge: step_bulge(); return;
+    case Stage::Solver: step_solver(); return;
+    case Stage::Finish: step_finish(); return;
+    case Stage::Done: return;
   }
 }
 
-}  // namespace
+StatusOr<EvdResult> SolveJob::take() {
+  TCEVD_CHECK(done(), "SolveJob::take() called before the job is done");
+  if (error_) return *error_;
+  return std::move(*final_);
+}
+
+void SolveJob::release_attempt_state() {
+  attempt_scope_.reset();
+  sres_.reset();
+  engine_scope_.reset();  // restore the context's engine before anyone reuses it
+  escalated_.reset();
+  abft_.reset();
+}
+
+void SolveJob::step_reduction() {
+  ++attempts_;
+  attempt_log_.clear();
+  const index_t n = a_.rows();
+  recovery::Scope scope;
+
+  if (opt_.screen_input) {
+    Status st = screen_input(a_, opt_.asymmetry_tol);
+    if (!st.ok()) {
+      append_log(attempt_log_, scope.take());
+      fail_attempt(st);
+      return;
+    }
+  }
+
+  if (n <= 1) {
+    EvdResult trivial;
+    if (n == 1) {
+      trivial.eigenvalues.assign(1, a_(0, 0));
+      if (opt_.vectors) {
+        trivial.vectors = Matrix<float>(1, 1);
+        trivial.vectors(0, 0) = 1.0f;
+      }
+    } else if (opt_.vectors) {
+      trivial.vectors = Matrix<float>(0, 0);
+    }
+    trivial.converged = true;
+    final_ = std::move(trivial);
+    stage_ = Stage::Done;
+    release_attempt_state();
+    return;
+  }
+
+  ctx_.workspace().reserve(workspace_query(n, opt_));
+  attempt_scope_.emplace(ctx_.workspace());
+  result_ = EvdResult{};
+  d_.clear();
+  e_.clear();
+  q_ = Matrix<float>(0, 0);
+  attempt_timer_.reset();
+
+  if (opt_.reduction == Reduction::OneStage) {
+    Timer t;
+    {
+      auto inner = ctx_.workspace().scope();
+      auto work = inner.matrix<float>(n, n);
+      copy_matrix(a_, work);
+      std::vector<float> tau;
+      lapack::sytrd_blocked(work, d_, e_, tau, std::min<index_t>(opt_.bandwidth, n));
+      if (opt_.vectors) {
+        q_ = Matrix<float>(n, n);
+        lapack::orgtr<float>(work, tau, q_.view());
+      }
+    }
+    result_.timings.reduction_s = t.seconds();
+    ctx_.telemetry().record_stage("evd.reduction", result_.timings.reduction_s);
+    append_log(attempt_log_, scope.take());
+    stage_ = Stage::Solver;  // one-stage reduction has no bulge chase
+    return;
+  }
+
+  sbr::SbrOptions sopt;
+  sopt.bandwidth = std::min(opt_.bandwidth, n - 1);
+  if (opt_.big_block < sopt.bandwidth)
+    // The SBR layer rejects nb < b outright; here the caller's big_block is
+    // a default that a large bandwidth can legitimately outgrow, so raise
+    // it — but say so instead of mutating the options invisibly.
+    recovery::note("evd.options",
+                   "big_block " + std::to_string(opt_.big_block) +
+                       " is below the bandwidth " + std::to_string(sopt.bandwidth) +
+                       "; raising it to the bandwidth");
+  sopt.big_block = std::max(opt_.big_block, sopt.bandwidth);
+  sopt.panel = opt_.panel;
+  sopt.accumulate_q = opt_.vectors;
+  sopt.lookahead = opt_.lookahead && (opt_.reduction == Reduction::TwoStageWy ||
+                                      opt_.reduction == Reduction::TwoStageDbr);
+
+  Timer t;
+  StatusOr<sbr::SbrResult> sres_or =
+      (opt_.reduction == Reduction::TwoStageWy)    ? sbr::sbr_wy(a_, ctx_, sopt)
+      : (opt_.reduction == Reduction::TwoStageDbr) ? sbr::sbr_dbr(a_, ctx_, sopt)
+                                                   : sbr::sbr_zy(a_, ctx_, sopt);
+  if (!sres_or.ok()) {
+    append_log(attempt_log_, scope.take());
+    fail_attempt(sres_or.status());
+    return;
+  }
+  sres_.emplace(std::move(*sres_or));
+  result_.timings.reduction_s = t.seconds();
+  ctx_.telemetry().record_stage("evd.reduction", result_.timings.reduction_s);
+  append_log(attempt_log_, scope.take());
+  stage_ = Stage::Bulge;
+}
+
+void SolveJob::step_bulge() {
+  const index_t n = a_.rows();
+  const index_t bw = std::min(opt_.bandwidth, n - 1);
+  recovery::Scope scope;
+  sbr::SbrResult& sres = *sres_;
+
+  Timer t;
+  if (opt_.compact_second_stage && !opt_.vectors) {
+    auto band =
+        sbr::BandMatrix<float>::from_full(ConstMatrixView<float>(sres.band.view()), bw);
+    sbr::bulge_chase_band(band, d_, e_);
+  } else {
+    if (opt_.compact_second_stage && opt_.vectors)
+      recovery::note("evd.second_stage",
+                     "compact_second_stage ignored: eigenvectors requested, bulge "
+                     "rotations must stream into Q; proceeding on full storage");
+    MatrixView<float> qv = sres.q.view();
+    MatrixView<float>* qp = opt_.vectors ? &qv : nullptr;
+    auto tri =
+        bulge::bulge_chase_auto<float>(ctx_, sres.band.view(), bw, qp, opt_.bulge_threads);
+    d_ = std::move(tri.d);
+    e_ = std::move(tri.e);
+  }
+  result_.timings.bulge_s = t.seconds();
+  ctx_.telemetry().record_stage("evd.bulge", result_.timings.bulge_s);
+  if (opt_.vectors) q_ = std::move(sres.q);
+  sres_.reset();
+  append_log(attempt_log_, scope.take());
+  stage_ = Stage::Solver;
+}
+
+void SolveJob::step_solver() {
+  recovery::Scope scope;
+  Timer ts;
+  MatrixView<float> zv = q_.view();
+  MatrixView<float>* zp = opt_.vectors ? &zv : nullptr;
+
+  // The solvers destroy d/e (and fold rotations into q), so keep restore
+  // points for the fallback chain.
+  std::vector<float> d0, e0;
+  MatrixView<float> q0;
+  if (opt_.allow_fallbacks) {
+    d0 = d_;
+    e0 = e_;
+    if (opt_.vectors) {
+      q0 = attempt_scope_->matrix<float>(q_.rows(), q_.cols());
+      copy_matrix<float>(ConstMatrixView<float>(q_.view()), q0);
+    }
+  }
+
+  Status sst = run_tri_solver(ctx_.workspace(), opt_.solver, d_, e_, zp);
+  if (!sst.ok() && opt_.allow_fallbacks && is_recoverable(sst)) {
+    TriSolver tried = opt_.solver;
+    for (TriSolver fb : {TriSolver::DivideConquer, TriSolver::Ql, TriSolver::Bisection}) {
+      if (fb == opt_.solver) continue;
+      d_ = d0;
+      e_ = e0;
+      if (opt_.vectors) copy_matrix<float>(ConstMatrixView<float>(q0), q_.view());
+      recovery::note("evd.solver", std::string(tri_solver_name(tried)) + " failed (" +
+                                       sst.to_string() + "); retrying with " +
+                                       tri_solver_name(fb));
+      sst = run_tri_solver(ctx_.workspace(), fb, d_, e_, zp);
+      if (sst.ok() || !is_recoverable(sst)) break;
+      tried = fb;
+    }
+  }
+  result_.timings.solver_s = ts.seconds();
+  ctx_.telemetry().record_stage("evd.solver", result_.timings.solver_s);
+  append_log(attempt_log_, scope.take());
+  if (!sst.ok()) {
+    fail_attempt(sst);
+    return;
+  }
+  result_.converged = true;
+  result_.eigenvalues = std::move(d_);
+  if (opt_.vectors) result_.vectors = std::move(q_);
+  result_.timings.total_s = attempt_timer_.seconds();
+  result_.recovery = std::move(attempt_log_);
+  attempt_log_.clear();
+  ctx_.telemetry().record_recovery(result_.recovery);
+  attempt_scope_.reset();  // the estimate (and any re-solve) re-opens its own
+
+  if (!verified_) {
+    complete_success();
+    return;
+  }
+  stage_ = Stage::Finish;
+}
+
+void SolveJob::step_finish() {
+  recovery::Scope scope;  // breach/give-up notes of this verification round
+  accumulated_.insert(accumulated_.end(), result_.recovery.begin(), result_.recovery.end());
+
+  verify::Options vopt;
+  vopt.probes = opt_.verify_probes;
+  vopt.tol_scale = static_cast<double>(opt_.verify_tol_scale);
+
+  const tc::GemmEngine& engine = ctx_.engine();
+  Timer tv;
+  verify::Report report =
+      opt_.vectors
+          ? verify::estimate(a_, result_.eigenvalues,
+                             ConstMatrixView<float>(result_.vectors.view()), engine.kind(),
+                             vopt)
+          : verify::estimate_values(a_, result_.eigenvalues, engine.kind(), vopt);
+  result_.timings.verify_s = tv.seconds();
+  ctx_.telemetry().record_stage("evd.verify", result_.timings.verify_s);
+  report.attempts = attempts_;
+  report.escalations = escalations_;
+  report.engine = engine.name();
+
+  const bool accept = report.passed || opt_.verify == verify::Policy::Estimate;
+  if (!report.passed) {
+    recovery::note(
+        "evd.verify",
+        "residual estimate " + std::to_string(report.residual) + " (tol " +
+            std::to_string(report.residual_tol) + "), orthogonality estimate " +
+            std::to_string(report.orthogonality) + " (tol " +
+            std::to_string(report.orthogonality_tol) + ") breached on engine '" +
+            engine.name() + "'" +
+            (accept ? "; policy is estimate-only, returning the result annotated" : ""));
+  }
+  if (accept) {
+    result_.verify = std::move(report);
+    append_log(pending_, scope.take());
+    ctx_.telemetry().record_recovery(pending_);
+    accumulated_.insert(accumulated_.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+    result_.recovery = std::move(accumulated_);
+    complete_success();
+    return;
+  }
+
+  // Escalate: next engine in the chain, same warm context.
+  tc::TcPrecision prec = tc::TcPrecision::Fp16;
+  if (const auto* tc_engine = dynamic_cast<const tc::TcEngine*>(&engine))
+    prec = tc_engine->precision();
+  std::unique_ptr<tc::GemmEngine> next = next_escalation_engine(engine.kind(), prec);
+  if (next == nullptr || attempts_ >= max_attempts_) {
+    const std::string reason =
+        next == nullptr
+            ? "the escalation chain is exhausted (already on '" + std::string(engine.name()) +
+                  "')"
+            : "the attempt budget (" + std::to_string(max_attempts_) + ") is spent";
+    recovery::note("evd.verify", "verification still failing and " + reason);
+    append_log(pending_, scope.take());
+    ctx_.telemetry().record_recovery(pending_);
+    pending_.clear();  // claimed into telemetry, exactly as vscope.take() did
+    error_ = precision_loss_error(
+        "evd::solve: verification failed after " + std::to_string(attempts_) +
+        " attempt(s) (residual estimate " + std::to_string(report.residual) + ", tol " +
+        std::to_string(report.residual_tol) + ", engine '" + engine.name() + "'); " +
+        reason);
+    stage_ = Stage::Done;
+    release_attempt_state();
+    return;
+  }
+  recovery::note("evd.verify", "re-solving with higher-accuracy engine '" + next->name() +
+                                   "' (attempt " + std::to_string(attempts_ + 1) + "/" +
+                                   std::to_string(max_attempts_) + ")");
+  append_log(pending_, scope.take());
+  escalate_engine(std::move(next));
+}
+
+void SolveJob::fail_attempt(const Status& status) {
+  attempt_scope_.reset();
+  sres_.reset();
+
+  if (!verified_) {
+    // The synchronous path propagated the attempt's unclaimed events to the
+    // caller's enclosing recovery::Scope when the per-solve scope unwound;
+    // park them for the wrapper to re-note (schedulers drop them, matching
+    // what solve_many has always reported for failed problems).
+    dropped_events_ = std::move(attempt_log_);
+    attempt_log_.clear();
+    error_ = status;
+    stage_ = Stage::Done;
+    release_attempt_state();
+    return;
+  }
+
+  // A recoverable pipeline failure (e.g. corruption drove the solver to
+  // NoConvergence after its own fallbacks) is escalated like a breached
+  // estimate: corruption that poisons the pipeline outright and corruption
+  // that merely skews the result get the same answer, a re-solve on a better
+  // engine. Non-recoverable failures and the estimate-only policy keep their
+  // pre-verification semantics.
+  auto give_up = [&] {
+    dropped_events_ = std::move(pending_);
+    pending_.clear();
+    append_log(dropped_events_, std::move(attempt_log_));
+    attempt_log_.clear();
+    error_ = status;
+    stage_ = Stage::Done;
+    release_attempt_state();
+  };
+  if (opt_.verify != verify::Policy::EstimateEscalate || !is_recoverable(status) ||
+      attempts_ >= max_attempts_) {
+    give_up();
+    return;
+  }
+  tc::TcPrecision prec = tc::TcPrecision::Fp16;
+  if (const auto* tc_engine = dynamic_cast<const tc::TcEngine*>(&ctx_.engine()))
+    prec = tc_engine->precision();
+  std::unique_ptr<tc::GemmEngine> next =
+      next_escalation_engine(ctx_.engine().kind(), prec);
+  if (next == nullptr) {
+    give_up();
+    return;
+  }
+  // The failed attempt's events reached the old vscope before the escalation
+  // note was made; keep that order.
+  append_log(pending_, std::move(attempt_log_));
+  attempt_log_.clear();
+  pending_.push_back(
+      RecoveryEvent{"evd.verify", "solve attempt " + std::to_string(attempts_) +
+                                      " failed (" + status.to_string() +
+                                      "); re-solving with higher-accuracy engine '" +
+                                      next->name() + "'"});
+  escalate_engine(std::move(next));
+}
+
+void SolveJob::escalate_engine(std::unique_ptr<tc::GemmEngine> next) {
+  ++escalations_;
+  ctx_.telemetry().record_stage("evd.verify.escalation", 0.0);
+  engine_scope_.emplace(ctx_, *next);  // destroys any previous override first
+  escalated_ = std::move(next);
+  stage_ = Stage::Reduction;
+}
+
+void SolveJob::complete_success() {
+  final_ = std::move(result_);
+  stage_ = Stage::Done;
+  release_attempt_state();
+}
 
 const char* tri_solver_name(TriSolver solver) noexcept {
   switch (solver) {
@@ -362,14 +496,16 @@ const char* tri_solver_name(TriSolver solver) noexcept {
 }
 
 StatusOr<EvdResult> solve(ConstMatrixView<float> a, Context& ctx, const EvdOptions& opt) {
-  // ABFT covers every packed GEMM for the whole solve, verification attempts
-  // and escalated re-solves included.
-  std::optional<blas::abft::AbftScope> abft_scope;
-  if (opt.abft) abft_scope.emplace();
-
-  if (opt.verify == verify::Policy::Off || a.rows() <= 1)
-    return solve_once(a, ctx, opt);
-  return solve_verified(a, ctx, opt);
+  SolveJob job(a, ctx, opt);
+  while (!job.done()) job.step();
+  StatusOr<EvdResult> out = job.take();
+  if (!out.ok()) {
+    // On the synchronous path a failed attempt's unclaimed recovery events
+    // historically propagated to the caller's enclosing recovery::Scope when
+    // the per-solve scope unwound; the job parks them instead, so re-note.
+    for (const RecoveryEvent& ev : job.dropped_events()) recovery::note(ev.site, ev.action);
+  }
+  return out;
 }
 
 // Deprecated compatibility overload: per-thread scratch context (see

@@ -73,7 +73,9 @@ struct EvdOptions {
   /// k >= 2 = wavefront with at most k lanes. Every setting produces
   /// bitwise-identical output — the wavefront schedule is pinned to the
   /// serial rotation sequence (DESIGN.md §14) — so this is a performance
-  /// knob, never an accuracy one.
+  /// knob, never an accuracy one. An explicit k >= 2 that cannot engage
+  /// (pool worker, bandwidth < 2, or n <= 2) runs the serial chase and notes
+  /// the downgrade in EvdResult::recovery at site "evd.second_stage".
   int bulge_threads = 0;
   /// Forwarded to SbrOptions::lookahead for the TwoStageWy and TwoStageDbr
   /// reductions: overlap each big block's panel factorization with the

@@ -15,7 +15,13 @@ StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, Context& ctx,
                                        bool vectors) {
   const index_t n = a.rows();
   TCEVD_CHECK(a.cols() == n, "solve_selected requires a square symmetric matrix");
-  TCEVD_CHECK(0 <= il && il <= iu && iu < n, "selected index range invalid");
+  // The index window is caller data, not a programmer contract: a streaming
+  // service (or solve_many) feeding per-request ranges must be able to reject
+  // one bad request without taking the process down.
+  if (!(0 <= il && il <= iu && iu < n))
+    return invalid_argument_error(
+        "solve_selected: selected index range [il, iu] = [" + std::to_string(il) + ", " +
+        std::to_string(iu) + "] invalid for n = " + std::to_string(n));
 
   // n == 1 never reaches the pipeline (SBR requires bandwidth in [1, n)).
   // The index check above already pins il == iu == 0 here.

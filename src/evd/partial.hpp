@@ -28,8 +28,9 @@ struct PartialResult {
 /// construction). If inverse iteration fails on a vector (or the
 /// stein.stagnate fault fires) and opt.allow_fallbacks is set, the selected
 /// vectors are recomputed with the full QL solver instead; only when that
-/// also fails does the error propagate. The index range is a contract
-/// (TCEVD_CHECK).
+/// also fails does the error propagate. An out-of-bounds index range returns
+/// InvalidArgument (it is request data, not a programmer contract — batch
+/// and streaming drivers surface it per problem instead of aborting).
 StatusOr<PartialResult> solve_selected(ConstMatrixView<float> a, Context& ctx,
                                        const EvdOptions& opt, index_t il, index_t iu,
                                        bool vectors = false);

@@ -181,6 +181,51 @@ TEST(SolveMany, TinyProblemsSolveInsteadOfAborting) {
   }
 }
 
+// Malformed request data — mismatched shapes, a non-square matrix, an
+// out-of-range selected window — used to trip TCEVD_CHECK and abort the whole
+// process. It is caller data, not a programmer contract: the offending
+// problem fails alone with InvalidArgument and its neighbors solve normally.
+TEST(SolveMany, MixedShapeProblemFailsAloneWithInvalidArgument) {
+  auto batch = make_batch(32, 3, 7100);
+  batch.insert(batch.begin() + 1, test::random_symmetric<float>(48, 7200));
+  tc::Fp32Engine engine;
+  evd::BatchOptions bopt;
+  bopt.num_threads = 2;
+  auto res = evd::solve_many(batch, engine, bopt);
+  ASSERT_EQ(res.problems.size(), 4u);
+  EXPECT_EQ(res.num_ok(), 3u);
+  EXPECT_EQ(res.problems[1].status.code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(res.problems[1].status.message().find("order"), std::string::npos);
+  for (std::size_t i : {0u, 2u, 3u}) EXPECT_TRUE(res.problems[i].status.ok()) << i;
+}
+
+TEST(SolveMany, NonSquareProblemFailsAloneWithInvalidArgument) {
+  auto batch = make_batch(24, 2, 7300);
+  batch.push_back(Matrix<float>(24, 16));
+  tc::Fp32Engine engine;
+  auto res = evd::solve_many(batch, engine, evd::BatchOptions{});
+  ASSERT_EQ(res.problems.size(), 3u);
+  EXPECT_TRUE(res.problems[0].status.ok());
+  EXPECT_TRUE(res.problems[1].status.ok());
+  EXPECT_EQ(res.problems[2].status.code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(res.problems[2].status.message().find("square"), std::string::npos);
+}
+
+TEST(SolveMany, SelectedRangeOutOfBoundsFailsPerProblemWithInvalidArgument) {
+  auto batch = make_batch(16, 3, 7400);
+  tc::Fp32Engine engine;
+  evd::BatchOptions bopt;
+  bopt.selected = true;
+  bopt.il = 4;
+  bopt.iu = 16;  // iu == n: out of bounds for every problem
+  auto res = evd::solve_many(batch, engine, bopt);
+  ASSERT_EQ(res.problems.size(), 3u);
+  for (const auto& p : res.problems) {
+    EXPECT_EQ(p.status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(p.status.message().find("range"), std::string::npos);
+  }
+}
+
 TEST(SolveMany, LookaheadBatchMatchesSerialScheduleBitwise) {
   const index_t n = 64;
   auto batch = make_batch(n, 6, 6100);

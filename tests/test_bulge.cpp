@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/blas/blas.hpp"
@@ -14,7 +16,10 @@
 #include "src/bulge/bulge_wavefront.hpp"
 #include "src/common/context.hpp"
 #include "src/common/norms.hpp"
+#include "src/common/recovery.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/evd/batch.hpp"
+#include "src/evd/evd.hpp"
 #include "src/lapack/sytrd.hpp"
 #include "src/lapack/tridiag.hpp"
 #include "src/sbr/band.hpp"
@@ -328,6 +333,75 @@ TEST(BulgeWavefront, AutoRouteIsBitwiseInvariant) {
       }
     }
   }
+}
+
+// Regression for the silent-serialization bug: an explicit bulge_threads >= 2
+// that cannot engage the wavefront (narrow band, tiny matrix, or a caller
+// that is already a pool worker) used to fall back to the serial chase with
+// no trace. It must now note the downgrade at site "evd.second_stage" — and
+// still produce bitwise-identical output.
+TEST(BulgeWavefront, ForcedThreadsThatCannotEngageNoteTheDowngrade) {
+  const index_t n = 16, bw = 1;  // bandwidth < 2: the wavefront can never engage
+  auto a = random_band<float>(n, bw, 77);
+  tc::Fp32Engine eng;
+
+  Context serial_ctx(eng);
+  auto serial_work = a;
+  auto serial = bulge::bulge_chase_auto<float>(serial_ctx, serial_work.view(), bw,
+                                               nullptr, /*bulge_threads=*/1);
+
+  Context ctx(eng);
+  auto work = a;
+  recovery::Scope scope;
+  auto forced = bulge::bulge_chase_auto<float>(ctx, work.view(), bw, nullptr,
+                                               /*bulge_threads=*/4);
+  RecoveryLog log = scope.take();
+  bool noted = false;
+  for (const RecoveryEvent& ev : log)
+    if (ev.site == "evd.second_stage" &&
+        ev.action.find("serial") != std::string::npos &&
+        ev.action.find("bulge_threads = 4") != std::string::npos)
+      noted = true;
+  EXPECT_TRUE(noted) << "forced-but-ineligible lanes must note the serial downgrade";
+
+  ASSERT_EQ(serial.d.size(), forced.d.size());
+  for (std::size_t i = 0; i < serial.d.size(); ++i) EXPECT_EQ(serial.d[i], forced.d[i]);
+
+  // An engageable forced request (bw >= 2, main thread) must NOT note.
+  const index_t bw2 = 8;
+  auto b = random_band<float>(64, bw2, 78);
+  Context ctx2(eng);
+  recovery::Scope scope2;
+  (void)bulge::bulge_chase_auto<float>(ctx2, b.view(), bw2, nullptr, /*bulge_threads=*/4);
+  for (const RecoveryEvent& ev : scope2.take())
+    EXPECT_NE(ev.site, "evd.second_stage") << ev.action;
+}
+
+// The downgrade is also visible end-to-end: a batch worker IS a pool thread,
+// so an explicit lane request under solve_many serializes — with the note
+// surfaced in the per-problem recovery log.
+TEST(BulgeWavefront, ForcedThreadsUnderBatchWorkerNoteTheDowngrade) {
+  auto a = test::random_symmetric<float>(64, 79);
+  tc::Fp32Engine eng;
+  Context ctx(eng);
+  evd::EvdOptions opt;
+  opt.bandwidth = 8;
+  opt.big_block = 32;
+  opt.bulge_threads = 4;
+
+  std::vector<Matrix<float>> batch;
+  batch.push_back(std::move(a));
+  evd::BatchOptions bopt;
+  bopt.evd = opt;
+  bopt.num_threads = 1;
+  auto res = evd::solve_many(batch, eng, bopt);
+  ASSERT_TRUE(res.all_ok());
+  bool noted = false;
+  for (const RecoveryEvent& ev : res.problems[0].recovery)
+    if (ev.site == "evd.second_stage" &&
+        ev.action.find("thread-pool worker") != std::string::npos)
+      noted = true;
+  EXPECT_TRUE(noted) << "lane request serialized on a pool worker without a note";
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 
 #include "src/common/context.hpp"
 #include "src/common/recovery.hpp"
@@ -89,12 +90,23 @@ TEST_F(ContractsDeath, TsqrWideInputAborts) {
 // computes vectors via stein + back-transform (so the fallback chain is
 // uniform). The positive-path test lives in test_fault.cpp.
 
-TEST_F(ContractsDeath, PartialBadRangeAborts) {
+// A bad index window is request data, not a programmer contract: batch and
+// streaming drivers feed per-request ranges and must be able to reject one
+// bad request without taking the process down. Pinned as a Status like the
+// SBR option checks above so the old death contract can't come back.
+TEST(Contracts, PartialBadRangeIsInvalidArgument) {
   auto a = test::random_symmetric<float>(16, 4);
   tc::Fp32Engine eng;
   Context ctx(eng);
   evd::EvdOptions opt;
-  EXPECT_DEATH((void)evd::solve_selected(a.view(), ctx, opt, 5, 2), "range");
+  for (auto [il, iu] : {std::pair<index_t, index_t>{5, 2},   // inverted window
+                        std::pair<index_t, index_t>{-1, 2},  // negative start
+                        std::pair<index_t, index_t>{0, 16}}) {  // iu == n
+    auto res = evd::solve_selected(a.view(), ctx, opt, il, iu);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(res.status().message().find("range"), std::string::npos);
+  }
 }
 
 TEST_F(ContractsDeath, SvdWideInputAborts) {
