@@ -3,6 +3,7 @@
 // tridiagonal solvers, and the SBR variants at CPU-friendly sizes.
 #include <benchmark/benchmark.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "src/common/context.hpp"
 #include "src/blas/blas.hpp"
 #include "src/blas/gemm_threading.hpp"
+#include "src/blas/simd_dispatch.hpp"
 #include "src/bulge/bulge_chasing.hpp"
 #include "src/common/rng.hpp"
 #include "src/lapack/tridiag.hpp"
@@ -250,7 +252,7 @@ BENCHMARK(BM_Steqr)->Arg(128)->Arg(512);
 // ---------------------------------------------------------------------------
 
 void gemm_sweep(benchmark::State& state, blas::Trans ta, blas::Trans tb, index_t m,
-                index_t n, index_t k, bool pooled) {
+                index_t n, index_t k, bool pooled, bool force_scalar) {
   Rng rng(11);
   Matrix<float> a(ta == blas::Trans::No ? m : k, ta == blas::Trans::No ? k : m);
   Matrix<float> b(tb == blas::Trans::No ? k : n, tb == blas::Trans::No ? n : k);
@@ -258,6 +260,8 @@ void gemm_sweep(benchmark::State& state, blas::Trans ta, blas::Trans tb, index_t
   fill_normal(rng, a.view());
   fill_normal(rng, b.view());
   for (auto _ : state) {
+    std::optional<blas::simd::ScalarKernelScope> scalar;
+    if (force_scalar) scalar.emplace();
     if (pooled) {
       blas::gemm(ta, tb, 1.0f, a.view(), b.view(), 0.0f, c.view());
     } else {
@@ -269,6 +273,7 @@ void gemm_sweep(benchmark::State& state, blas::Trans ta, blas::Trans tb, index_t
   state.counters["GFLOPS"] =
       benchmark::Counter(2.0 * double(m) * double(n) * double(k) * state.iterations() / 1e9,
                          benchmark::Counter::kIsRate);
+  state.SetLabel(force_scalar ? "scalar" : blas::simd::active_level_name());
 }
 
 void register_gemm_sweep() {
@@ -290,14 +295,22 @@ void register_gemm_sweep() {
       {"skinnyK64", 1024, 1024, 64},    // rank-nb trailing update (inner dim = nb)
       {"skinnyM64", 64, 1024, 1024},    // W^T·M panel product (few output rows)
   };
+  // Third dimension: the dispatched kernel family vs forced-scalar, so every
+  // sweep run carries its own same-machine SIMD-speedup baseline. The
+  // dispatched leg is named after what actually resolved (avx2, or scalar
+  // when the host/env disables it — in which case the two legs coincide).
   for (const Combo& tc : combos)
     for (const Shape& s : shapes)
-      for (bool pooled : {false, true}) {
-        const std::string name = std::string("BM_GemmSweep/") + tc.name + "/" + s.bucket +
-                                 (pooled ? "/pooled" : "/serial");
-        benchmark::RegisterBenchmark(name.c_str(), gemm_sweep, tc.ta, tc.tb, s.m, s.n,
-                                     s.k, pooled);
-      }
+      for (bool pooled : {false, true})
+        for (bool force_scalar : {false, true}) {
+          const std::string name = std::string("BM_GemmSweep/") + tc.name + "/" +
+                                   s.bucket + (pooled ? "/pooled" : "/serial") +
+                                   (force_scalar ? "/scalar"
+                                                 : std::string("/") +
+                                                       blas::simd::active_level_name());
+          benchmark::RegisterBenchmark(name.c_str(), gemm_sweep, tc.ta, tc.tb, s.m, s.n,
+                                       s.k, pooled, force_scalar);
+        }
 }
 
 }  // namespace
@@ -308,6 +321,10 @@ void register_gemm_sweep() {
 // doubles as a machine-readable perf-trajectory baseline.
 int main(int argc, char** argv) {
   tcevd::register_gemm_sweep();
+  // Record which kernel family resolved at startup in the JSON context block,
+  // so BENCH_gemm.json is self-describing about the SIMD level it measured.
+  benchmark::AddCustomContext("simd_kernel", tcevd::blas::simd::active_level_name());
+  benchmark::AddCustomContext("simd_reason", tcevd::blas::simd::active_level_reason());
   // Default the file output to BENCH_gemm.json (redirected by
   // TCEVD_BENCH_OUT) unless the caller picked their own --benchmark_out
   // destination/format on the command line.

@@ -17,7 +17,15 @@
 //
 // Allocation discipline: pack buffers are thread_local and sized once at
 // first use, so a steady-state call performs zero heap allocations whether it
-// runs serial or pooled.
+// runs serial or pooled. The arenas are 64-byte aligned (AlignedVector) so
+// the SIMD micro-kernels can use aligned vector loads on the packed panels.
+//
+// SIMD: the micro-kernels route through simd::active_kernels() — a runtime
+// dispatch table resolved once from TCEVD_SIMD / cpuid / a bitwise
+// self-check (src/blas/simd_dispatch.hpp). The scalar reference lives in
+// gemm_microkernel_scalar.hpp; any vector kernel the table installs is
+// bitwise-identical to it, so nothing downstream can observe which family
+// ran except the dispatch_count telemetry.
 //
 // ABFT (see src/blas/abft.hpp): when an AbftScope is active, every C
 // micro-tile is verified against a column-checksum invariant computed from
@@ -35,11 +43,15 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "src/blas/abft.hpp"
 #include "src/blas/blas.hpp"
+#include "src/blas/gemm_microkernel_scalar.hpp"
 #include "src/blas/gemm_threading.hpp"
+#include "src/blas/simd_dispatch.hpp"
+#include "src/common/aligned.hpp"
 #include "src/common/fault.hpp"
 #include "src/common/thread_pool.hpp"
 
@@ -56,12 +68,11 @@ struct IdentityTransform {
 
 namespace packed {
 
-// Register-tile and cache-blocking parameters (BLIS-style). A packs into
-// MR-row panels, B into NR-column panels, k-major within each panel, so the
-// micro-kernel streams contiguous memory with an MR x NR accumulator in
-// registers; MC/KC/NC keep the packed panels cache-resident.
-inline constexpr index_t kMR = 8;
-inline constexpr index_t kNR = 4;
+// Cache-blocking parameters (BLIS-style). The register-tile shape kMR x kNR
+// lives in gemm_microkernel_scalar.hpp next to the kernels it defines. A
+// packs into MR-row panels, B into NR-column panels, k-major within each
+// panel, so the micro-kernel streams contiguous memory with an MR x NR
+// accumulator in registers; MC/KC/NC keep the packed panels cache-resident.
 inline constexpr index_t kMC = 128;
 inline constexpr index_t kKC = 256;
 inline constexpr index_t kNC = 1024;
@@ -71,12 +82,25 @@ inline constexpr std::size_t kBpackElems = static_cast<std::size_t>(kKC) * (kNC 
 
 /// Thread-local pack storage, sized once per thread at first use. The second
 /// pair (a2/b2) backs the dual-operand kernels (EC head–tail split packing,
-/// the syr2k product pair).
+/// the syr2k product pair). The arenas are 64-byte aligned: the AVX2 kernels
+/// aligned-load the packed A panels, legal because every panel/micro-panel
+/// offset into the arena is a multiple of kMR elements.
 template <typename T>
 struct PackBuffers {
-  std::vector<T> a, b, a2, b2;
-  PackBuffers() : a(kApackElems), b(kBpackElems), a2(kApackElems), b2(kBpackElems) {}
+  AlignedVector<T> a, b, a2, b2;
+  PackBuffers() : a(kApackElems), b(kBpackElems), a2(kApackElems), b2(kBpackElems) {
+    TCEVD_CHECK(reinterpret_cast<std::uintptr_t>(a.data()) % kKernelAlignment == 0 &&
+                    reinterpret_cast<std::uintptr_t>(b.data()) % kKernelAlignment == 0 &&
+                    reinterpret_cast<std::uintptr_t>(a2.data()) % kKernelAlignment == 0 &&
+                    reinterpret_cast<std::uintptr_t>(b2.data()) % kKernelAlignment == 0,
+                "pack arenas must be 64-byte aligned for the SIMD kernels");
+  }
 };
+
+// The panel-offset argument above: (kMR * sizeof(T)) must divide the arena
+// alignment, or offsets p * kMR * kc would break the aligned-load contract.
+static_assert(kKernelAlignment % (static_cast<std::size_t>(kMR) * sizeof(double)) == 0,
+              "packed A panel offsets must preserve vector alignment");
 
 template <typename T>
 PackBuffers<T>& pack_buffers() {
@@ -243,6 +267,32 @@ bool tile_checksum_ok_pair(const T* tile, index_t mr, index_t nr, index_t kc,
   return true;
 }
 
+// --- Pack transforms: batch detection --------------------------------------
+//
+// A PackTransform may expose, next to its per-element operator(), a batch
+// form `f.apply(src, dst, n)` (or `split.apply(src, head, tail, n)`) that
+// maps a contiguous run in one call — the Tensor Core rounding transforms
+// vectorize theirs (src/tensorcore/tc_convert.hpp). Packing feeds it every
+// contiguous source run it walks; strided destinations go through a small
+// aligned stack staging buffer (the source read is still one contiguous
+// sweep, which is where the vector win is).
+
+template <typename F, typename T, typename = void>
+struct HasBatchApply : std::false_type {};
+template <typename F, typename T>
+struct HasBatchApply<F, T,
+                     std::void_t<decltype(std::declval<const F&>().apply(
+                         std::declval<const T*>(), std::declval<T*>(), index_t{}))>>
+    : std::true_type {};
+
+template <typename F, typename T, typename = void>
+struct HasBatchSplit : std::false_type {};
+template <typename F, typename T>
+struct HasBatchSplit<F, T,
+                     std::void_t<decltype(std::declval<const F&>().apply(
+                         std::declval<const T*>(), std::declval<T*>(), std::declval<T*>(),
+                         index_t{}))>> : std::true_type {};
+
 /// op(A)(i0:i0+mc, k0:k0+kc) -> MR-row panels, k-major, f applied per element.
 /// TA=false reads columns of A contiguously; TA=true walks columns of A as
 /// rows of op(A) (lane-outer, k-inner) so the source reads stay contiguous.
@@ -255,14 +305,23 @@ void pack_a_block(ConstMatrixView<T> a, index_t i0, index_t k0, index_t mc, inde
       for (index_t k = 0; k < kc; ++k) {
         const T* col = &a(i0 + p, k0 + k);
         T* dst = buf + k * kMR;
-        index_t r = 0;
-        for (; r < mr; ++r) dst[r] = f(col[r]);
-        for (; r < kMR; ++r) dst[r] = T{};
+        if constexpr (HasBatchApply<F, T>::value) {
+          f.apply(col, dst, mr);
+        } else {
+          for (index_t r = 0; r < mr; ++r) dst[r] = f(col[r]);
+        }
+        for (index_t r = mr; r < kMR; ++r) dst[r] = T{};
       }
     } else {
       for (index_t r = 0; r < mr; ++r) {
         const T* col = &a(k0, i0 + p + r);  // column of A == row of op(A)
-        for (index_t k = 0; k < kc; ++k) buf[k * kMR + r] = f(col[k]);
+        if constexpr (HasBatchApply<F, T>::value) {
+          alignas(kKernelAlignment) T tmp[kKC];
+          f.apply(col, tmp, kc);
+          for (index_t k = 0; k < kc; ++k) buf[k * kMR + r] = tmp[k];
+        } else {
+          for (index_t k = 0; k < kc; ++k) buf[k * kMR + r] = f(col[k]);
+        }
       }
       for (index_t r = mr; r < kMR; ++r)
         for (index_t k = 0; k < kc; ++k) buf[k * kMR + r] = T{};
@@ -278,16 +337,31 @@ void pack_b_block(ConstMatrixView<T> b, index_t k0, index_t j0, index_t kc, inde
                   T* buf, const F& f) {
   for (index_t q = 0; q < nc; q += kNR) {
     const index_t nr = std::min(kNR, nc - q);
-    for (index_t k = 0; k < kc; ++k) {
-      T* dst = buf + k * kNR;
-      index_t cidx = 0;
-      if constexpr (!TB) {
-        for (; cidx < nr; ++cidx) dst[cidx] = f(b(k0 + k, j0 + q + cidx));
-      } else {
-        const T* col = &b(j0 + q, k0 + k);  // column of B == row of op(B)
-        for (; cidx < nr; ++cidx) dst[cidx] = f(col[cidx]);
+    if constexpr (!TB && HasBatchApply<F, T>::value) {
+      // Columns of B are contiguous along k: transform each whole column into
+      // a staging buffer, then scatter into the k-major panel.
+      for (index_t cidx = 0; cidx < nr; ++cidx) {
+        alignas(kKernelAlignment) T tmp[kKC];
+        f.apply(&b(k0, j0 + q + cidx), tmp, kc);
+        for (index_t k = 0; k < kc; ++k) buf[k * kNR + cidx] = tmp[k];
       }
-      for (; cidx < kNR; ++cidx) dst[cidx] = T{};
+      for (index_t cidx = nr; cidx < kNR; ++cidx)
+        for (index_t k = 0; k < kc; ++k) buf[k * kNR + cidx] = T{};
+    } else {
+      for (index_t k = 0; k < kc; ++k) {
+        T* dst = buf + k * kNR;
+        index_t cidx = 0;
+        if constexpr (!TB) {
+          for (; cidx < nr; ++cidx) dst[cidx] = f(b(k0 + k, j0 + q + cidx));
+        } else if constexpr (HasBatchApply<F, T>::value) {
+          f.apply(&b(j0 + q, k0 + k), dst, nr);  // column of B == row of op(B)
+          cidx = nr;
+        } else {
+          const T* col = &b(j0 + q, k0 + k);  // column of B == row of op(B)
+          for (; cidx < nr; ++cidx) dst[cidx] = f(col[cidx]);
+        }
+        for (; cidx < kNR; ++cidx) dst[cidx] = T{};
+      }
     }
     buf += kNR * kc;
   }
@@ -302,19 +376,39 @@ void pack_b_block_split(ConstMatrixView<T> b, index_t k0, index_t j0, index_t kc
                         index_t nc, T* bufh, T* buft, const F& split) {
   for (index_t q = 0; q < nc; q += kNR) {
     const index_t nr = std::min(kNR, nc - q);
-    for (index_t k = 0; k < kc; ++k) {
-      T* dh = bufh + k * kNR;
-      T* dt = buft + k * kNR;
-      index_t cidx = 0;
-      if constexpr (!TB) {
-        for (; cidx < nr; ++cidx) split(b(k0 + k, j0 + q + cidx), dh[cidx], dt[cidx]);
-      } else {
-        const T* col = &b(j0 + q, k0 + k);
-        for (; cidx < nr; ++cidx) split(col[cidx], dh[cidx], dt[cidx]);
+    if constexpr (!TB && HasBatchSplit<F, T>::value) {
+      for (index_t cidx = 0; cidx < nr; ++cidx) {
+        alignas(kKernelAlignment) T tmph[kKC];
+        alignas(kKernelAlignment) T tmpt[kKC];
+        split.apply(&b(k0, j0 + q + cidx), tmph, tmpt, kc);
+        for (index_t k = 0; k < kc; ++k) {
+          bufh[k * kNR + cidx] = tmph[k];
+          buft[k * kNR + cidx] = tmpt[k];
+        }
       }
-      for (; cidx < kNR; ++cidx) {
-        dh[cidx] = T{};
-        dt[cidx] = T{};
+      for (index_t cidx = nr; cidx < kNR; ++cidx)
+        for (index_t k = 0; k < kc; ++k) {
+          bufh[k * kNR + cidx] = T{};
+          buft[k * kNR + cidx] = T{};
+        }
+    } else {
+      for (index_t k = 0; k < kc; ++k) {
+        T* dh = bufh + k * kNR;
+        T* dt = buft + k * kNR;
+        index_t cidx = 0;
+        if constexpr (!TB) {
+          for (; cidx < nr; ++cidx) split(b(k0 + k, j0 + q + cidx), dh[cidx], dt[cidx]);
+        } else if constexpr (HasBatchSplit<F, T>::value) {
+          split.apply(&b(j0 + q, k0 + k), dh, dt, nr);
+          cidx = nr;
+        } else {
+          const T* col = &b(j0 + q, k0 + k);
+          for (; cidx < nr; ++cidx) split(col[cidx], dh[cidx], dt[cidx]);
+        }
+        for (; cidx < kNR; ++cidx) {
+          dh[cidx] = T{};
+          dt[cidx] = T{};
+        }
       }
     }
     bufh += kNR * kc;
@@ -323,52 +417,44 @@ void pack_b_block_split(ConstMatrixView<T> b, index_t k0, index_t j0, index_t kc
 }
 
 /// acc(MR x NR) += sum_k apanel(:, k) bpanel(k, :); then C += alpha * acc.
+/// Routes float/double through the runtime-dispatched kernel table (bitwise
+/// twins of the scalar reference); everything else runs the scalar reference
+/// directly.
 template <typename T>
-void micro_kernel(index_t kc, const T* ap, const T* bp, T alpha, T* c0, index_t ldc,
-                  index_t mr, index_t nr) {
-  T acc[kNR][kMR] = {};
-  for (index_t k = 0; k < kc; ++k) {
-    const T* arow = ap + k * kMR;
-    const T* brow = bp + k * kNR;
-    for (index_t jj = 0; jj < kNR; ++jj) {
-      const T bv = brow[jj];
-      for (index_t ii = 0; ii < kMR; ++ii) acc[jj][ii] += arow[ii] * bv;
+inline void micro_kernel(index_t kc, const T* ap, const T* bp, T alpha, T* c0, index_t ldc,
+                         index_t mr, index_t nr) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (const auto fn = simd::active_kernels().gemm_f32) {
+      fn(kc, ap, bp, alpha, c0, ldc, mr, nr);
+      return;
+    }
+  } else if constexpr (std::is_same_v<T, double>) {
+    if (const auto fn = simd::active_kernels().gemm_f64) {
+      fn(kc, ap, bp, alpha, c0, ldc, mr, nr);
+      return;
     }
   }
-  for (index_t jj = 0; jj < nr; ++jj) {
-    T* cc = c0 + jj * ldc;
-    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += alpha * acc[jj][ii];
-  }
+  micro_kernel_scalar(kc, ap, bp, alpha, c0, ldc, mr, nr);
 }
 
-/// Two products sharing one C tile: C += alpha * (A1·B1 + A2·B2), with both
-/// accumulators carried per k-step and their sum added element-wise. tc_syr2k
-/// relies on this shape for bitwise upper/lower symmetry: the (j,i) tile's
-/// acc1/acc2 are the (i,j) tile's acc2/acc1 value-for-value (fp multiply and
-/// add are commutative bitwise), so acc1+acc2 matches across the diagonal.
+/// Paired variant (see micro_kernel_pair_scalar for the accumulation shape
+/// and the syr2k symmetry argument). Same dispatch rule as micro_kernel.
 template <typename T>
-void micro_kernel_pair(index_t kc, const T* ap1, const T* bp1, const T* ap2, const T* bp2,
-                       T alpha, T* c0, index_t ldc, index_t mr, index_t nr) {
-  T acc1[kNR][kMR] = {};
-  T acc2[kNR][kMR] = {};
-  for (index_t k = 0; k < kc; ++k) {
-    const T* a1 = ap1 + k * kMR;
-    const T* b1 = bp1 + k * kNR;
-    const T* a2 = ap2 + k * kMR;
-    const T* b2 = bp2 + k * kNR;
-    for (index_t jj = 0; jj < kNR; ++jj) {
-      const T bv1 = b1[jj];
-      const T bv2 = b2[jj];
-      for (index_t ii = 0; ii < kMR; ++ii) {
-        acc1[jj][ii] += a1[ii] * bv1;
-        acc2[jj][ii] += a2[ii] * bv2;
-      }
+inline void micro_kernel_pair(index_t kc, const T* ap1, const T* bp1, const T* ap2,
+                              const T* bp2, T alpha, T* c0, index_t ldc, index_t mr,
+                              index_t nr) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (const auto fn = simd::active_kernels().gemm_pair_f32) {
+      fn(kc, ap1, bp1, ap2, bp2, alpha, c0, ldc, mr, nr);
+      return;
+    }
+  } else if constexpr (std::is_same_v<T, double>) {
+    if (const auto fn = simd::active_kernels().gemm_pair_f64) {
+      fn(kc, ap1, bp1, ap2, bp2, alpha, c0, ldc, mr, nr);
+      return;
     }
   }
-  for (index_t jj = 0; jj < nr; ++jj) {
-    T* cc = c0 + jj * ldc;
-    for (index_t ii = 0; ii < mr; ++ii) cc[ii] += alpha * (acc1[jj][ii] + acc2[jj][ii]);
-  }
+  micro_kernel_pair_scalar(kc, ap1, bp1, ap2, bp2, alpha, c0, ldc, mr, nr);
 }
 
 /// Fan `ntiles` independent bodies out on gemm_pool() when `pooled`, falling
@@ -745,6 +831,7 @@ void gemm_packed(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
   if (m == 0 || n == 0) return;
   packed::prescale(beta, c);
   if (ka == 0 || alpha == T{}) return;
+  simd::detail::record_dispatch(simd::active_level());
 
   abft::CallStats stats;
   abft::CallStats* sp = abft::enabled() ? &stats : nullptr;
@@ -780,6 +867,7 @@ void gemm_packed_split_b(Trans transa, Trans transb, ConstMatrixView<T> a,
   packed::prescale(T{}, c0);
   packed::prescale(T{}, c1);
   if (ka == 0) return;
+  simd::detail::record_dispatch(simd::active_level());
 
   abft::CallStats stats;
   abft::CallStats* sp = abft::enabled() ? &stats : nullptr;
@@ -811,6 +899,7 @@ void gemm_packed_nt_pair(T alpha, ConstMatrixView<T> a1, ConstMatrixView<T> b1,
   TCEVD_CHECK(b1.rows() == n && b1.cols() == k && b2.rows() == n && b2.cols() == k,
               "pair gemm B shape mismatch");
   if (m == 0 || n == 0 || k == 0 || alpha == T{}) return;
+  simd::detail::record_dispatch(simd::active_level());
 
   PackBuffers<T>& bufs = pack_buffers<T>();
   const bool pooled = blas::detail::use_gemm_pool(m, n, k);

@@ -1,0 +1,51 @@
+// 64-byte-aligned allocation for kernel scratch buffers.
+//
+// The SIMD micro-kernels (src/blas/simd_kernels_avx2.cpp) use aligned vector
+// loads on the packed operand panels, which requires the pack arenas — and
+// every thread-local scratch vector that feeds them — to start on (at least)
+// a 32-byte boundary. AlignedAllocator pins them to 64 bytes: one full cache
+// line, so a panel never straddles a line at its head and the alignment also
+// covers any future AVX-512 widening.
+//
+// AlignedVector<T> is a drop-in std::vector replacement; reserve_scratch
+// (src/common/scratch.hpp) accepts either vector type.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace tcevd {
+
+inline constexpr std::size_t kKernelAlignment = 64;
+
+template <typename T, std::size_t Align = kKernelAlignment>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+/// std::vector whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace tcevd

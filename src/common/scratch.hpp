@@ -22,11 +22,13 @@ inline constexpr std::size_t kScratchShrinkFloorBytes = std::size_t{1} << 20;
 
 /// Ensure v.size() >= need, shrinking first when the retained capacity
 /// exceeds both `need * kScratchShrinkFactor` and the absolute floor.
-template <typename T>
-void reserve_scratch(std::vector<T>& v, std::size_t need) {
+/// Accepts any std::vector instantiation (in particular AlignedVector, which
+/// the SIMD kernel scratch users are on — see src/common/aligned.hpp).
+template <typename T, typename Alloc>
+void reserve_scratch(std::vector<T, Alloc>& v, std::size_t need) {
   if (v.capacity() / kScratchShrinkFactor > need &&
       v.capacity() * sizeof(T) > kScratchShrinkFloorBytes) {
-    std::vector<T>().swap(v);
+    std::vector<T, Alloc>().swap(v);
   }
   if (v.size() < need) v.resize(need);
 }

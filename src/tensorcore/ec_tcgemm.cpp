@@ -6,37 +6,18 @@
 #include <vector>
 
 #include "src/blas/gemm_packed.hpp"
+#include "src/common/aligned.hpp"
 #include "src/common/fault.hpp"
 #include "src/common/flop_counter.hpp"
 #include "src/common/scratch.hpp"
+#include "src/tensorcore/tc_convert.hpp"
 
 namespace tcevd::tc {
 
 namespace {
 
-/// PackTransform: head = round(v) — the main TC operand.
-struct HeadTransform {
-  TcPrecision prec;
-  float operator()(float v) const { return round_operand(v, prec); }
-};
-
-/// PackTransform: scaled residual round(s * (v - head)).
-struct TailTransform {
-  TcPrecision prec;
-  float operator()(float v) const {
-    const float h = round_operand(v, prec);
-    return round_operand(kEcScale * (v - h), prec);
-  }
-};
-
-/// Dual PackTransform for the split pack: head and tail from one read of v.
-struct HeadTailSplit {
-  TcPrecision prec;
-  void operator()(float v, float& h, float& t) const {
-    h = round_operand(v, prec);
-    t = round_operand(kEcScale * (v - h), prec);
-  }
-};
+// Operand transforms come from tc_convert.hpp: RoundTransform is the head,
+// EcTailTransform / EcHeadTailSplit carry the kEcScale residual scaling.
 
 /// True when rounding a finite fp32 operand to the TC format overflows to
 /// +-inf (fp16 saturation). NaN/Inf already present in the input is passed
@@ -65,7 +46,7 @@ bool operand_saturates(ConstMatrixView<float> x, TcPrecision prec, index_t* si,
 /// from one large problem to much smaller ones releases the oversized
 /// buffers instead of pinning them for its lifetime (src/common/scratch.hpp).
 struct EcScratch {
-  std::vector<float> c0, c1;
+  AlignedVector<float> c0, c1;
 };
 
 EcScratch& ec_scratch() {
@@ -80,13 +61,12 @@ void ec_split(ConstMatrixView<float> x, MatrixView<float> head, MatrixView<float
   TCEVD_CHECK(head.rows() == x.rows() && head.cols() == x.cols() &&
                   residual.rows() == x.rows() && residual.cols() == x.cols(),
               "ec_split shape mismatch");
-  for (index_t j = 0; j < x.cols(); ++j)
-    for (index_t i = 0; i < x.rows(); ++i) {
-      const float v = x(i, j);
-      const float h = round_operand(v, prec);
-      head(i, j) = h;
-      residual(i, j) = round_operand(kEcScale * (v - h), prec);
-    }
+  // Stored columns of all three matrices are contiguous: split one column
+  // per call through the dispatched EC-split kernel.
+  for (index_t j = 0; j < x.cols(); ++j) {
+    if (x.rows() == 0) continue;
+    ec_split_buffer(&x(0, j), &head(0, j), &residual(0, j), x.rows(), kEcScale, prec);
+  }
 }
 
 Status ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
@@ -127,14 +107,14 @@ Status ec_tcgemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatri
   // Sweep 1 packs B's head AND tail panels in one pass over B (the split
   // runs once per source element) and computes both products that share the
   // head of A:  C0 = Ã·B̃  and  C1 = Ã·ΔB.
-  blas::gemm_packed_split_b(transa, transb, a, b, c0, c1, HeadTransform{prec},
-                            HeadTailSplit{prec});
+  blas::gemm_packed_split_b(transa, transb, a, b, c0, c1, RoundTransform{prec},
+                            EcHeadTailSplit{prec, kEcScale});
   // Sweep 2 accumulates the remaining correction:  C1 += ΔA·B̃.
   // Both sweeps keep each product's accumulation order identical to its
   // standalone GEMM, so results are bitwise-equal to the old path that
   // materialized ah/da/bh/db copies first.
-  blas::gemm_packed(transa, transb, 1.0f, a, b, 1.0f, c1, TailTransform{prec},
-                    HeadTransform{prec});
+  blas::gemm_packed(transa, transb, 1.0f, a, b, 1.0f, c1, EcTailTransform{prec, kEcScale},
+                    RoundTransform{prec});
 
   // C = alpha * (C0 + C1/s) + beta * C, fused in fp32 on the SIMT side.
   const float inv_s = 1.0f / kEcScale;

@@ -2,20 +2,17 @@
 
 namespace tcevd::tc {
 
-float round_operand(float v, TcPrecision prec) noexcept {
-  return prec == TcPrecision::Fp16 ? round_to_half(v) : round_to_tf32(v);
-}
-
 void mma_tile(const float* a, index_t lda, const float* b, index_t ldb, float* c, index_t ldc,
               TcPrecision prec) noexcept {
-  // Round operand fragments once, as the hardware does at fragment load.
-  float af[kTile * kTile];
-  float bf[kTile * kTile];
-  for (index_t j = 0; j < kTile; ++j)
-    for (index_t i = 0; i < kTile; ++i) {
-      af[i + j * kTile] = round_operand(a[i + j * lda], prec);
-      bf[i + j * kTile] = round_operand(b[i + j * ldb], prec);
-    }
+  // Round operand fragments once, as the hardware does at fragment load —
+  // column-at-a-time through the dispatched convert kernel (each source
+  // column is a contiguous 16-float run).
+  alignas(kKernelAlignment) float af[kTile * kTile];
+  alignas(kKernelAlignment) float bf[kTile * kTile];
+  for (index_t j = 0; j < kTile; ++j) {
+    round_buffer(a + j * lda, af + j * kTile, kTile, prec);
+    round_buffer(b + j * ldb, bf + j * kTile, kTile, prec);
+  }
   for (index_t j = 0; j < kTile; ++j)
     for (index_t i = 0; i < kTile; ++i) {
       float acc = c[i + j * ldc];

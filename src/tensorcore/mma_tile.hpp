@@ -17,19 +17,11 @@
 
 #include "src/common/half.hpp"
 #include "src/common/matrix.hpp"
+#include "src/tensorcore/tc_convert.hpp"  // TcPrecision, round_operand
 
 namespace tcevd::tc {
 
 inline constexpr index_t kTile = 16;
-
-/// Input precision the emulated Tensor Core ingests.
-enum class TcPrecision {
-  Fp16,  ///< binary16 operands (machine eps ~ 9.8e-4)
-  Tf32,  ///< TF32 operands (same 10-bit mantissa, fp32 exponent range)
-};
-
-/// Round an fp32 value to the given Tensor Core input precision.
-float round_operand(float v, TcPrecision prec) noexcept;
 
 /// One 16x16x16 tile: c (16x16 fp32, column-major, ld=16) += A_tile * B_tile
 /// where both operand tiles are rounded to `prec` first.

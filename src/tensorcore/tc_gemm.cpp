@@ -2,21 +2,9 @@
 
 #include "src/blas/gemm_packed.hpp"
 #include "src/common/flop_counter.hpp"
+#include "src/tensorcore/tc_convert.hpp"
 
 namespace tcevd::tc {
-
-namespace {
-
-/// PackTransform rounding each operand element to the TC input precision as
-/// it is packed. Operand rounding is element-wise, so fusing it into packing
-/// is identical to rounding whole matrices up front — minus the two O(mk+kn)
-/// materialized copies per call the old path paid.
-struct RoundTransform {
-  TcPrecision prec;
-  float operator()(float v) const { return round_operand(v, prec); }
-};
-
-}  // namespace
 
 void tc_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixView<float> a,
              ConstMatrixView<float> b, float beta, MatrixView<float> c, TcPrecision prec) {
@@ -32,8 +20,12 @@ void tc_gemm(blas::Trans transa, blas::Trans transb, float alpha, ConstMatrixVie
 }
 
 void round_matrix(MatrixView<float> a, TcPrecision prec) {
-  for (index_t j = 0; j < a.cols(); ++j)
-    for (index_t i = 0; i < a.rows(); ++i) a(i, j) = round_operand(a(i, j), prec);
+  // Each stored column is contiguous; round it in place through the
+  // dispatched convert kernel.
+  for (index_t j = 0; j < a.cols(); ++j) {
+    float* col = a.rows() > 0 ? &a(0, j) : nullptr;
+    round_buffer(col, col, a.rows(), prec);
+  }
 }
 
 }  // namespace tcevd::tc

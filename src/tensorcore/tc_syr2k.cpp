@@ -4,19 +4,14 @@
 #include <vector>
 
 #include "src/blas/gemm_packed.hpp"
+#include "src/common/aligned.hpp"
 #include "src/common/flop_counter.hpp"
 #include "src/common/scratch.hpp"
+#include "src/tensorcore/tc_convert.hpp"  // RoundTransform (fragment-load rounding)
 
 namespace tcevd::tc {
 
 namespace {
-
-/// PackTransform rounding operand elements to the TC input precision during
-/// packing (fragment-load rounding) — no pre-rounded ar/br copies.
-struct RoundTransform {
-  TcPrecision prec;
-  float operator()(float v) const { return round_operand(v, prec); }
-};
 
 /// Column-panel width of the packed triangular update. Each panel computes a
 /// dense rows x kPanelCols block through the paired packed kernel, then
@@ -27,8 +22,8 @@ constexpr index_t kPanelCols = 128;
 /// Thread-local panel accumulator, sized by reserve_scratch: no allocation
 /// in same-shape steady state, released when far oversized for the current
 /// problem (src/common/scratch.hpp).
-std::vector<float>& syr2k_scratch() {
-  thread_local std::vector<float> p;
+AlignedVector<float>& syr2k_scratch() {
+  thread_local AlignedVector<float> p;
   return p;
 }
 
@@ -55,7 +50,7 @@ void tc_syr2k(blas::Uplo uplo, float alpha, ConstMatrixView<float> a, ConstMatri
   // add are commutative bitwise, so P(i,j) in Lower mode equals P(j,i) in
   // Upper mode exactly, matching the old dot-product kernel's guarantee.
   const bool lower = uplo == blas::Uplo::Lower;
-  std::vector<float>& pbuf = syr2k_scratch();
+  AlignedVector<float>& pbuf = syr2k_scratch();
   const std::size_t pneed = static_cast<std::size_t>(n) * kPanelCols;
   reserve_scratch(pbuf, pneed);
 

@@ -1,18 +1,31 @@
 // Packed transpose-aware GEMM pipeline (src/blas/gemm_packed.hpp): every
 // trans combination against a naive reference at odd/prime/edge shapes,
 // parallel-vs-serial bitwise equality, the gemm_pool stand-down contract,
-// and bitwise equality of the fused-rounding tc_gemm / ec_tcgemm paths
-// against the old materialize-rounded-copies formulation. Label: gemmfast.
+// bitwise equality of the fused-rounding tc_gemm / ec_tcgemm paths against
+// the old materialize-rounded-copies formulation, and the SIMD kernel
+// family: dispatch policy (TCEVD_SIMD / cpuid / self-check), SIMD-vs-scalar
+// bitwise identity across the full pipeline, the vectorized convert
+// kernels, and the pack-arena alignment contract. Label: gemmfast.
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/blas/abft.hpp"
 #include "src/blas/blas.hpp"
+#include "src/blas/gemm_packed.hpp"
 #include "src/blas/gemm_threading.hpp"
+#include "src/blas/simd_dispatch.hpp"
+#include "src/common/aligned.hpp"
+#include "src/common/half.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/tensorcore/ec_tcgemm.hpp"
+#include "src/tensorcore/tc_convert.hpp"
 #include "src/tensorcore/tc_gemm.hpp"
 #include "src/tensorcore/tc_syr2k.hpp"
 #include "test_util.hpp"
@@ -84,7 +97,7 @@ void check_against_reference(const GemmCase& p, double tol) {
 TEST_P(PackedGemmTest, MatchesReferenceDouble) { check_against_reference<double>(GetParam(), 1e-12); }
 TEST_P(PackedGemmTest, MatchesReferenceFloat) { check_against_reference<float>(GetParam(), 5e-4); }
 
-// Shapes chosen to straddle every blocking boundary: MR=8/NR=4 remainders
+// Shapes chosen to straddle every blocking boundary: MR=8/NR=8 remainders
 // (odd/prime), MC=128 and KC=256 crossings, plus m=1 / n=1 / k=0 edges.
 std::vector<GemmCase> all_combo_cases() {
   const std::vector<std::array<index_t, 3>> shapes = {
@@ -309,6 +322,337 @@ TEST(PackedSyr2k, MatchesRoundedReferenceAcrossPanels) {
     for (index_t i = j; i < n; ++i)
       EXPECT_NEAR(c(i, j), c_ref(i, j), 2e-2f * static_cast<float>(k))
           << "at (" << i << ", " << j << ")";
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch: resolution policy, env override, telemetry.
+// ---------------------------------------------------------------------------
+
+namespace simd = blas::simd;
+
+TEST(SimdDispatch, ResolveLevelPolicy) {
+  const bool compiled = simd::compiled_with_avx2();
+  const char* reason = nullptr;
+  // Forced off always wins.
+  EXPECT_EQ(simd::detail::resolve_level("off", true, true, &reason), simd::Level::Scalar);
+  EXPECT_STREQ(reason, "TCEVD_SIMD=off");
+  EXPECT_EQ(simd::detail::resolve_level("scalar", true, true, &reason),
+            simd::Level::Scalar);
+  // Requested avx2 still requires CPU support AND a passing self-check.
+  EXPECT_EQ(simd::detail::resolve_level("avx2", false, true, &reason),
+            simd::Level::Scalar);
+  EXPECT_EQ(simd::detail::resolve_level("avx2", true, false, &reason),
+            simd::Level::Scalar);
+  EXPECT_EQ(simd::detail::resolve_level("avx2", true, true, &reason),
+            compiled ? simd::Level::Avx2 : simd::Level::Scalar);
+  // Auto (unset, empty, "auto", or a typo) detects, never trusts blindly.
+  for (const char* env : {static_cast<const char*>(nullptr), "", "auto", "bogus"}) {
+    EXPECT_EQ(simd::detail::resolve_level(env, true, true, &reason),
+              compiled ? simd::Level::Avx2 : simd::Level::Scalar);
+    EXPECT_EQ(simd::detail::resolve_level(env, false, true, &reason),
+              simd::Level::Scalar);
+    EXPECT_EQ(simd::detail::resolve_level(env, true, false, &reason),
+              simd::Level::Scalar);
+  }
+}
+
+TEST(SimdDispatch, ActiveLevelMatchesEnvironment) {
+  // This test runs under several CI legs with different TCEVD_SIMD values:
+  // assert the resolved level is consistent with whatever is set right now.
+  const char* env = std::getenv("TCEVD_SIMD");
+  const bool capable = simd::compiled_with_avx2() && simd::cpu_supports_avx2();
+  const simd::Level lvl = simd::kernels().level;
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0)) {
+    EXPECT_EQ(lvl, simd::Level::Scalar) << simd::active_level_reason();
+  } else {
+    EXPECT_EQ(lvl, capable ? simd::Level::Avx2 : simd::Level::Scalar)
+        << simd::active_level_reason();
+  }
+  EXPECT_STREQ(simd::kernels().name,
+               simd::kernels().level == simd::Level::Avx2 ? "avx2" : "scalar");
+}
+
+TEST(SimdDispatch, RefreshHonorsEnvOverride) {
+  const char* saved = std::getenv("TCEVD_SIMD");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+
+  ::setenv("TCEVD_SIMD", "off", 1);
+  simd::detail::refresh_for_testing();
+  EXPECT_EQ(simd::kernels().level, simd::Level::Scalar);
+  EXPECT_EQ(simd::kernels().gemm_f32, nullptr);
+  EXPECT_STREQ(simd::active_level_reason(), "TCEVD_SIMD=off");
+
+  ::setenv("TCEVD_SIMD", "avx2", 1);
+  simd::detail::refresh_for_testing();
+  if (simd::compiled_with_avx2() && simd::cpu_supports_avx2()) {
+    EXPECT_EQ(simd::kernels().level, simd::Level::Avx2) << simd::active_level_reason();
+    EXPECT_NE(simd::kernels().gemm_f32, nullptr);
+    EXPECT_NE(simd::kernels().round_fp16, nullptr);
+  } else {
+    EXPECT_EQ(simd::kernels().level, simd::Level::Scalar);
+  }
+
+  if (saved != nullptr)
+    ::setenv("TCEVD_SIMD", saved_copy.c_str(), 1);
+  else
+    ::unsetenv("TCEVD_SIMD");
+  simd::detail::refresh_for_testing();
+}
+
+TEST(SimdDispatch, ScalarKernelScopeForcesScalarAndCountsDispatches) {
+  auto a = random_mat<float>(24, 24, 31);
+  auto b = random_mat<float>(24, 24, 32);
+  Matrix<float> c(24, 24);
+
+  const simd::Level resolved = simd::kernels().level;
+  const auto before = simd::dispatch_count(resolved);
+  blas::gemm<float>(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+  EXPECT_EQ(simd::dispatch_count(resolved), before + 1)
+      << "each packed-GEMM entry call records one dispatch at the active level";
+
+  {
+    simd::ScalarKernelScope scope;
+    EXPECT_TRUE(simd::scalar_kernels_forced());
+    EXPECT_EQ(simd::active_level(), simd::Level::Scalar);
+    EXPECT_EQ(simd::active_kernels().gemm_f32, nullptr);
+    const auto scalar_before = simd::dispatch_count(simd::Level::Scalar);
+    blas::gemm<float>(Trans::No, Trans::No, 1.0f, a.view(), b.view(), 0.0f, c.view());
+    EXPECT_EQ(simd::dispatch_count(simd::Level::Scalar), scalar_before + 1);
+  }
+  EXPECT_FALSE(simd::scalar_kernels_forced());
+  EXPECT_EQ(simd::active_level(), resolved);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD vs scalar: bitwise identity across the whole pipeline. When the
+// resolved level is already Scalar (TCEVD_SIMD=off leg, non-AVX2 host) these
+// compare scalar against scalar and pass vacuously — the AVX2 legs are where
+// they bite.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void check_simd_vs_scalar_gemm(const GemmCase& p) {
+  const index_t am = (p.ta == Trans::No) ? p.m : p.k;
+  const index_t an = (p.ta == Trans::No) ? p.k : p.m;
+  const index_t bm = (p.tb == Trans::No) ? p.k : p.n;
+  const index_t bn = (p.tb == Trans::No) ? p.n : p.k;
+  auto a = random_mat<T>(am, an, 41);
+  auto b = random_mat<T>(bm, bn, 42);
+  auto c_simd = random_mat<T>(p.m, p.n, 43);
+  auto c_scalar = c_simd;
+  blas::gemm<T>(p.ta, p.tb, T(1.3), a.view(), b.view(), T(-0.7), c_simd.view());
+  {
+    simd::ScalarKernelScope scope;
+    blas::gemm<T>(p.ta, p.tb, T(1.3), a.view(), b.view(), T(-0.7), c_scalar.view());
+  }
+  expect_bitwise_equal<T>(c_simd.view(), c_scalar.view());
+}
+
+TEST_P(PackedGemmTest, SimdBitwiseEqualsScalarFloat) {
+  check_simd_vs_scalar_gemm<float>(GetParam());
+}
+TEST_P(PackedGemmTest, SimdBitwiseEqualsScalarDouble) {
+  check_simd_vs_scalar_gemm<double>(GetParam());
+}
+
+TEST(SimdVsScalar, PooledSimdBitwiseEqualsSerialScalar) {
+  // Crossing SIMD x threading: pooled AVX2 against serial forced-scalar.
+  const index_t m = 311, n = 203, k = 277;
+  auto a = random_mat<float>(m, k, 44);
+  auto b = random_mat<float>(k, n, 45);
+  auto c_pooled = random_mat<float>(m, n, 46);
+  auto c_serial = c_pooled;
+  blas::gemm<float>(Trans::No, Trans::No, 1.5f, a.view(), b.view(), 0.25f,
+                    c_pooled.view());
+  {
+    simd::ScalarKernelScope scope;
+    blas::SerialGemmScope serial;
+    blas::gemm<float>(Trans::No, Trans::No, 1.5f, a.view(), b.view(), 0.25f,
+                      c_serial.view());
+  }
+  expect_bitwise_equal<float>(c_pooled.view(), c_serial.view());
+}
+
+TEST(SimdVsScalar, AbftPathBitwiseEqualsScalar) {
+  // The ABFT tile path (private tile accumulate + checksum verify) must also
+  // be kernel-agnostic: same result with the checksummed pipeline on either
+  // kernel family.
+  const index_t m = 131, n = 67, k = 259;
+  auto a = random_mat<float>(m, k, 47);
+  auto b = random_mat<float>(k, n, 48);
+  auto c_simd = random_mat<float>(m, n, 49);
+  auto c_scalar = c_simd;
+  {
+    blas::abft::AbftScope abft;
+    blas::gemm<float>(Trans::No, Trans::No, 1.2f, a.view(), b.view(), -0.3f,
+                      c_simd.view());
+  }
+  {
+    blas::abft::AbftScope abft;
+    simd::ScalarKernelScope scope;
+    blas::gemm<float>(Trans::No, Trans::No, 1.2f, a.view(), b.view(), -0.3f,
+                      c_scalar.view());
+  }
+  expect_bitwise_equal<float>(c_simd.view(), c_scalar.view());
+}
+
+TEST(SimdVsScalar, TensorCorePathsBitwiseEqualScalar) {
+  // tc_gemm (fused rounding), ec_tcgemm (split-B + tail sweeps), tc_syr2k
+  // (paired nt kernel): each through the dispatched kernels vs forced scalar.
+  const index_t m = 70, n = 53, k = 300;
+  auto a = random_mat<float>(m, k, 51);
+  auto b = random_mat<float>(k, n, 52);
+  auto bt = random_mat<float>(n, k, 58);
+  for (tc::TcPrecision prec : {tc::TcPrecision::Fp16, tc::TcPrecision::Tf32}) {
+    auto c_simd = random_mat<float>(m, n, 53);
+    auto c_scalar = c_simd;
+    tc::tc_gemm(Trans::No, Trans::Yes, 1.25f, a.view(), bt.view(), -0.5f,
+                c_simd.view(), prec);
+    {
+      simd::ScalarKernelScope scope;
+      tc::tc_gemm(Trans::No, Trans::Yes, 1.25f, a.view(), bt.view(), -0.5f,
+                  c_scalar.view(), prec);
+    }
+    expect_bitwise_equal<float>(c_simd.view(), c_scalar.view());
+  }
+  {
+    auto c_simd = random_mat<float>(m, n, 54);
+    auto c_scalar = c_simd;
+    ASSERT_TRUE(tc::ec_tcgemm(Trans::No, Trans::No, 1.1f, a.view(), b.view(), 0.6f,
+                              c_simd.view())
+                    .ok());
+    {
+      simd::ScalarKernelScope scope;
+      ASSERT_TRUE(tc::ec_tcgemm(Trans::No, Trans::No, 1.1f, a.view(), b.view(), 0.6f,
+                                c_scalar.view())
+                      .ok());
+    }
+    expect_bitwise_equal<float>(c_simd.view(), c_scalar.view());
+  }
+  {
+    const index_t ns = 150, ks = 40;
+    auto as = random_mat<float>(ns, ks, 55);
+    auto bs = random_mat<float>(ns, ks, 56);
+    auto c_simd = random_mat<float>(ns, ns, 57);
+    auto c_scalar = c_simd;
+    tc::tc_syr2k(Uplo::Lower, 0.8f, as.view(), bs.view(), 0.5f, c_simd.view());
+    {
+      simd::ScalarKernelScope scope;
+      tc::tc_syr2k(Uplo::Lower, 0.8f, as.view(), bs.view(), 0.5f, c_scalar.view());
+    }
+    expect_bitwise_equal<float>(c_simd.view(), c_scalar.view());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Convert kernels: dispatched round/split buffers bitwise-equal to the
+// scalar reference over boundary values and random exponent sweeps.
+// ---------------------------------------------------------------------------
+
+std::vector<float> convert_probe_values() {
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> vals = {
+      0.0f,       -0.0f,     1.0f,     -1.0f,   1.5f,
+      65504.0f,   -65504.0f, 65519.5f, 65520.0f, -65520.0f,
+      65536.0f,   1e30f,     6.103515625e-05f /* 2^-14 */,
+      3.0517578125e-05f /* 2^-15: fp16 subnormal */,
+      5.960464477539063e-08f /* 2^-24: smallest fp16 subnormal */,
+      2.9802322387695312e-08f /* 2^-25: RNE threshold to zero */,
+      4.5e-08f,   2.8e-08f,  1e-38f,   inf,     -inf,
+      std::numeric_limits<float>::quiet_NaN()};
+  std::uint32_t s = 0xabcd1234u;
+  for (int i = 0; i < 2048; ++i) {
+    s = s * 1664525u + 1013904223u;
+    const std::uint32_t sign = (s & 1u) << 31;
+    const std::uint32_t exp = 96u + ((s >> 8) % 48u);  // 2^-31 .. 2^16
+    s = s * 1664525u + 1013904223u;
+    std::uint32_t bits = sign | (exp << 23) | (s & 0x007fffffu);
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    vals.push_back(v);
+  }
+  return vals;
+}
+
+void expect_bits_equal(const std::vector<float>& a, const std::vector<float>& b,
+                       const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ab, bb;
+    std::memcpy(&ab, &a[i], sizeof ab);
+    std::memcpy(&bb, &b[i], sizeof bb);
+    ASSERT_EQ(ab, bb) << what << " diverges at index " << i << " (input-dependent)";
+  }
+}
+
+TEST(SimdConvert, RoundBufferBitwiseEqualsScalarReference) {
+  const std::vector<float> src = convert_probe_values();
+  const index_t n = static_cast<index_t>(src.size());
+  for (tc::TcPrecision prec : {tc::TcPrecision::Fp16, tc::TcPrecision::Tf32}) {
+    std::vector<float> ref(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+      ref[i] = tc::round_operand(src[i], prec);
+    std::vector<float> out(src.size());
+    tc::round_buffer(src.data(), out.data(), n, prec);
+    expect_bits_equal(ref, out, "round_buffer");
+    // In-place form (round_matrix uses it).
+    std::vector<float> inplace = src;
+    tc::round_buffer(inplace.data(), inplace.data(), n, prec);
+    expect_bits_equal(ref, inplace, "round_buffer in-place");
+  }
+}
+
+TEST(SimdConvert, EcSplitBufferBitwiseEqualsScalarReference) {
+  const std::vector<float> src = convert_probe_values();
+  const index_t n = static_cast<index_t>(src.size());
+  for (tc::TcPrecision prec : {tc::TcPrecision::Fp16, tc::TcPrecision::Tf32}) {
+    std::vector<float> ref_h(src.size()), ref_t(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const float h = tc::round_operand(src[i], prec);
+      ref_h[i] = h;
+      ref_t[i] = tc::round_operand(tc::kEcScale * (src[i] - h), prec);
+    }
+    std::vector<float> out_h(src.size()), out_t(src.size());
+    tc::ec_split_buffer(src.data(), out_h.data(), out_t.data(), n, tc::kEcScale, prec);
+    expect_bits_equal(ref_h, out_h, "ec_split head");
+    expect_bits_equal(ref_t, out_t, "ec_split tail");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alignment contract: the pack arenas (and anything AlignedVector-backed)
+// must start on a 64-byte boundary or the SIMD aligned loads fault.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+bool is_kernel_aligned(const T* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kKernelAlignment == 0;
+}
+
+TEST(PackAlignment, ThreadLocalArenasAre64ByteAligned) {
+  auto& bf = blas::packed::pack_buffers<float>();
+  EXPECT_TRUE(is_kernel_aligned(bf.a.data()));
+  EXPECT_TRUE(is_kernel_aligned(bf.b.data()));
+  EXPECT_TRUE(is_kernel_aligned(bf.a2.data()));
+  EXPECT_TRUE(is_kernel_aligned(bf.b2.data()));
+  auto& bd = blas::packed::pack_buffers<double>();
+  EXPECT_TRUE(is_kernel_aligned(bd.a.data()));
+  EXPECT_TRUE(is_kernel_aligned(bd.b.data()));
+  EXPECT_TRUE(is_kernel_aligned(bd.a2.data()));
+  EXPECT_TRUE(is_kernel_aligned(bd.b2.data()));
+}
+
+TEST(PackAlignment, AlignedVectorAlwaysAligned) {
+  // Odd sizes and regrowth must preserve the alignment guarantee.
+  for (std::size_t n : {1u, 3u, 17u, 63u, 64u, 65u, 1000u, 4097u}) {
+    AlignedVector<float> vf(n);
+    EXPECT_TRUE(is_kernel_aligned(vf.data())) << "float n=" << n;
+    AlignedVector<double> vd(n);
+    EXPECT_TRUE(is_kernel_aligned(vd.data())) << "double n=" << n;
+    vf.resize(3 * n + 1);
+    EXPECT_TRUE(is_kernel_aligned(vf.data())) << "float regrown n=" << n;
+  }
 }
 
 }  // namespace
